@@ -1,0 +1,18 @@
+//! # mobicache-cache — the client buffer pool
+//!
+//! §4 of the paper: *"The size of the client buffer pools is specified as
+//! a percentage of the database size. Cached data items are managed using
+//! an LRU replacement policy."*
+//!
+//! Beyond plain LRU, mobile invalidation needs a **validity state** per
+//! entry: after a disconnection longer than the report coverage, the cache
+//! contents are neither known-valid nor known-stale — they are in *limbo*
+//! until a covering report (bit-sequences, enlarged window, or a validity
+//! report) arrives to salvage them, or the scheme gives up and drops them.
+//! Limbo entries must never answer queries, but they keep their slot (and
+//! their LRU position) because salvaging them is the entire point of the
+//! paper's adaptive schemes.
+
+mod lru;
+
+pub use lru::{CacheEntry, EntryState, LruCache};

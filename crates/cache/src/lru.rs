@@ -1,0 +1,419 @@
+//! LRU cache with per-entry validity state.
+
+use mobicache_model::ItemId;
+use mobicache_sim::SimTime;
+use std::collections::{BTreeMap, HashMap};
+
+/// Validity of a cached entry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EntryState {
+    /// Known valid as of the entry's `validated_at`.
+    Valid,
+    /// Unknown validity after a long disconnection; must not answer
+    /// queries until salvaged by a covering report.
+    Limbo,
+}
+
+/// One cached item.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CacheEntry {
+    /// Timestamp of the last server update this copy reflects (the "data
+    /// version"). Used by timestamp-carrying reports to decide staleness.
+    pub version: SimTime,
+    /// Last time a report (or fetch) vouched for this entry.
+    pub validated_at: SimTime,
+    /// Validity state.
+    pub state: EntryState,
+}
+
+struct Slot {
+    entry: CacheEntry,
+    seq: u64,
+}
+
+/// A fixed-capacity LRU cache of data items.
+///
+/// Recency order is maintained with a sequence counter plus an ordered
+/// index (`O(log n)` per touch), which is plenty for caches of a few
+/// thousand entries and keeps the implementation obviously correct.
+///
+/// ```
+/// use mobicache_cache::LruCache;
+/// use mobicache_model::ItemId;
+/// use mobicache_sim::SimTime;
+///
+/// let t = SimTime::from_secs;
+/// let mut cache = LruCache::new(2);
+/// cache.insert(ItemId(1), t(5.0), t(10.0));
+/// cache.insert(ItemId(2), t(6.0), t(11.0));
+/// cache.get_valid(ItemId(1));                 // touch 1; 2 is now LRU
+/// cache.insert(ItemId(3), t(7.0), t(12.0));   // evicts 2
+/// assert!(cache.peek(ItemId(2)).is_none());
+/// // After a long disconnection the whole cache goes limbo and stops
+/// // answering queries until a covering report salvages it.
+/// cache.mark_all_limbo();
+/// assert!(cache.get_valid(ItemId(1)).is_none());
+/// cache.salvage_limbo(t(20.0), |_| true);
+/// assert!(cache.get_valid(ItemId(1)).is_some());
+/// ```
+pub struct LruCache {
+    capacity: usize,
+    map: HashMap<ItemId, Slot>,
+    order: BTreeMap<u64, ItemId>,
+    next_seq: u64,
+    evictions: u64,
+}
+
+impl LruCache {
+    /// A cache holding at most `capacity` items.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be at least 1");
+        LruCache {
+            capacity,
+            map: HashMap::with_capacity(capacity),
+            order: BTreeMap::new(),
+            next_seq: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Maximum number of entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of entries (valid + limbo).
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` when the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Number of entries evicted so far by capacity pressure.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    fn touch(&mut self, item: ItemId) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        if let Some(slot) = self.map.get_mut(&item) {
+            self.order.remove(&slot.seq);
+            slot.seq = seq;
+            self.order.insert(seq, item);
+        }
+    }
+
+    /// Looks up a **valid** entry, refreshing its recency. Limbo entries
+    /// and absent items both return `None` (a limbo hit is
+    /// indistinguishable from a miss to the query path — the copy must
+    /// not be used).
+    pub fn get_valid(&mut self, item: ItemId) -> Option<CacheEntry> {
+        match self.map.get(&item) {
+            Some(slot) if slot.entry.state == EntryState::Valid => {
+                let entry = slot.entry;
+                self.touch(item);
+                Some(entry)
+            }
+            _ => None,
+        }
+    }
+
+    /// Peeks at an entry (any state) without touching recency.
+    pub fn peek(&self, item: ItemId) -> Option<&CacheEntry> {
+        self.map.get(&item).map(|s| &s.entry)
+    }
+
+    /// Inserts (or replaces) an item just fetched from the server,
+    /// evicting the least recently used entry if the cache is full.
+    /// The new entry is `Valid` with the given version.
+    pub fn insert(&mut self, item: ItemId, version: SimTime, now: SimTime) {
+        if !self.map.contains_key(&item) && self.map.len() == self.capacity {
+            // Evict the least recently used entry.
+            let (&oldest_seq, &victim) = self.order.iter().next().expect("cache full but order empty");
+            self.order.remove(&oldest_seq);
+            self.map.remove(&victim);
+            self.evictions += 1;
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        if let Some(old) = self.map.insert(
+            item,
+            Slot {
+                entry: CacheEntry {
+                    version,
+                    validated_at: now,
+                    state: EntryState::Valid,
+                },
+                seq,
+            },
+        ) {
+            self.order.remove(&old.seq);
+        }
+        self.order.insert(seq, item);
+    }
+
+    /// Drops a single entry (invalidation). Returns `true` if it was
+    /// present.
+    pub fn invalidate(&mut self, item: ItemId) -> bool {
+        match self.map.remove(&item) {
+            Some(slot) => {
+                self.order.remove(&slot.seq);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Drops every listed entry; returns how many were present.
+    pub fn invalidate_many<I>(&mut self, items: I) -> usize
+    where
+        I: IntoIterator<Item = ItemId>,
+    {
+        items.into_iter().filter(|&i| self.invalidate(i)).count()
+    }
+
+    /// Drops the entire cache (the `TS` no-checking path after a long
+    /// disconnection).
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.order.clear();
+    }
+
+    /// Marks every entry limbo (validity unknown after reconnection).
+    pub fn mark_all_limbo(&mut self) {
+        for slot in self.map.values_mut() {
+            slot.entry.state = EntryState::Limbo;
+        }
+    }
+
+    /// Revalidates every remaining entry as of `now` (after the stale
+    /// ones were dropped by a covering report) — the `tc_j ← T_i` step of
+    /// the Figure-1 client algorithm. Limbo entries become valid again.
+    pub fn revalidate_all(&mut self, now: SimTime) {
+        for slot in self.map.values_mut() {
+            slot.entry.state = EntryState::Valid;
+            slot.entry.validated_at = now;
+        }
+    }
+
+    /// Salvages limbo entries given a validity verdict per item: entries
+    /// for which `is_valid` returns `false` are dropped, the rest become
+    /// valid as of `now`. Valid entries are untouched. Returns
+    /// `(salvaged, dropped)` counts.
+    pub fn salvage_limbo<F>(&mut self, now: SimTime, mut is_valid: F) -> (usize, usize)
+    where
+        F: FnMut(ItemId) -> bool,
+    {
+        let limbo: Vec<ItemId> = self
+            .map
+            .iter()
+            .filter(|(_, s)| s.entry.state == EntryState::Limbo)
+            .map(|(&i, _)| i)
+            .collect();
+        let mut salvaged = 0;
+        let mut dropped = 0;
+        for item in limbo {
+            if is_valid(item) {
+                let slot = self.map.get_mut(&item).expect("just listed");
+                slot.entry.state = EntryState::Valid;
+                slot.entry.validated_at = now;
+                salvaged += 1;
+            } else {
+                self.invalidate(item);
+                dropped += 1;
+            }
+        }
+        (salvaged, dropped)
+    }
+
+    /// Salvages (or drops) a **single** limbo entry given its validity
+    /// verdict — the lazy-checking path, where only the queried items are
+    /// verified. Valid entries and absent items are untouched. Returns
+    /// `true` if the entry was limbo and got processed.
+    pub fn salvage_item(&mut self, item: ItemId, valid: bool, now: SimTime) -> bool {
+        match self.map.get_mut(&item) {
+            Some(slot) if slot.entry.state == EntryState::Limbo => {
+                if valid {
+                    slot.entry.state = EntryState::Valid;
+                    slot.entry.validated_at = now;
+                } else {
+                    self.invalidate(item);
+                }
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// All entries as `(item, version)` pairs — the view the pure report
+    /// algorithms consume.
+    pub fn items(&self) -> Vec<(ItemId, SimTime)> {
+        self.map
+            .iter()
+            .map(|(&i, s)| (i, s.entry.version))
+            .collect()
+    }
+
+    /// Items currently in limbo.
+    pub fn limbo_items(&self) -> Vec<ItemId> {
+        self.map
+            .iter()
+            .filter(|(_, s)| s.entry.state == EntryState::Limbo)
+            .map(|(&i, _)| i)
+            .collect()
+    }
+
+    /// `true` when any entry is in limbo.
+    pub fn has_limbo(&self) -> bool {
+        self.map.values().any(|s| s.entry.state == EntryState::Limbo)
+    }
+
+    /// Internal-consistency check used by tests and debug assertions.
+    pub fn check_invariants(&self) {
+        assert!(self.map.len() <= self.capacity, "over capacity");
+        assert_eq!(self.map.len(), self.order.len(), "index out of sync");
+        for (&seq, item) in &self.order {
+            let slot = self.map.get(item).expect("order references missing item");
+            assert_eq!(slot.seq, seq, "stale sequence for {item:?}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut c = LruCache::new(4);
+        c.insert(ItemId(1), t(5.0), t(10.0));
+        let e = c.get_valid(ItemId(1)).expect("present");
+        assert_eq!(e.version, t(5.0));
+        assert_eq!(e.validated_at, t(10.0));
+        assert_eq!(e.state, EntryState::Valid);
+        assert!(c.get_valid(ItemId(2)).is_none());
+        c.check_invariants();
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = LruCache::new(3);
+        c.insert(ItemId(1), t(1.0), t(1.0));
+        c.insert(ItemId(2), t(1.0), t(2.0));
+        c.insert(ItemId(3), t(1.0), t(3.0));
+        // Touch 1 so 2 becomes the LRU victim.
+        c.get_valid(ItemId(1));
+        c.insert(ItemId(4), t(1.0), t(4.0));
+        assert!(c.peek(ItemId(2)).is_none(), "LRU entry evicted");
+        assert!(c.peek(ItemId(1)).is_some());
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.evictions(), 1);
+        c.check_invariants();
+    }
+
+    #[test]
+    fn reinsert_updates_in_place() {
+        let mut c = LruCache::new(2);
+        c.insert(ItemId(1), t(1.0), t(1.0));
+        c.insert(ItemId(1), t(9.0), t(9.0));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get_valid(ItemId(1)).unwrap().version, t(9.0));
+        assert_eq!(c.evictions(), 0);
+        c.check_invariants();
+    }
+
+    #[test]
+    fn limbo_entries_do_not_answer_queries() {
+        let mut c = LruCache::new(2);
+        c.insert(ItemId(1), t(1.0), t(1.0));
+        c.mark_all_limbo();
+        assert!(c.get_valid(ItemId(1)).is_none());
+        assert!(c.has_limbo());
+        assert_eq!(c.limbo_items(), vec![ItemId(1)]);
+        assert_eq!(c.len(), 1, "limbo keeps its slot");
+    }
+
+    #[test]
+    fn salvage_keeps_valid_and_drops_invalid() {
+        let mut c = LruCache::new(4);
+        c.insert(ItemId(1), t(1.0), t(1.0));
+        c.insert(ItemId(2), t(1.0), t(1.0));
+        c.insert(ItemId(3), t(1.0), t(1.0));
+        c.mark_all_limbo();
+        let (salvaged, dropped) = c.salvage_limbo(t(50.0), |i| i != ItemId(2));
+        assert_eq!((salvaged, dropped), (2, 1));
+        assert!(c.get_valid(ItemId(1)).is_some());
+        assert!(c.peek(ItemId(2)).is_none());
+        assert_eq!(c.get_valid(ItemId(3)).unwrap().validated_at, t(50.0));
+        assert!(!c.has_limbo());
+        c.check_invariants();
+    }
+
+    #[test]
+    fn salvage_does_not_touch_valid_entries() {
+        let mut c = LruCache::new(4);
+        c.insert(ItemId(1), t(1.0), t(1.0));
+        let (salvaged, dropped) = c.salvage_limbo(t(50.0), |_| false);
+        assert_eq!((salvaged, dropped), (0, 0));
+        assert_eq!(c.get_valid(ItemId(1)).unwrap().validated_at, t(1.0));
+    }
+
+    #[test]
+    fn revalidate_all_restores_limbo() {
+        let mut c = LruCache::new(2);
+        c.insert(ItemId(1), t(1.0), t(1.0));
+        c.mark_all_limbo();
+        c.revalidate_all(t(20.0));
+        let e = c.get_valid(ItemId(1)).expect("valid again");
+        assert_eq!(e.validated_at, t(20.0));
+        assert_eq!(e.version, t(1.0), "version untouched");
+    }
+
+    #[test]
+    fn invalidate_many_counts_hits() {
+        let mut c = LruCache::new(4);
+        c.insert(ItemId(1), t(1.0), t(1.0));
+        c.insert(ItemId(2), t(1.0), t(1.0));
+        let n = c.invalidate_many(vec![ItemId(1), ItemId(7)]);
+        assert_eq!(n, 1);
+        assert_eq!(c.len(), 1);
+        c.check_invariants();
+    }
+
+    #[test]
+    fn clear_empties_everything() {
+        let mut c = LruCache::new(4);
+        c.insert(ItemId(1), t(1.0), t(1.0));
+        c.insert(ItemId(2), t(1.0), t(1.0));
+        c.clear();
+        assert!(c.is_empty());
+        c.check_invariants();
+    }
+
+    #[test]
+    fn limbo_entry_replaced_by_fresh_fetch() {
+        let mut c = LruCache::new(2);
+        c.insert(ItemId(1), t(1.0), t(1.0));
+        c.mark_all_limbo();
+        c.insert(ItemId(1), t(30.0), t(30.0));
+        let e = c.get_valid(ItemId(1)).expect("fresh copy valid");
+        assert_eq!(e.version, t(30.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_capacity_rejected() {
+        LruCache::new(0);
+    }
+}

@@ -1,0 +1,128 @@
+//! Property tests: the LRU cache against a trivially-correct reference
+//! model (a Vec ordered by recency).
+
+use mobicache_cache::{EntryState, LruCache};
+use mobicache_model::ItemId;
+use mobicache_sim::SimTime;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u32),
+    Get(u32),
+    Invalidate(u32),
+    MarkAllLimbo,
+    RevalidateAll,
+    SalvageEven,
+    Clear,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0u32..32).prop_map(Op::Insert),
+        4 => (0u32..32).prop_map(Op::Get),
+        1 => (0u32..32).prop_map(Op::Invalidate),
+        1 => Just(Op::MarkAllLimbo),
+        1 => Just(Op::RevalidateAll),
+        1 => Just(Op::SalvageEven),
+        1 => Just(Op::Clear),
+    ]
+}
+
+/// Reference model: most-recently-used last.
+#[derive(Default)]
+struct Model {
+    entries: Vec<(u32, EntryState)>,
+    capacity: usize,
+}
+
+impl Model {
+    fn touch(&mut self, id: u32) {
+        if let Some(pos) = self.entries.iter().position(|&(i, _)| i == id) {
+            let e = self.entries.remove(pos);
+            self.entries.push(e);
+        }
+    }
+
+    fn apply(&mut self, op: &Op) {
+        match *op {
+            Op::Insert(id) => {
+                if let Some(pos) = self.entries.iter().position(|&(i, _)| i == id) {
+                    self.entries.remove(pos);
+                } else if self.entries.len() == self.capacity {
+                    self.entries.remove(0);
+                }
+                self.entries.push((id, EntryState::Valid));
+            }
+            Op::Get(id) => {
+                let valid = self
+                    .entries
+                    .iter()
+                    .any(|&(i, s)| i == id && s == EntryState::Valid);
+                if valid {
+                    self.touch(id);
+                }
+            }
+            Op::Invalidate(id) => self.entries.retain(|&(i, _)| i != id),
+            Op::MarkAllLimbo => {
+                for e in &mut self.entries {
+                    e.1 = EntryState::Limbo;
+                }
+            }
+            Op::RevalidateAll => {
+                for e in &mut self.entries {
+                    e.1 = EntryState::Valid;
+                }
+            }
+            Op::SalvageEven => {
+                self.entries
+                    .retain(|&(i, s)| s == EntryState::Valid || i % 2 == 0);
+                for e in &mut self.entries {
+                    e.1 = EntryState::Valid;
+                }
+            }
+            Op::Clear => self.entries.clear(),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn cache_matches_reference_model(
+        capacity in 1usize..8,
+        ops in prop::collection::vec(op_strategy(), 0..80),
+    ) {
+        let mut cache = LruCache::new(capacity);
+        let mut model = Model { capacity, ..Model::default() };
+        let now = SimTime::from_secs(1.0);
+        for (step, op) in ops.iter().enumerate() {
+            match *op {
+                Op::Insert(id) => cache.insert(ItemId(id), now, now),
+                Op::Get(id) => {
+                    let got = cache.get_valid(ItemId(id)).is_some();
+                    let expect = model
+                        .entries
+                        .iter()
+                        .any(|&(i, s)| i == id && s == EntryState::Valid);
+                    prop_assert_eq!(got, expect, "get mismatch at step {}", step);
+                }
+                Op::Invalidate(id) => { cache.invalidate(ItemId(id)); }
+                Op::MarkAllLimbo => cache.mark_all_limbo(),
+                Op::RevalidateAll => cache.revalidate_all(now),
+                Op::SalvageEven => { cache.salvage_limbo(now, |i| i.0 % 2 == 0); }
+                Op::Clear => cache.clear(),
+            }
+            model.apply(op);
+            cache.check_invariants();
+            prop_assert_eq!(cache.len(), model.entries.len(), "len mismatch at step {}", step);
+            // Same membership and states.
+            for &(id, state) in &model.entries {
+                let entry = cache.peek(ItemId(id));
+                prop_assert!(entry.is_some(), "missing {} at step {}", id, step);
+                prop_assert_eq!(entry.unwrap().state, state, "state of {} at step {}", id, step);
+            }
+        }
+    }
+}

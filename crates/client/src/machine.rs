@@ -1,0 +1,1234 @@
+//! The per-scheme client state machine.
+
+use crate::query::{PendingState, QueryOutcome, QueryState};
+use mobicache_cache::{EntryState, LruCache};
+use mobicache_model::{CheckingMode, ClientId, ItemId, Scheme, UplinkKind};
+use mobicache_reports::{AtDecision, BsDecision, ReportPayload, SigDecision};
+use mobicache_sim::SimTime;
+use std::collections::HashSet;
+
+/// Static client configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ClientConfig {
+    /// Invalidation scheme.
+    pub scheme: Scheme,
+    /// Simple-checking uplink contents.
+    pub checking_mode: CheckingMode,
+    /// Cache capacity in items.
+    pub cache_capacity: usize,
+    /// Broadcast period `L` (drives the adaptive give-up grace window).
+    pub broadcast_period_secs: f64,
+    /// Number of item groups for grouped checking (round-robin
+    /// partition; only used under [`Scheme::Gcore`]).
+    pub gcore_groups: u32,
+}
+
+/// Something the client wants the outside world to do.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ClientAction {
+    /// Send this message on the uplink channel.
+    Uplink(UplinkKind),
+    /// A query finished; account it.
+    QueryDone(QueryOutcome),
+}
+
+/// Client behaviour counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ClientCounters {
+    /// Queries issued.
+    pub queries_issued: u64,
+    /// Queries fully answered.
+    pub queries_answered: u64,
+    /// Referenced items answered from cache.
+    pub item_hits: u64,
+    /// Referenced items downloaded.
+    pub item_misses: u64,
+    /// `Tlb` messages sent (adaptive schemes).
+    pub tlbs_sent: u64,
+    /// Validity-check requests sent (simple checking).
+    pub checks_sent: u64,
+    /// Entire-cache drops.
+    pub full_drops: u64,
+    /// Limbo entries salvaged back to valid.
+    pub salvaged: u64,
+    /// Limbo entries dropped (given up or verdicted invalid).
+    pub limbo_dropped: u64,
+    /// Reconnection gaps entered (cache went limbo).
+    pub limbo_episodes: u64,
+}
+
+/// A reconnection gap: the period of history the client missed and has
+/// not yet been vouched for.
+#[derive(Clone, Copy, Debug)]
+struct GapState {
+    /// `Tlb` at the moment the gap was detected — coverage target for
+    /// salvage.
+    since: SimTime,
+    /// When the `Tlb`/check message was sent, if it was.
+    sent_at: Option<SimTime>,
+}
+
+/// One mobile host.
+pub struct Client {
+    id: ClientId,
+    cfg: ClientConfig,
+    cache: LruCache,
+    /// Timestamp of the last invalidation report received.
+    tlb: SimTime,
+    connected: bool,
+    gap: Option<GapState>,
+    /// Set on reconnection, consumed by the first report heard after it:
+    /// signals that a fresh unvouched period may have to be folded into
+    /// an already-open gap.
+    reconnect_pending: bool,
+    query: Option<QueryState>,
+    /// Stored combined signatures (SIG scheme).
+    sig_baseline: Option<Vec<u64>>,
+    counters: ClientCounters,
+}
+
+impl Client {
+    /// A fresh, connected client with an empty cache.
+    pub fn new(id: ClientId, cfg: ClientConfig) -> Self {
+        Client {
+            id,
+            cache: LruCache::new(cfg.cache_capacity),
+            cfg,
+            tlb: SimTime::ZERO,
+            connected: true,
+            gap: None,
+            reconnect_pending: false,
+            query: None,
+            sig_baseline: None,
+            counters: ClientCounters::default(),
+        }
+    }
+
+    /// This client's id.
+    pub fn id(&self) -> ClientId {
+        self.id
+    }
+
+    /// Behaviour counters.
+    pub fn counters(&self) -> ClientCounters {
+        self.counters
+    }
+
+    /// Read access to the cache (tests and the consistency oracle).
+    pub fn cache(&self) -> &LruCache {
+        &self.cache
+    }
+
+    /// `true` while listening to broadcasts.
+    pub fn is_connected(&self) -> bool {
+        self.connected
+    }
+
+    /// Timestamp of the last report received.
+    pub fn tlb(&self) -> SimTime {
+        self.tlb
+    }
+
+    /// `true` while a query is being resolved.
+    pub fn has_pending_query(&self) -> bool {
+        self.query.is_some()
+    }
+
+    /// The coverage target: with an open gap, reports must reach back to
+    /// the gap start; otherwise to the last report heard.
+    fn effective_tlb(&self) -> SimTime {
+        self.gap.map_or(self.tlb, |g| g.since)
+    }
+
+    /// Enters doze mode. The caller must not route broadcasts here while
+    /// disconnected.
+    ///
+    /// # Panics
+    /// Panics if a query is still in flight (the model only disconnects
+    /// between queries).
+    pub fn disconnect(&mut self, _now: SimTime) {
+        assert!(self.query.is_none(), "disconnect with a query in flight");
+        assert!(self.connected, "already disconnected");
+        self.connected = false;
+    }
+
+    /// Wakes up from doze mode. Cache reconciliation happens at the next
+    /// broadcast report.
+    pub fn reconnect(&mut self, _now: SimTime) {
+        assert!(!self.connected, "already connected");
+        self.connected = true;
+        self.reconnect_pending = true;
+    }
+
+    /// Issues a query referencing `items`. The query waits for the next
+    /// invalidation report (§2 of the paper) before touching the cache.
+    ///
+    /// # Panics
+    /// Panics if a query is already in flight or the client is
+    /// disconnected.
+    pub fn start_query(&mut self, now: SimTime, items: Vec<ItemId>) {
+        assert!(self.connected, "query while disconnected");
+        assert!(self.query.is_none(), "overlapping queries");
+        self.counters.queries_issued += 1;
+        self.query = Some(QueryState::new(now, items));
+    }
+
+    /// Processes a broadcast invalidation report.
+    pub fn on_report(&mut self, now: SimTime, payload: &ReportPayload) -> Vec<ClientAction> {
+        assert!(self.connected, "report delivered to a disconnected client");
+        let mut actions = Vec::new();
+        self.apply_report(now, payload, &mut actions);
+        self.tlb = payload.broadcast_at();
+        self.resolve_query(now, &mut actions);
+        actions
+    }
+
+    /// Processes a downloaded data item (`version` = the update timestamp
+    /// the delivered copy reflects).
+    pub fn on_data(&mut self, now: SimTime, item: ItemId, version: SimTime) -> Vec<ClientAction> {
+        self.cache.insert(item, version, now);
+        let mut actions = Vec::new();
+        if let Some(q) = &mut self.query {
+            q.resolve(item, PendingState::WaitData, false);
+        }
+        self.try_finish(now, &mut actions);
+        actions
+    }
+
+    /// Opportunistically caches a data item overheard on the broadcast
+    /// downlink (snooping extension). Unlike [`Client::on_data`] this
+    /// never touches the pending query — the item was addressed to
+    /// someone else. Items already cached and valid are refreshed; items
+    /// the client is itself waiting for are left to the addressed
+    /// delivery.
+    pub fn on_snooped_data(&mut self, now: SimTime, item: ItemId, version: SimTime) {
+        // Don't interfere with an in-flight fetch of the same item.
+        let awaiting = self.query.as_ref().is_some_and(|q| {
+            q.items
+                .iter()
+                .any(|p| p.item == item && p.state != PendingState::Done)
+        });
+        if !awaiting {
+            self.cache.insert(item, version, now);
+        }
+    }
+
+    /// Processes a validity report (answer to a check request): `valid`
+    /// lists the checked items that are still current as of `asof`.
+    pub fn on_validity(
+        &mut self,
+        now: SimTime,
+        asof: SimTime,
+        valid: &[ItemId],
+    ) -> Vec<ClientAction> {
+        let valid_set: HashSet<ItemId> = valid.iter().copied().collect();
+        match self.cfg.checking_mode {
+            CheckingMode::FullCache => {
+                // The check covered the whole cache: every limbo entry
+                // gets a verdict.
+                let (salvaged, dropped) = self
+                    .cache
+                    .salvage_limbo(asof, |item| valid_set.contains(&item));
+                self.counters.salvaged += salvaged as u64;
+                self.counters.limbo_dropped += dropped as u64;
+                self.gap = None;
+            }
+            CheckingMode::QueriedItems => {
+                // Only the pending query's items were checked.
+                let checked: Vec<ItemId> = self
+                    .query
+                    .as_ref()
+                    .map(|q| {
+                        q.items
+                            .iter()
+                            .filter(|p| p.state == PendingState::WaitValidity)
+                            .map(|p| p.item)
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                for item in checked {
+                    let ok = valid_set.contains(&item);
+                    if self.cache.salvage_item(item, ok, asof) {
+                        if ok {
+                            self.counters.salvaged += 1;
+                        } else {
+                            self.counters.limbo_dropped += 1;
+                        }
+                    }
+                }
+                if !self.cache.has_limbo() {
+                    self.gap = None;
+                }
+            }
+        }
+        // Resolve query items that were waiting on this verdict.
+        let mut actions = Vec::new();
+        if let Some(q) = &mut self.query {
+            let waiting: Vec<ItemId> = q
+                .items
+                .iter()
+                .filter(|p| p.state == PendingState::WaitValidity)
+                .map(|p| p.item)
+                .collect();
+            for item in waiting {
+                if self.cache.get_valid(item).is_some() {
+                    q.resolve(item, PendingState::WaitValidity, true);
+                } else {
+                    q.transition(item, PendingState::WaitValidity, PendingState::WaitData);
+                    actions.push(ClientAction::Uplink(UplinkKind::QueryRequest { item }));
+                }
+            }
+        }
+        self.try_finish(now, &mut actions);
+        actions
+    }
+
+    /// Processes a grouped-checking verdict (answer to a
+    /// [`UplinkKind::GroupCheckRequest`]): `stale` lists the checked
+    /// groups' items updated since the request's `Tlb`; `covered = false`
+    /// means the retention window was exceeded and nothing can be
+    /// salvaged.
+    pub fn on_group_validity(
+        &mut self,
+        now: SimTime,
+        asof: SimTime,
+        covered: bool,
+        stale: &[ItemId],
+    ) -> Vec<ClientAction> {
+        let mut actions = Vec::new();
+        if !covered {
+            if !self.cache.is_empty() {
+                self.counters.full_drops += 1;
+            }
+            self.cache.clear();
+            self.gap = None;
+        } else {
+            // Stale items go regardless of state; surviving limbo
+            // entries are vouched for as of the verdict.
+            self.cache.invalidate_many(stale.iter().copied());
+            let (salvaged, dropped) = self.cache.salvage_limbo(asof, |_| true);
+            self.counters.salvaged += salvaged as u64;
+            self.counters.limbo_dropped += dropped as u64;
+            self.gap = None;
+        }
+        // Resolve query items that were waiting on this verdict.
+        if let Some(q) = &mut self.query {
+            let waiting: Vec<ItemId> = q
+                .items
+                .iter()
+                .filter(|p| p.state == PendingState::WaitValidity)
+                .map(|p| p.item)
+                .collect();
+            for item in waiting {
+                if self.cache.get_valid(item).is_some() {
+                    q.resolve(item, PendingState::WaitValidity, true);
+                } else {
+                    q.transition(item, PendingState::WaitValidity, PendingState::WaitData);
+                    actions.push(ClientAction::Uplink(UplinkKind::QueryRequest { item }));
+                }
+            }
+        }
+        self.try_finish(now, &mut actions);
+        actions
+    }
+
+    fn enter_gap(&mut self, _now: SimTime) {
+        if self.gap.is_none() {
+            self.gap = Some(GapState {
+                since: self.tlb,
+                sent_at: None,
+            });
+            if !self.cache.is_empty() {
+                self.cache.mark_all_limbo();
+                self.counters.limbo_episodes += 1;
+            }
+        }
+    }
+
+    fn resolve_gap(&mut self) {
+        if self.gap.take().is_some() {
+            // Whatever is still cached survived the covering report.
+            let kept = self.cache.limbo_items().len();
+            self.counters.salvaged += kept as u64;
+        }
+    }
+
+    fn apply_report(&mut self, now: SimTime, payload: &ReportPayload, actions: &mut Vec<ClientAction>) {
+        let etlb = self.effective_tlb();
+        // A report vouches for the database state at its *broadcast* time,
+        // not its delivery time — updates can land while the report is on
+        // the air, so revalidating "as of delivery" would silently cover
+        // them (caught by the consistency oracle).
+        let report_asof = payload.broadcast_at();
+        // Second disconnection while an earlier gap is still unresolved:
+        // entries fetched (and thus vouched) *during* that gap are only
+        // vouched up to the last report heard. If this first report after
+        // the reconnection does not cover `tlb`, those entries have an
+        // unvouched period of their own — fold them into the gap (back to
+        // limbo) and re-arm the salvage request. Without this, a valid
+        // entry could sail past updates broadcast while the client dozed
+        // (caught by the consistency oracle).
+        if std::mem::take(&mut self.reconnect_pending) {
+            if let Some(gap) = &mut self.gap {
+                let covers_tlb = match payload {
+                    // BS / AT / SIG reports give a verdict for the whole
+                    // missed period by construction.
+                    ReportPayload::Window(w) => w.covers(self.tlb),
+                    _ => true,
+                };
+                if !covers_tlb {
+                    self.cache.mark_all_limbo();
+                    gap.sent_at = None;
+                }
+            }
+        }
+        match payload {
+            ReportPayload::Window(w) => {
+                // Provably stale entries always go, covered or not.
+                let stale = w.stale_items(self.cache.items());
+                self.cache.invalidate_many(stale);
+                if w.covers(etlb) {
+                    self.resolve_gap();
+                    self.cache.revalidate_all(report_asof);
+                } else {
+                    self.on_uncovered_window(now, payload.broadcast_at(), actions);
+                }
+            }
+            ReportPayload::BitSeq(bs) => {
+                let cached_ids: Vec<ItemId> =
+                    self.cache.items().into_iter().map(|(i, _)| i).collect();
+                match bs.decide(etlb, cached_ids) {
+                    BsDecision::Clean => {
+                        self.resolve_gap();
+                        self.cache.revalidate_all(report_asof);
+                    }
+                    BsDecision::DropAll => {
+                        self.gap = None;
+                        if !self.cache.is_empty() {
+                            self.counters.full_drops += 1;
+                        }
+                        self.cache.clear();
+                    }
+                    BsDecision::Invalidate(stale) => {
+                        self.cache.invalidate_many(stale);
+                        self.resolve_gap();
+                        self.cache.revalidate_all(report_asof);
+                    }
+                }
+            }
+            ReportPayload::At(at) => {
+                let cached_ids: Vec<ItemId> =
+                    self.cache.items().into_iter().map(|(i, _)| i).collect();
+                match at.decide(etlb, cached_ids) {
+                    AtDecision::Invalidate(stale) => {
+                        self.cache.invalidate_many(stale);
+                        self.resolve_gap();
+                        self.cache.revalidate_all(report_asof);
+                    }
+                    AtDecision::NotCovered => {
+                        // Amnesic: nothing to salvage, ever.
+                        self.gap = None;
+                        if !self.cache.is_empty() {
+                            self.counters.full_drops += 1;
+                        }
+                        self.cache.clear();
+                    }
+                }
+            }
+            ReportPayload::Sig(sig, signer) => {
+                let cached_ids: Vec<ItemId> =
+                    self.cache.items().into_iter().map(|(i, _)| i).collect();
+                match sig.decide(signer, self.sig_baseline.as_deref(), cached_ids) {
+                    SigDecision::NoBaseline => {
+                        self.gap = None;
+                        if !self.cache.is_empty() {
+                            self.counters.full_drops += 1;
+                            self.cache.clear();
+                        }
+                    }
+                    SigDecision::Invalidate(flagged) => {
+                        self.cache.invalidate_many(flagged);
+                        self.resolve_gap();
+                        self.cache.revalidate_all(report_asof);
+                    }
+                }
+                self.sig_baseline = Some(sig.combined.clone());
+            }
+        }
+    }
+
+    /// A window report arrived that does not reach back to the gap —
+    /// the scheme-defining moment (see the crate docs table).
+    fn on_uncovered_window(
+        &mut self,
+        now: SimTime,
+        report_built_at: SimTime,
+        actions: &mut Vec<ClientAction>,
+    ) {
+        match self.cfg.scheme {
+            Scheme::TsNoCheck => {
+                // Figure 1: drop the entire cache.
+                if !self.cache.is_empty() {
+                    self.counters.full_drops += 1;
+                }
+                self.cache.clear();
+                self.gap = None;
+            }
+            Scheme::Gcore => {
+                self.enter_gap(now);
+                let gap = self.gap.as_mut().expect("just entered");
+                // Same lost-reply re-arm as simple checking.
+                if let Some(sent_at) = gap.sent_at {
+                    let grace = 2.0 * self.cfg.broadcast_period_secs;
+                    if report_built_at.as_secs() >= sent_at.as_secs() + grace {
+                        gap.sent_at = None;
+                    }
+                }
+                if gap.sent_at.is_none() && !self.cache.is_empty() {
+                    let since = gap.since;
+                    // One (group, Tlb) record per cached group — the
+                    // whole point of grouping: the uplink scales with the
+                    // number of groups touched, not the cache size.
+                    let mut groups: Vec<(u32, f64)> = self
+                        .cache
+                        .items()
+                        .into_iter()
+                        .map(|(item, _)| item.0 % self.cfg.gcore_groups)
+                        .collect::<std::collections::BTreeSet<u32>>()
+                        .into_iter()
+                        .map(|g| (g, since.as_secs()))
+                        .collect();
+                    groups.sort_unstable_by_key(|&(g, _)| g);
+                    actions.push(ClientAction::Uplink(UplinkKind::GroupCheckRequest {
+                        groups,
+                    }));
+                    let gap = self.gap.as_mut().expect("still open");
+                    gap.sent_at = Some(now);
+                    self.counters.checks_sent += 1;
+                }
+                if self.cache.is_empty() {
+                    self.gap = None;
+                }
+            }
+            Scheme::SimpleChecking => {
+                self.enter_gap(now);
+                let gap = self.gap.as_mut().expect("just entered");
+                // Re-arm a check whose validity report was lost (e.g. the
+                // client dozed off while the reply was in flight): after a
+                // grace of two periods with limbo still unresolved, send
+                // the check again.
+                if let Some(sent_at) = gap.sent_at {
+                    let grace = 2.0 * self.cfg.broadcast_period_secs;
+                    if report_built_at.as_secs() >= sent_at.as_secs() + grace {
+                        gap.sent_at = None;
+                    }
+                }
+                if self.cfg.checking_mode == CheckingMode::FullCache
+                    && gap.sent_at.is_none()
+                    && !self.cache.is_empty()
+                {
+                    let entries: Vec<(ItemId, f64)> = self
+                        .cache
+                        .items()
+                        .into_iter()
+                        .map(|(i, v)| (i, v.as_secs()))
+                        .collect();
+                    actions.push(ClientAction::Uplink(UplinkKind::CheckRequest { entries }));
+                    gap.sent_at = Some(now);
+                    self.counters.checks_sent += 1;
+                }
+                if self.cache.is_empty() {
+                    // Nothing to salvage; the gap is moot.
+                    self.gap = None;
+                }
+            }
+            Scheme::Afw | Scheme::Aaw => {
+                self.enter_gap(now);
+                let gap = self.gap.as_mut().expect("just entered");
+                match gap.sent_at {
+                    None => {
+                        if self.cache.is_empty() {
+                            self.gap = None;
+                        } else {
+                            actions.push(ClientAction::Uplink(UplinkKind::TlbReport {
+                                tlb_secs: gap.since.as_secs(),
+                            }));
+                            gap.sent_at = Some(now);
+                            self.counters.tlbs_sent += 1;
+                        }
+                    }
+                    Some(sent_at) => {
+                        // Give up once a report built comfortably after our
+                        // Tlb reached the server still does not cover us:
+                        // the server judged BS unable to help (our Tlb
+                        // predates TS(B_n)), so the limbo entries are
+                        // unsalvageable.
+                        let grace = 2.0 * self.cfg.broadcast_period_secs;
+                        if report_built_at.as_secs() >= sent_at.as_secs() + grace {
+                            let dropped = self.cache.limbo_items();
+                            self.counters.limbo_dropped += dropped.len() as u64;
+                            self.cache.invalidate_many(dropped);
+                            self.gap = None;
+                        }
+                    }
+                }
+            }
+            // BS / AT / SIG clients never receive window reports.
+            other => panic!("window report under scheme {other:?}"),
+        }
+    }
+
+    /// After the cache has been reconciled with a report, move the
+    /// pending query forward.
+    fn resolve_query(&mut self, now: SimTime, actions: &mut Vec<ClientAction>) {
+        let Some(q) = &mut self.query else { return };
+        let mut check_entries: Vec<(ItemId, f64)> = Vec::new();
+        let waiting: Vec<ItemId> = q
+            .items
+            .iter()
+            .filter(|p| p.state == PendingState::WaitReport)
+            .map(|p| p.item)
+            .collect();
+        for item in waiting {
+            if self.cache.get_valid(item).is_some() {
+                q.resolve(item, PendingState::WaitReport, true);
+                continue;
+            }
+            let limbo = self
+                .cache
+                .peek(item)
+                .is_some_and(|e| e.state == EntryState::Limbo);
+            if limbo
+                && matches!(self.cfg.scheme, Scheme::SimpleChecking | Scheme::Gcore)
+            {
+                // A verdict is (or will be) on its way: under FullCache
+                // the gap check already covers this item; under
+                // QueriedItems we check it now, targeted.
+                q.transition(item, PendingState::WaitReport, PendingState::WaitValidity);
+                if self.cfg.checking_mode == CheckingMode::QueriedItems {
+                    let version = self.cache.peek(item).expect("limbo entry").version;
+                    check_entries.push((item, version.as_secs()));
+                }
+            } else {
+                // Absent, or limbo under a scheme that fetches fresh.
+                q.transition(item, PendingState::WaitReport, PendingState::WaitData);
+                actions.push(ClientAction::Uplink(UplinkKind::QueryRequest { item }));
+            }
+        }
+        if !check_entries.is_empty() {
+            actions.push(ClientAction::Uplink(UplinkKind::CheckRequest {
+                entries: check_entries,
+            }));
+            self.counters.checks_sent += 1;
+        }
+        self.try_finish(now, actions);
+    }
+
+    fn try_finish(&mut self, now: SimTime, actions: &mut Vec<ClientAction>) {
+        if self.query.as_ref().is_some_and(|q| q.is_complete()) {
+            let q = self.query.take().expect("checked above");
+            let outcome = q.outcome(now);
+            self.counters.queries_answered += 1;
+            self.counters.item_hits += outcome.hits as u64;
+            self.counters.item_misses += outcome.misses as u64;
+            actions.push(ClientAction::QueryDone(outcome));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mobicache_reports::WindowReport;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn cfg(scheme: Scheme) -> ClientConfig {
+        ClientConfig {
+            scheme,
+            checking_mode: CheckingMode::FullCache,
+            cache_capacity: 8,
+            broadcast_period_secs: 20.0,
+            gcore_groups: 4,
+        }
+    }
+
+    fn window(at: f64, wstart: f64, records: Vec<(u32, f64)>) -> ReportPayload {
+        ReportPayload::Window(WindowReport {
+            broadcast_at: t(at),
+            window_start: t(wstart),
+            records: records.into_iter().map(|(i, ts)| (ItemId(i), t(ts))).collect(),
+            dummy: None,
+        })
+    }
+
+    /// Warm a client: fetch `item` so it is cached valid.
+    fn warm(c: &mut Client, at: f64, item: u32) {
+        c.start_query(t(at), vec![ItemId(item)]);
+        let acts = c.on_report(t(at) + 1.0, &window(at + 1.0, at - 199.0, vec![]));
+        assert!(matches!(&acts[0], ClientAction::Uplink(UplinkKind::QueryRequest { .. })));
+        let acts = c.on_data(t(at) + 2.0, ItemId(item), SimTime::ZERO);
+        assert!(matches!(&acts[0], ClientAction::QueryDone(_)));
+    }
+
+    #[test]
+    fn cold_query_goes_uplink_then_completes_on_data() {
+        let mut c = Client::new(ClientId(0), cfg(Scheme::SimpleChecking));
+        c.start_query(t(5.0), vec![ItemId(3)]);
+        assert!(c.has_pending_query());
+        let acts = c.on_report(t(20.0), &window(20.0, -180.0, vec![]));
+        assert_eq!(
+            acts,
+            vec![ClientAction::Uplink(UplinkKind::QueryRequest { item: ItemId(3) })]
+        );
+        let acts = c.on_data(t(27.0), ItemId(3), SimTime::ZERO);
+        match &acts[0] {
+            ClientAction::QueryDone(o) => {
+                assert_eq!((o.hits, o.misses), (0, 1));
+                assert_eq!(o.issued_at, t(5.0));
+                assert_eq!(o.completed_at, t(27.0));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(!c.has_pending_query());
+        assert_eq!(c.counters().item_misses, 1);
+    }
+
+    #[test]
+    fn warm_query_hits_cache_at_next_report() {
+        let mut c = Client::new(ClientId(0), cfg(Scheme::SimpleChecking));
+        warm(&mut c, 20.0, 3);
+        c.start_query(t(30.0), vec![ItemId(3)]);
+        let acts = c.on_report(t(40.0), &window(40.0, -160.0, vec![]));
+        match &acts[0] {
+            ClientAction::QueryDone(o) => assert_eq!((o.hits, o.misses), (1, 0)),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(c.counters().item_hits, 1);
+    }
+
+    #[test]
+    fn report_invalidates_updated_item() {
+        let mut c = Client::new(ClientId(0), cfg(Scheme::SimpleChecking));
+        warm(&mut c, 20.0, 3); // version ZERO
+        // Item 3 updated at t=30; next report lists it.
+        c.start_query(t(35.0), vec![ItemId(3)]);
+        let acts = c.on_report(t(40.0), &window(40.0, -160.0, vec![(3, 30.0)]));
+        assert_eq!(
+            acts,
+            vec![ClientAction::Uplink(UplinkKind::QueryRequest { item: ItemId(3) })],
+            "stale copy must be refetched"
+        );
+    }
+
+    #[test]
+    fn ts_no_check_drops_cache_after_long_disconnection() {
+        let mut c = Client::new(ClientId(0), cfg(Scheme::TsNoCheck));
+        warm(&mut c, 20.0, 3);
+        c.disconnect(t(30.0));
+        c.reconnect(t(800.0));
+        // Report at 800 with window starting at 600 — tlb = 22 is older.
+        let acts = c.on_report(t(800.0), &window(800.0, 600.0, vec![]));
+        assert!(acts.is_empty());
+        assert!(c.cache().is_empty(), "no-checking client drops everything");
+        assert_eq!(c.counters().full_drops, 1);
+    }
+
+    #[test]
+    fn simple_checking_sends_full_cache_check_and_salvages() {
+        let mut c = Client::new(ClientId(0), cfg(Scheme::SimpleChecking));
+        warm(&mut c, 20.0, 3);
+        warm(&mut c, 40.0, 4);
+        c.disconnect(t(50.0));
+        c.reconnect(t(800.0));
+        let acts = c.on_report(t(800.0), &window(800.0, 600.0, vec![]));
+        match &acts[0] {
+            ClientAction::Uplink(UplinkKind::CheckRequest { entries }) => {
+                assert_eq!(entries.len(), 2);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(c.cache().has_limbo());
+        // Server says item 3 valid, item 4 stale.
+        let acts = c.on_validity(t(802.0), t(801.0), &[ItemId(3)]);
+        assert!(acts.is_empty());
+        assert!(!c.cache().has_limbo());
+        assert!(c.cache().peek(ItemId(3)).is_some());
+        assert!(c.cache().peek(ItemId(4)).is_none());
+        assert_eq!(c.counters().salvaged, 1);
+        assert_eq!(c.counters().limbo_dropped, 1);
+        assert_eq!(c.counters().checks_sent, 1);
+    }
+
+    #[test]
+    fn limbo_entry_does_not_answer_query_before_verdict() {
+        let mut c = Client::new(ClientId(0), cfg(Scheme::SimpleChecking));
+        warm(&mut c, 20.0, 3);
+        c.disconnect(t(30.0));
+        c.reconnect(t(800.0));
+        c.start_query(t(800.0), vec![ItemId(3)]);
+        let acts = c.on_report(t(800.0), &window(800.0, 600.0, vec![]));
+        // Check goes up; the query waits for the verdict, not for data.
+        assert_eq!(acts.len(), 1);
+        assert!(matches!(&acts[0], ClientAction::Uplink(UplinkKind::CheckRequest { .. })));
+        assert!(c.has_pending_query());
+        // Verdict: valid — the query completes as a hit.
+        let acts = c.on_validity(t(802.0), t(801.0), &[ItemId(3)]);
+        match &acts[0] {
+            ClientAction::QueryDone(o) => assert_eq!((o.hits, o.misses), (1, 0)),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn queried_items_mode_checks_lazily() {
+        let mut c = Client::new(
+            ClientId(0),
+            ClientConfig {
+                checking_mode: CheckingMode::QueriedItems,
+                ..cfg(Scheme::SimpleChecking)
+            },
+        );
+        warm(&mut c, 20.0, 3);
+        warm(&mut c, 40.0, 4);
+        c.disconnect(t(50.0));
+        c.reconnect(t(800.0));
+        // No proactive check on the uncovering report.
+        let acts = c.on_report(t(800.0), &window(800.0, 600.0, vec![]));
+        assert!(acts.is_empty(), "lazy mode sends nothing proactively: {acts:?}");
+        assert!(c.cache().has_limbo());
+        // Query on item 3: targeted check for just that entry.
+        c.start_query(t(810.0), vec![ItemId(3)]);
+        let acts = c.on_report(t(820.0), &window(820.0, 620.0, vec![]));
+        match &acts[0] {
+            ClientAction::Uplink(UplinkKind::CheckRequest { entries }) => {
+                assert_eq!(entries.len(), 1);
+                assert_eq!(entries[0].0, ItemId(3));
+            }
+            other => panic!("{other:?}"),
+        }
+        // Invalid verdict: refetch.
+        let acts = c.on_validity(t(822.0), t(821.0), &[]);
+        assert!(matches!(
+            &acts[0],
+            ClientAction::Uplink(UplinkKind::QueryRequest { item }) if *item == ItemId(3)
+        ));
+        // Item 4 remains limbo (never queried).
+        assert!(c.cache().has_limbo());
+    }
+
+    #[test]
+    fn adaptive_client_sends_tlb_once_and_salvages_from_bs() {
+        let mut c = Client::new(ClientId(0), cfg(Scheme::Afw));
+        warm(&mut c, 20.0, 3);
+        c.disconnect(t(30.0));
+        c.reconnect(t(800.0));
+        let acts = c.on_report(t(800.0), &window(800.0, 600.0, vec![]));
+        match &acts[0] {
+            ClientAction::Uplink(UplinkKind::TlbReport { tlb_secs }) => {
+                assert_eq!(*tlb_secs, 21.0, "Tlb = last report before the gap");
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(c.cache().has_limbo());
+        assert_eq!(c.counters().tlbs_sent, 1);
+        // Next period: the server answers with BS; item 3 not updated.
+        let bs = mobicache_reports::BitSequences::from_recency(
+            t(820.0),
+            64,
+            vec![(ItemId(9), t(700.0))],
+        );
+        let acts = c.on_report(t(820.0), &ReportPayload::BitSeq(bs));
+        assert!(acts.is_empty());
+        assert!(!c.cache().has_limbo(), "BS salvaged the cache");
+        assert!(c.cache().peek(ItemId(3)).is_some());
+        assert_eq!(c.counters().salvaged, 1);
+    }
+
+    #[test]
+    fn adaptive_client_gives_up_after_grace() {
+        let mut c = Client::new(ClientId(0), cfg(Scheme::Afw));
+        warm(&mut c, 20.0, 3);
+        c.disconnect(t(30.0));
+        c.reconnect(t(800.0));
+        c.on_report(t(800.0), &window(800.0, 600.0, vec![]));
+        // Two more uncovering windows; the second is past the grace.
+        let acts = c.on_report(t(820.0), &window(820.0, 620.0, vec![]));
+        assert!(acts.is_empty(), "still within grace");
+        assert!(c.cache().has_limbo());
+        let acts = c.on_report(t(840.0), &window(840.0, 640.0, vec![]));
+        assert!(acts.is_empty());
+        assert!(!c.cache().has_limbo(), "gave up after grace");
+        assert!(c.cache().is_empty());
+        assert_eq!(c.counters().limbo_dropped, 1);
+        assert_eq!(c.counters().tlbs_sent, 1, "Tlb sent only once");
+    }
+
+    #[test]
+    fn aaw_enlarged_window_salvages_without_bs() {
+        let mut c = Client::new(ClientId(0), cfg(Scheme::Aaw));
+        warm(&mut c, 20.0, 3);
+        warm(&mut c, 40.0, 5);
+        c.disconnect(t(50.0));
+        c.reconnect(t(800.0));
+        c.on_report(t(800.0), &window(800.0, 600.0, vec![]));
+        assert!(c.cache().has_limbo());
+        // Enlarged window with dummy ≤ our gap start, listing item 5 as
+        // updated at t=300.
+        let enlarged = ReportPayload::Window(WindowReport {
+            broadcast_at: t(820.0),
+            window_start: t(620.0),
+            records: vec![(ItemId(5), t(300.0))],
+            dummy: Some(t(10.0)),
+        });
+        let acts = c.on_report(t(820.0), &enlarged);
+        assert!(acts.is_empty());
+        assert!(!c.cache().has_limbo());
+        assert!(c.cache().peek(ItemId(3)).is_some(), "unlisted entry salvaged");
+        assert!(c.cache().peek(ItemId(5)).is_none(), "listed stale entry dropped");
+    }
+
+    #[test]
+    fn bs_client_never_goes_limbo() {
+        let mut c = Client::new(ClientId(0), cfg(Scheme::Bs));
+        // Warm via BS reports.
+        c.start_query(t(5.0), vec![ItemId(3)]);
+        let empty_bs = |at: f64| {
+            ReportPayload::BitSeq(mobicache_reports::BitSequences::from_recency(
+                t(at),
+                64,
+                vec![],
+            ))
+        };
+        let acts = c.on_report(t(20.0), &empty_bs(20.0));
+        assert!(matches!(&acts[0], ClientAction::Uplink(UplinkKind::QueryRequest { .. })));
+        c.on_data(t(22.0), ItemId(3), SimTime::ZERO);
+        c.disconnect(t(30.0));
+        c.reconnect(t(2000.0));
+        let acts = c.on_report(t(2000.0), &empty_bs(2000.0));
+        assert!(acts.is_empty());
+        assert!(!c.cache().has_limbo());
+        assert!(c.cache().peek(ItemId(3)).is_some(), "salvaged across a 2000 s gap");
+    }
+
+    #[test]
+    fn bs_drop_all_clears_cache() {
+        let mut c = Client::new(ClientId(0), cfg(Scheme::Bs));
+        c.start_query(t(5.0), vec![ItemId(3)]);
+        let bs0 = ReportPayload::BitSeq(mobicache_reports::BitSequences::from_recency(
+            t(20.0),
+            4,
+            vec![],
+        ));
+        c.on_report(t(20.0), &bs0);
+        c.on_data(t(22.0), ItemId(3), SimTime::ZERO);
+        c.disconnect(t(30.0));
+        c.reconnect(t(900.0));
+        // More than half of the 4-item DB updated after tlb=20.
+        let bs = ReportPayload::BitSeq(mobicache_reports::BitSequences::from_recency(
+            t(900.0),
+            4,
+            vec![
+                (ItemId(0), t(500.0)),
+                (ItemId(1), t(400.0)),
+                (ItemId(2), t(300.0)),
+            ],
+        ));
+        c.on_report(t(900.0), &bs);
+        assert!(c.cache().is_empty());
+        assert_eq!(c.counters().full_drops, 1);
+    }
+
+    #[test]
+    fn multi_item_query_mixes_hits_and_misses() {
+        let mut c = Client::new(ClientId(0), cfg(Scheme::SimpleChecking));
+        warm(&mut c, 20.0, 3);
+        c.start_query(t(30.0), vec![ItemId(3), ItemId(7)]);
+        let acts = c.on_report(t(40.0), &window(40.0, -160.0, vec![]));
+        assert_eq!(
+            acts,
+            vec![ClientAction::Uplink(UplinkKind::QueryRequest { item: ItemId(7) })]
+        );
+        let acts = c.on_data(t(47.0), ItemId(7), SimTime::ZERO);
+        match &acts[0] {
+            ClientAction::QueryDone(o) => assert_eq!((o.hits, o.misses), (1, 1)),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn gcore_client_checks_groups_not_items() {
+        let mut c = Client::new(ClientId(0), cfg(Scheme::Gcore));
+        // Items 1 and 5 share group 1 (mod 4); item 2 is group 2.
+        warm(&mut c, 20.0, 1);
+        warm(&mut c, 40.0, 5);
+        warm(&mut c, 60.0, 2);
+        c.disconnect(t(70.0));
+        c.reconnect(t(790.0));
+        let acts = c.on_report(t(800.0), &window(800.0, 600.0, vec![]));
+        match &acts[0] {
+            ClientAction::Uplink(UplinkKind::GroupCheckRequest { groups }) => {
+                assert_eq!(groups.len(), 2, "two groups despite three items");
+                assert_eq!(groups[0].0, 1);
+                assert_eq!(groups[1].0, 2);
+                assert_eq!(groups[0].1, 61.0, "Tlb = last report before the gap");
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(c.cache().has_limbo());
+        // Verdict: item 5 was updated; everything else survives.
+        let acts = c.on_group_validity(t(802.0), t(801.0), true, &[ItemId(5)]);
+        assert!(acts.is_empty());
+        assert!(c.cache().peek(ItemId(5)).is_none());
+        assert!(c.cache().peek(ItemId(1)).is_some());
+        assert!(c.cache().peek(ItemId(2)).is_some());
+        assert!(!c.cache().has_limbo());
+    }
+
+    #[test]
+    fn gcore_uncovered_verdict_drops_cache() {
+        let mut c = Client::new(ClientId(0), cfg(Scheme::Gcore));
+        warm(&mut c, 20.0, 1);
+        c.disconnect(t(30.0));
+        c.reconnect(t(790.0));
+        c.on_report(t(800.0), &window(800.0, 600.0, vec![]));
+        let acts = c.on_group_validity(t(802.0), t(801.0), false, &[]);
+        assert!(acts.is_empty());
+        assert!(c.cache().is_empty());
+        assert_eq!(c.counters().full_drops, 1);
+    }
+
+    #[test]
+    fn gcore_query_on_limbo_item_waits_for_group_verdict() {
+        let mut c = Client::new(ClientId(0), cfg(Scheme::Gcore));
+        warm(&mut c, 20.0, 1);
+        c.disconnect(t(30.0));
+        c.reconnect(t(790.0));
+        c.start_query(t(795.0), vec![ItemId(1)]);
+        let acts = c.on_report(t(800.0), &window(800.0, 600.0, vec![]));
+        assert_eq!(acts.len(), 1, "only the group check goes up: {acts:?}");
+        assert!(matches!(
+            &acts[0],
+            ClientAction::Uplink(UplinkKind::GroupCheckRequest { .. })
+        ));
+        // Clean verdict: the query completes as a hit.
+        let acts = c.on_group_validity(t(802.0), t(801.0), true, &[]);
+        match &acts[0] {
+            ClientAction::QueryDone(o) => assert_eq!((o.hits, o.misses), (1, 0)),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn second_disconnection_re_limboes_entries_fetched_during_gap() {
+        // Regression: an entry fetched while a gap is open is vouched only
+        // up to the last report heard; a second disconnection must put it
+        // back into limbo, or it can sail past updates broadcast while the
+        // client dozed.
+        let mut c = Client::new(ClientId(0), cfg(Scheme::Afw));
+        warm(&mut c, 20.0, 3);
+        c.disconnect(t(30.0));
+        c.reconnect(t(790.0));
+        // First report after reconnect: uncovered -> gap opens, Tlb sent.
+        let acts = c.on_report(t(800.0), &window(800.0, 600.0, vec![]));
+        assert!(matches!(&acts[0], ClientAction::Uplink(UplinkKind::TlbReport { .. })));
+        // Fetch item 9 during the gap; it is valid.
+        c.start_query(t(802.0), vec![ItemId(9)]);
+        c.on_report(t(805.0), &window(805.0, 605.0, vec![]));
+        c.on_data(t(807.0), ItemId(9), t(400.0));
+        assert!(c.cache().peek(ItemId(9)).unwrap().state == mobicache_cache::EntryState::Valid);
+        // Second disconnection; item 9 is updated at t=900 and the
+        // listing reports (900..1100) are all missed.
+        c.disconnect(t(810.0));
+        c.reconnect(t(1_190.0));
+        // First report after the second reconnect does not cover tlb=805:
+        // everything must fall back into limbo and the Tlb be re-armed.
+        let acts = c.on_report(t(1_200.0), &window(1_200.0, 1_000.0, vec![]));
+        assert!(
+            matches!(&acts[0], ClientAction::Uplink(UplinkKind::TlbReport { .. })),
+            "salvage must be re-requested: {acts:?}"
+        );
+        let e9 = c.cache().peek(ItemId(9)).expect("still cached");
+        assert_eq!(e9.state, mobicache_cache::EntryState::Limbo);
+        // A BS report covering the whole gap drops the stale item 9 and
+        // salvages item 3.
+        let bs = mobicache_reports::BitSequences::from_recency(
+            t(1_220.0),
+            64,
+            vec![(ItemId(9), t(900.0))],
+        );
+        c.on_report(t(1_220.0), &ReportPayload::BitSeq(bs));
+        assert!(c.cache().peek(ItemId(9)).is_none(), "stale entry dropped");
+        assert!(c.cache().peek(ItemId(3)).is_some(), "fresh entry salvaged");
+        assert!(!c.cache().has_limbo());
+    }
+
+    #[test]
+    fn short_second_disconnection_keeps_valid_entries() {
+        // If the first report after the second reconnection covers tlb,
+        // the valid entries stay valid (the report's stale list is
+        // sufficient) and only the original limbo persists.
+        let mut c = Client::new(ClientId(0), cfg(Scheme::Afw));
+        warm(&mut c, 20.0, 3);
+        c.disconnect(t(30.0));
+        c.reconnect(t(790.0));
+        c.on_report(t(800.0), &window(800.0, 600.0, vec![]));
+        c.start_query(t(802.0), vec![ItemId(9)]);
+        c.on_report(t(805.0), &window(805.0, 605.0, vec![]));
+        c.on_data(t(807.0), ItemId(9), t(400.0));
+        // Short nap within the give-up grace; the next window covers tlb.
+        c.disconnect(t(810.0));
+        c.reconnect(t(815.0));
+        c.on_report(t(820.0), &window(820.0, 620.0, vec![]));
+        assert_eq!(
+            c.cache().peek(ItemId(9)).unwrap().state,
+            mobicache_cache::EntryState::Valid,
+            "covered entries must not be re-limboed"
+        );
+        assert_eq!(
+            c.cache().peek(ItemId(3)).unwrap().state,
+            mobicache_cache::EntryState::Limbo,
+            "the original gap persists"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "overlapping")]
+    fn overlapping_queries_rejected() {
+        let mut c = Client::new(ClientId(0), cfg(Scheme::Bs));
+        c.start_query(t(1.0), vec![ItemId(1)]);
+        c.start_query(t(2.0), vec![ItemId(2)]);
+    }
+
+    #[test]
+    fn at_client_invalidates_listed_and_drops_on_missed_report() {
+        let mut c = Client::new(ClientId(0), cfg(Scheme::At));
+        let at = |at: f64, prev: f64, items: Vec<u32>| {
+            ReportPayload::At(mobicache_reports::AtReport {
+                broadcast_at: t(at),
+                prev_broadcast: t(prev),
+                items: items.into_iter().map(ItemId).collect(),
+            })
+        };
+        // Warm item 3 via AT reports.
+        c.start_query(t(5.0), vec![ItemId(3)]);
+        let acts = c.on_report(t(20.0), &at(20.0, 0.0, vec![]));
+        assert!(matches!(&acts[0], ClientAction::Uplink(UplinkKind::QueryRequest { .. })));
+        c.on_data(t(22.0), ItemId(3), SimTime::ZERO);
+        // Connected client: listed update drops exactly item 3.
+        c.on_report(t(40.0), &at(40.0, 20.0, vec![3]));
+        assert!(c.cache().is_empty());
+        // Re-warm, then miss one report: amnesic drop.
+        c.start_query(t(45.0), vec![ItemId(5)]);
+        c.on_report(t(60.0), &at(60.0, 40.0, vec![]));
+        c.on_data(t(62.0), ItemId(5), SimTime::ZERO);
+        c.disconnect(t(65.0));
+        c.reconnect(t(95.0)); // missed the report at 80
+        c.on_report(t(100.0), &at(100.0, 80.0, vec![]));
+        assert!(c.cache().is_empty(), "amnesic terminals drop after any gap");
+        assert_eq!(c.counters().full_drops, 1);
+    }
+
+    #[test]
+    fn ts_no_check_invalidates_normally_within_window() {
+        let mut c = Client::new(ClientId(0), cfg(Scheme::TsNoCheck));
+        warm(&mut c, 20.0, 3);
+        warm(&mut c, 40.0, 4);
+        // Short disconnection, still inside the window: normal TS logic,
+        // no full drop.
+        c.disconnect(t(50.0));
+        c.reconnect(t(90.0));
+        c.on_report(t(100.0), &window(100.0, -100.0, vec![(3, 70.0)]));
+        assert!(c.cache().peek(ItemId(3)).is_none(), "stale entry dropped");
+        assert!(c.cache().peek(ItemId(4)).is_some(), "fresh entry kept");
+        assert_eq!(c.counters().full_drops, 0);
+    }
+
+    #[test]
+    fn evicted_wait_validity_item_falls_back_to_fetch() {
+        // A queried limbo entry can be evicted (by fetches for other
+        // items) before its verdict arrives; the verdict must then route
+        // the query to a fresh fetch rather than a phantom hit.
+        let mut c = Client::new(
+            ClientId(0),
+            ClientConfig { cache_capacity: 1, ..cfg(Scheme::SimpleChecking) },
+        );
+        warm(&mut c, 20.0, 3);
+        c.disconnect(t(30.0));
+        c.reconnect(t(790.0));
+        c.start_query(t(795.0), vec![ItemId(3)]);
+        let acts = c.on_report(t(800.0), &window(800.0, 600.0, vec![]));
+        assert!(matches!(&acts[0], ClientAction::Uplink(UplinkKind::CheckRequest { .. })));
+        // Eviction: a snooped item lands in the 1-slot cache.
+        c.on_snooped_data(t(801.0), ItemId(9), t(500.0));
+        assert!(c.cache().peek(ItemId(3)).is_none(), "limbo entry evicted");
+        // Verdict says item 3 was valid — but the copy is gone; refetch.
+        let acts = c.on_validity(t(802.0), t(801.5), &[ItemId(3)]);
+        assert!(
+            matches!(&acts[0], ClientAction::Uplink(UplinkKind::QueryRequest { item }) if *item == ItemId(3)),
+            "{acts:?}"
+        );
+        let acts = c.on_data(t(803.0), ItemId(3), t(700.0));
+        assert!(matches!(&acts[0], ClientAction::QueryDone(_)));
+    }
+
+    #[test]
+    fn snooped_data_does_not_preempt_inflight_fetch() {
+        let mut c = Client::new(ClientId(0), cfg(Scheme::SimpleChecking));
+        c.start_query(t(5.0), vec![ItemId(3)]);
+        let acts = c.on_report(t(20.0), &window(20.0, -180.0, vec![]));
+        assert!(matches!(&acts[0], ClientAction::Uplink(UplinkKind::QueryRequest { .. })));
+        // A snooped copy of the same item arrives mid-fetch: ignored so
+        // the addressed delivery resolves the query.
+        c.on_snooped_data(t(21.0), ItemId(3), t(10.0));
+        assert!(c.cache().peek(ItemId(3)).is_none());
+        let acts = c.on_data(t(27.0), ItemId(3), t(10.0));
+        assert!(matches!(&acts[0], ClientAction::QueryDone(_)));
+        // Snooping an unrelated item, though, caches it.
+        c.on_snooped_data(t(28.0), ItemId(8), t(12.0));
+        assert!(c.cache().peek(ItemId(8)).is_some());
+    }
+
+    #[test]
+    fn sig_client_uses_baseline() {
+        let mut c = Client::new(ClientId(0), cfg(Scheme::Sig));
+        let signer = mobicache_reports::Signer::new(16, 32, 1);
+        let versions = vec![SimTime::ZERO; 32];
+        let sig0 = ReportPayload::Sig(
+            mobicache_reports::SigReport {
+                broadcast_at: t(20.0),
+                combined: signer.combine(&versions),
+            },
+            signer,
+        );
+        // First report: no baseline yet, cache empty, fine.
+        c.start_query(t(5.0), vec![ItemId(3)]);
+        let acts = c.on_report(t(20.0), &sig0);
+        assert!(matches!(&acts[0], ClientAction::Uplink(UplinkKind::QueryRequest { .. })));
+        c.on_data(t(22.0), ItemId(3), SimTime::ZERO);
+        // Second report: item 3 unchanged — cache keeps it.
+        let sig1 = ReportPayload::Sig(
+            mobicache_reports::SigReport {
+                broadcast_at: t(40.0),
+                combined: signer.combine(&versions),
+            },
+            signer,
+        );
+        c.on_report(t(40.0), &sig1);
+        assert!(c.cache().peek(ItemId(3)).is_some());
+        // Third report: item 3 changed — flagged and dropped.
+        let mut v2 = versions.clone();
+        v2[3] = t(50.0);
+        let sig2 = ReportPayload::Sig(
+            mobicache_reports::SigReport {
+                broadcast_at: t(60.0),
+                combined: signer.combine(&v2),
+            },
+            signer,
+        );
+        c.on_report(t(60.0), &sig2);
+        assert!(c.cache().peek(ItemId(3)).is_none());
+    }
+}

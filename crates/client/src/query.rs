@@ -1,0 +1,163 @@
+//! Pending query bookkeeping.
+
+use mobicache_model::ItemId;
+use mobicache_sim::SimTime;
+
+/// How one referenced item is currently being resolved.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PendingState {
+    /// Waiting for the next invalidation report (every query starts
+    /// here — §2: "to answer a query, the client … will listen to the
+    /// next invalidation report").
+    WaitReport,
+    /// A validity check for this (cached but limbo) item is in flight.
+    WaitValidity,
+    /// A data request for this item is in flight.
+    WaitData,
+    /// Answered (from cache or by download).
+    Done,
+}
+
+/// One item referenced by the pending query.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PendingItem {
+    /// The referenced item.
+    pub item: ItemId,
+    /// Resolution progress.
+    pub state: PendingState,
+}
+
+/// Summary of a completed query.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QueryOutcome {
+    /// When the query was issued.
+    pub issued_at: SimTime,
+    /// When the last referenced item was resolved.
+    pub completed_at: SimTime,
+    /// Items answered from the cache.
+    pub hits: u32,
+    /// Items downloaded from the server.
+    pub misses: u32,
+}
+
+/// A query in progress.
+#[derive(Clone, Debug)]
+pub struct QueryState {
+    /// When the query was issued.
+    pub issued_at: SimTime,
+    /// Per-item progress.
+    pub items: Vec<PendingItem>,
+    /// Cache hits so far.
+    pub hits: u32,
+    /// Downloads so far.
+    pub misses: u32,
+}
+
+impl QueryState {
+    /// A fresh query over `items`.
+    pub fn new(issued_at: SimTime, items: Vec<ItemId>) -> Self {
+        assert!(!items.is_empty(), "a query must reference at least one item");
+        QueryState {
+            issued_at,
+            items: items
+                .into_iter()
+                .map(|item| PendingItem { item, state: PendingState::WaitReport })
+                .collect(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// `true` when every referenced item is resolved.
+    pub fn is_complete(&self) -> bool {
+        self.items.iter().all(|p| p.state == PendingState::Done)
+    }
+
+    /// Marks `item` done as a hit or miss. Returns `false` if the item is
+    /// not pending in the expected state.
+    pub fn resolve(&mut self, item: ItemId, from: PendingState, hit: bool) -> bool {
+        for p in &mut self.items {
+            if p.item == item && p.state == from {
+                p.state = PendingState::Done;
+                if hit {
+                    self.hits += 1;
+                } else {
+                    self.misses += 1;
+                }
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Moves `item` from one pending state to another. Returns `false` if
+    /// it is not in the expected state.
+    pub fn transition(&mut self, item: ItemId, from: PendingState, to: PendingState) -> bool {
+        for p in &mut self.items {
+            if p.item == item && p.state == from {
+                p.state = to;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Finishes the query into an outcome summary.
+    pub fn outcome(&self, completed_at: SimTime) -> QueryOutcome {
+        debug_assert!(self.is_complete());
+        QueryOutcome {
+            issued_at: self.issued_at,
+            completed_at,
+            hits: self.hits,
+            misses: self.misses,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn lifecycle_single_item_hit() {
+        let mut q = QueryState::new(t(1.0), vec![ItemId(4)]);
+        assert!(!q.is_complete());
+        assert!(q.resolve(ItemId(4), PendingState::WaitReport, true));
+        assert!(q.is_complete());
+        let o = q.outcome(t(5.0));
+        assert_eq!((o.hits, o.misses), (1, 0));
+        assert_eq!(o.issued_at, t(1.0));
+        assert_eq!(o.completed_at, t(5.0));
+    }
+
+    #[test]
+    fn lifecycle_multi_item_mixed() {
+        let mut q = QueryState::new(t(0.0), vec![ItemId(1), ItemId(2), ItemId(3)]);
+        assert!(q.resolve(ItemId(1), PendingState::WaitReport, true));
+        assert!(q.transition(ItemId(2), PendingState::WaitReport, PendingState::WaitData));
+        assert!(q.transition(ItemId(3), PendingState::WaitReport, PendingState::WaitValidity));
+        assert!(!q.is_complete());
+        assert!(q.resolve(ItemId(2), PendingState::WaitData, false));
+        assert!(q.resolve(ItemId(3), PendingState::WaitValidity, true));
+        assert!(q.is_complete());
+        let o = q.outcome(t(9.0));
+        assert_eq!((o.hits, o.misses), (2, 1));
+    }
+
+    #[test]
+    fn resolve_rejects_wrong_state() {
+        let mut q = QueryState::new(t(0.0), vec![ItemId(1)]);
+        assert!(!q.resolve(ItemId(1), PendingState::WaitData, false));
+        assert!(!q.resolve(ItemId(9), PendingState::WaitReport, false));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one item")]
+    fn empty_query_rejected() {
+        QueryState::new(t(0.0), vec![]);
+    }
+}

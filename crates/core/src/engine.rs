@@ -1,0 +1,796 @@
+//! The simulation driver: wires server, clients, channels and workload
+//! generators into one event loop (§4 of the paper).
+//!
+//! Beyond the paper's model, the driver supports three extensions, all
+//! off by default (see `DESIGN.md` §4):
+//!
+//! * **downlink topology** — §6's future work: a dedicated broadcast
+//!   channel for invalidation reports with the remaining bandwidth
+//!   serving point-to-point traffic ([`DownlinkTopology::Dedicated`]);
+//! * **report loss** — per-client fading: each connected client misses a
+//!   given broadcast independently with probability `p_report_loss`;
+//! * **client energy accounting** — §1 motivates the schemes with power
+//!   efficiency ("the power needed for transmission is proportional to
+//!   the fourth power of the distance"); the driver charges every client
+//!   transmission and reception against the configured per-bit costs.
+
+use crate::metrics::{ClientStats, Metrics};
+use crate::oracle::Oracle;
+use mobicache_client::{Client, ClientAction, ClientConfig};
+use mobicache_model::msg::{DownlinkKind, SizeParams, UplinkKind, CLASS_CHECK, CLASS_REPORT};
+use mobicache_model::{ClientId, DownlinkTopology, ItemId, SimConfig};
+use mobicache_net::Channel;
+use mobicache_reports::ReportPayload;
+use mobicache_server::Server;
+use mobicache_sim::{Histogram, OnlineStats, Scheduler, SimRng, SimTime};
+use mobicache_workload::{GapKind, GapProcess, QueryGen, UpdateGen};
+
+/// Options orthogonal to the modelled system.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RunOptions {
+    /// Record the full update history and assert the cache-consistency
+    /// invariant after every message each client processes. Roughly
+    /// doubles runtime; intended for tests.
+    pub check_consistency: bool,
+}
+
+/// Everything a run produces.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// The configuration that produced these metrics.
+    pub config: SimConfig,
+    /// Aggregated measurements.
+    pub metrics: Metrics,
+}
+
+/// Simulation events.
+enum Ev {
+    /// Periodic broadcast (every `L` seconds).
+    Tick,
+    /// Next server update transaction.
+    UpdateArrival,
+    /// A client's next query is issued.
+    QueryArrival(ClientId),
+    /// A dozing client wakes up.
+    Reconnect(ClientId),
+    /// A downlink transmission finished (channel index, facility token).
+    DownlinkDone(usize, u64),
+    /// An uplink transmission finished (facility token).
+    UplinkDone(u64),
+}
+
+/// Downlink message payloads.
+enum DownPayload {
+    /// Broadcast invalidation report.
+    Report(ReportPayload),
+    /// A data item for one client.
+    Data { item: ItemId, dest: ClientId },
+    /// A validity verdict for one client.
+    Validity {
+        dest: ClientId,
+        asof: SimTime,
+        valid: Vec<ItemId>,
+    },
+    /// A grouped-checking verdict for one client.
+    GroupVerdict {
+        dest: ClientId,
+        asof: SimTime,
+        covered: bool,
+        stale: Vec<ItemId>,
+    },
+}
+
+type UpPayload = (ClientId, UplinkKind);
+
+/// A fully wired simulation, ready to run.
+pub struct Simulation {
+    cfg: SimConfig,
+    opts: RunOptions,
+    sp: SizeParams,
+    horizon: SimTime,
+    sched: Scheduler<Ev>,
+    server: Server,
+    clients: Vec<Client>,
+    /// One channel ([`DownlinkTopology::Shared`]) or two (broadcast +
+    /// point-to-point under [`DownlinkTopology::Dedicated`]).
+    downlinks: Vec<Channel<DownPayload>>,
+    uplink: Channel<UpPayload>,
+    update_gen: UpdateGen,
+    query_gen: QueryGen,
+    gap_proc: GapProcess,
+    rng_update: SimRng,
+    rng_clients: Vec<SimRng>,
+    /// Separate stream for report-loss coins so enabling loss does not
+    /// perturb the workload streams.
+    rng_loss: SimRng,
+    latency: OnlineStats,
+    latency_hist: Histogram,
+    oracle: Option<Oracle>,
+    disconnections: u64,
+    reports_lost: u64,
+    /// Client-radio energy accounting (bits).
+    tx_bits: f64,
+    rx_bits: f64,
+}
+
+/// Builds and runs a simulation in one call.
+///
+/// # Errors
+/// Returns the validation error message for an inconsistent
+/// configuration.
+pub fn run(cfg: &SimConfig, opts: RunOptions) -> Result<RunResult, String> {
+    Ok(Simulation::new(cfg, opts)?.run_to_completion())
+}
+
+impl Simulation {
+    /// Wires up a simulation for `cfg`.
+    ///
+    /// # Errors
+    /// Returns the validation error message for an inconsistent
+    /// configuration.
+    pub fn new(cfg: &SimConfig, opts: RunOptions) -> Result<Self, String> {
+        cfg.validate()?;
+        let sp = SizeParams {
+            db_size: cfg.db_size as u64,
+            group_count: cfg.gcore_groups as u64,
+            timestamp_bits: cfg.timestamp_bits,
+            header_bits: cfg.header_bits,
+            control_bytes: cfg.control_bytes,
+            item_bytes: cfg.item_bytes,
+        };
+        let client_cfg = ClientConfig {
+            scheme: cfg.scheme,
+            checking_mode: cfg.checking_mode,
+            cache_capacity: cfg.cache_capacity_items() as usize,
+            broadcast_period_secs: cfg.broadcast_period_secs,
+            gcore_groups: cfg.gcore_groups,
+        };
+        let mut sched = Scheduler::new();
+        let mut rng_clients: Vec<SimRng> = (0..cfg.num_clients)
+            .map(|c| SimRng::stream(cfg.seed, 1 + c as u64))
+            .collect();
+
+        // First broadcast at t = L; first update per the update process;
+        // each client's first query after an initial think period.
+        sched.schedule(SimTime::from_secs(cfg.broadcast_period_secs), Ev::Tick);
+        let update_gen = UpdateGen::new(
+            cfg.workload.update,
+            cfg.db_size,
+            cfg.mean_update_interarrival_secs,
+            cfg.items_per_update_mean,
+        );
+        let mut rng_update = SimRng::stream(cfg.seed, 0);
+        sched.schedule(
+            SimTime::from_secs(update_gen.next_interarrival(&mut rng_update)),
+            Ev::UpdateArrival,
+        );
+        let think = mobicache_sim::Exp::with_mean(cfg.mean_think_secs);
+        for c in 0..cfg.num_clients {
+            let first = think.sample(&mut rng_clients[c as usize]);
+            sched.schedule(SimTime::from_secs(first), Ev::QueryArrival(ClientId(c)));
+        }
+
+        let downlinks = match cfg.downlink_topology {
+            DownlinkTopology::Shared => vec![Channel::new(cfg.downlink_bps)],
+            DownlinkTopology::Dedicated { broadcast_share } => vec![
+                Channel::new(cfg.downlink_bps * broadcast_share),
+                Channel::new(cfg.downlink_bps * (1.0 - broadcast_share)),
+            ],
+        };
+
+        let mut server = Server::new(cfg.scheme, cfg.db_size, cfg.window_secs(), sp);
+        server.configure_gcore(
+            cfg.gcore_groups,
+            cfg.gcore_retention_intervals as f64 * cfg.broadcast_period_secs,
+        );
+
+        Ok(Simulation {
+            sp,
+            horizon: SimTime::from_secs(cfg.sim_time_secs),
+            server,
+            clients: (0..cfg.num_clients)
+                .map(|c| Client::new(ClientId(c), client_cfg))
+                .collect(),
+            downlinks,
+            uplink: Channel::new(cfg.uplink_bps),
+            update_gen,
+            query_gen: QueryGen::new(cfg.workload.query, cfg.db_size, cfg.items_per_query_mean),
+            gap_proc: GapProcess::new(
+                cfg.p_disconnect,
+                cfg.mean_think_secs,
+                cfg.mean_disconnect_secs,
+            ),
+            rng_update,
+            rng_clients,
+            rng_loss: SimRng::stream(cfg.seed, 0xF00D),
+            latency: OnlineStats::new(),
+            latency_hist: Histogram::new(0.0, 2_000.0, 200),
+            oracle: opts.check_consistency.then(Oracle::new),
+            disconnections: 0,
+            reports_lost: 0,
+            tx_bits: 0.0,
+            rx_bits: 0.0,
+            sched,
+            cfg: cfg.clone(),
+            opts,
+        })
+    }
+
+    /// The downlink channel a message of `class` travels on.
+    fn downlink_index(&self, class: usize) -> usize {
+        if self.downlinks.len() == 1 || class == CLASS_REPORT {
+            0
+        } else {
+            1
+        }
+    }
+
+    fn send_downlink(&mut self, now: SimTime, kind_bits: f64, class: usize, payload: DownPayload) {
+        let idx = self.downlink_index(class);
+        if let Some(c) = self.downlinks[idx].send(now, kind_bits, class, payload) {
+            self.sched.schedule(c.at, Ev::DownlinkDone(idx, c.token));
+        }
+    }
+
+    /// Runs the event loop to the horizon and collects metrics.
+    pub fn run_to_completion(mut self) -> RunResult {
+        while let Some((now, ev)) = self.sched.pop() {
+            if now > self.horizon {
+                break;
+            }
+            match ev {
+                Ev::Tick => self.on_tick(now),
+                Ev::UpdateArrival => self.on_update(now),
+                Ev::QueryArrival(c) => self.on_query_arrival(now, c),
+                Ev::Reconnect(c) => self.clients[c.index()].reconnect(now),
+                Ev::DownlinkDone(idx, token) => self.on_downlink_done(now, idx, token),
+                Ev::UplinkDone(token) => self.on_uplink_done(now, token),
+            }
+        }
+        self.finish()
+    }
+
+    fn on_tick(&mut self, now: SimTime) {
+        let report = self.server.build_report(now);
+        let kind = DownlinkKind::InvalidationReport {
+            content_bits: report.size_bits(&self.sp),
+        };
+        let bits = kind.size_bits(&self.sp);
+        self.send_downlink(now, bits, kind.class(), DownPayload::Report(report));
+        self.sched
+            .schedule_in(self.cfg.broadcast_period_secs, Ev::Tick);
+    }
+
+    fn on_update(&mut self, now: SimTime) {
+        let items = self.update_gen.next_txn_items(&mut self.rng_update);
+        self.server.apply_txn(now, &items);
+        if let Some(oracle) = &mut self.oracle {
+            for &item in &items {
+                oracle.record_update(now, item);
+            }
+        }
+        let next = self.update_gen.next_interarrival(&mut self.rng_update);
+        self.sched.schedule_in(next, Ev::UpdateArrival);
+    }
+
+    fn on_query_arrival(&mut self, now: SimTime, c: ClientId) {
+        let items = self.query_gen.next_query_items(&mut self.rng_clients[c.index()]);
+        self.clients[c.index()].start_query(now, items);
+        // The query waits for the next broadcast report (§2).
+    }
+
+    fn on_downlink_done(&mut self, now: SimTime, idx: usize, token: u64) {
+        let Some(delivered) = self.downlinks[idx].complete(now, token) else {
+            return; // stale completion (preempted transmission)
+        };
+        if let Some(c) = delivered.next {
+            self.sched.schedule(c.at, Ev::DownlinkDone(idx, c.token));
+        }
+        match delivered.msg {
+            DownPayload::Report(report) => {
+                for i in 0..self.clients.len() {
+                    if !self.clients[i].is_connected() {
+                        continue; // dozing clients miss the broadcast
+                    }
+                    if self.cfg.p_report_loss > 0.0
+                        && self.rng_loss.coin(self.cfg.p_report_loss)
+                    {
+                        self.reports_lost += 1;
+                        continue; // fading: this client misses the report
+                    }
+                    self.rx_bits += delivered.bits;
+                    let actions = self.clients[i].on_report(now, &report);
+                    self.process_actions(now, ClientId(i as u16), actions);
+                    self.check_consistency(i);
+                }
+            }
+            DownPayload::Data { item, dest } => {
+                // Delivered copies reflect the version current at delivery
+                // (see DESIGN.md §3: this removes the report/fetch race a
+                // bit-level model would have to resolve with torn reads).
+                let version = self.server.version(item);
+                self.rx_bits += delivered.bits;
+                let actions = self.clients[dest.index()].on_data(now, item, version);
+                self.process_actions(now, dest, actions);
+                self.check_consistency(dest.index());
+                // Snooping extension: the downlink is a broadcast medium,
+                // so every other connected client overhears the item.
+                if self.cfg.snoop_broadcasts {
+                    for i in 0..self.clients.len() {
+                        if i == dest.index() || !self.clients[i].is_connected() {
+                            continue;
+                        }
+                        self.rx_bits += delivered.bits;
+                        self.clients[i].on_snooped_data(now, item, version);
+                        self.check_consistency(i);
+                    }
+                }
+            }
+            DownPayload::Validity { dest, asof, valid } => {
+                if !self.clients[dest.index()].is_connected() {
+                    return; // verdict lost; the client will re-check
+                }
+                self.rx_bits += delivered.bits;
+                let actions = self.clients[dest.index()].on_validity(now, asof, &valid);
+                self.process_actions(now, dest, actions);
+                self.check_consistency(dest.index());
+            }
+            DownPayload::GroupVerdict { dest, asof, covered, stale } => {
+                if !self.clients[dest.index()].is_connected() {
+                    return; // verdict lost; the client will re-check
+                }
+                self.rx_bits += delivered.bits;
+                let actions =
+                    self.clients[dest.index()].on_group_validity(now, asof, covered, &stale);
+                self.process_actions(now, dest, actions);
+                self.check_consistency(dest.index());
+            }
+        }
+    }
+
+    fn on_uplink_done(&mut self, now: SimTime, token: u64) {
+        let Some(delivered) = self.uplink.complete(now, token) else {
+            return;
+        };
+        if let Some(c) = delivered.next {
+            self.sched.schedule(c.at, Ev::UplinkDone(c.token));
+        }
+        let (from, kind) = delivered.msg;
+        match kind {
+            UplinkKind::QueryRequest { item } => {
+                let dk = DownlinkKind::DataItem { item };
+                let bits = dk.size_bits(&self.sp);
+                self.send_downlink(now, bits, dk.class(), DownPayload::Data { item, dest: from });
+            }
+            UplinkKind::TlbReport { tlb_secs } => {
+                self.server.receive_tlb(SimTime::from_secs(tlb_secs));
+            }
+            UplinkKind::CheckRequest { entries } => {
+                let typed: Vec<(ItemId, SimTime)> = entries
+                    .iter()
+                    .map(|&(item, secs)| (item, SimTime::from_secs(secs)))
+                    .collect();
+                let verdict = self.server.process_check(now, &typed);
+                let dk = DownlinkKind::ValidityReport {
+                    checked: verdict.checked,
+                    valid: verdict.valid.clone(),
+                    asof_secs: verdict.asof.as_secs(),
+                };
+                let bits = dk.size_bits(&self.sp);
+                self.send_downlink(
+                    now,
+                    bits,
+                    dk.class(),
+                    DownPayload::Validity {
+                        dest: from,
+                        asof: verdict.asof,
+                        valid: verdict.valid,
+                    },
+                );
+            }
+            UplinkKind::GroupCheckRequest { groups } => {
+                let typed: Vec<(u32, SimTime)> = groups
+                    .iter()
+                    .map(|&(g, secs)| (g, SimTime::from_secs(secs)))
+                    .collect();
+                let verdict = self.server.process_group_check(now, &typed);
+                let dk = DownlinkKind::GroupValidity {
+                    stale: verdict.stale.clone(),
+                    covered: verdict.covered,
+                    asof_secs: verdict.asof.as_secs(),
+                };
+                let bits = dk.size_bits(&self.sp);
+                self.send_downlink(
+                    now,
+                    bits,
+                    dk.class(),
+                    DownPayload::GroupVerdict {
+                        dest: from,
+                        asof: verdict.asof,
+                        covered: verdict.covered,
+                        stale: verdict.stale,
+                    },
+                );
+            }
+        }
+    }
+
+    fn process_actions(&mut self, now: SimTime, c: ClientId, actions: Vec<ClientAction>) {
+        for action in actions {
+            match action {
+                ClientAction::Uplink(kind) => {
+                    let bits = kind.size_bits(&self.sp);
+                    let class = kind.class();
+                    self.tx_bits += bits;
+                    let completion = self.uplink.send(now, bits, class, (c, kind));
+                    if let Some(comp) = completion {
+                        self.sched.schedule(comp.at, Ev::UplinkDone(comp.token));
+                    }
+                }
+                ClientAction::QueryDone(outcome) => {
+                    let latency = outcome.completed_at - outcome.issued_at;
+                    self.latency.record(latency);
+                    self.latency_hist.record(latency);
+                    // §4: the gap after a completion is a think period or,
+                    // with probability p, a disconnection.
+                    let gap = self.gap_proc.sample(&mut self.rng_clients[c.index()]);
+                    match gap.kind {
+                        GapKind::Think => {
+                            self.sched
+                                .schedule_in(gap.duration_secs, Ev::QueryArrival(c));
+                        }
+                        GapKind::Disconnect => {
+                            self.disconnections += 1;
+                            self.clients[c.index()].disconnect(now);
+                            // Reconnect is scheduled before the query at
+                            // the same instant; FIFO tie-breaking delivers
+                            // it first.
+                            self.sched.schedule_in(gap.duration_secs, Ev::Reconnect(c));
+                            self.sched
+                                .schedule_in(gap.duration_secs, Ev::QueryArrival(c));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn check_consistency(&mut self, idx: usize) {
+        if let Some(oracle) = &mut self.oracle {
+            oracle.assert_cache_consistent(
+                ClientId(idx as u16),
+                self.clients[idx].cache(),
+            );
+        }
+    }
+
+    fn finish(self) -> RunResult {
+        let horizon = self.horizon;
+        let up = self.uplink.stats(horizon);
+        let mut clients = ClientStats::default();
+        let mut issued = 0u64;
+        let mut answered = 0u64;
+        let mut hits = 0u64;
+        let mut misses = 0u64;
+        let mut evictions = 0u64;
+        for client in &self.clients {
+            let c = client.counters();
+            clients.absorb(&c);
+            issued += c.queries_issued;
+            answered += c.queries_answered;
+            hits += c.item_hits;
+            misses += c.item_misses;
+            evictions += client.cache().evictions();
+        }
+        // Aggregate downlink accounting across channels; utilization is
+        // bandwidth-weighted so a Shared run and a Dedicated run report
+        // comparable figures.
+        let mut down_bits = [0.0f64; 3];
+        let mut down_util_weighted = 0.0;
+        let mut total_bw = 0.0;
+        let mut preemptions = 0u64;
+        for ch in &self.downlinks {
+            let s = ch.stats(horizon);
+            for (acc, bits) in down_bits.iter_mut().zip(s.bits_by_class) {
+                *acc += bits;
+            }
+            down_util_weighted += s.utilization * ch.rate_bps();
+            total_bw += ch.rate_bps();
+            preemptions += s.preemptions;
+        }
+        let validity_bits = up.bits_by_class[CLASS_CHECK];
+        let energy_total = self.tx_bits * self.cfg.energy_tx_per_bit
+            + self.rx_bits * self.cfg.energy_rx_per_bit;
+        let metrics = Metrics {
+            queries_answered: answered,
+            uplink_validity_bits_per_query: if answered == 0 {
+                0.0
+            } else {
+                validity_bits / answered as f64
+            },
+            queries_issued: issued,
+            item_hits: hits,
+            item_misses: misses,
+            hit_ratio: if hits + misses == 0 {
+                0.0
+            } else {
+                hits as f64 / (hits + misses) as f64
+            },
+            mean_query_latency_secs: self.latency.mean(),
+            p95_query_latency_secs: self.latency_hist.quantile(0.95),
+            uplink_validity_bits: validity_bits,
+            uplink_total_bits: up.bits_by_class.iter().sum(),
+            downlink_report_bits: down_bits[0],
+            downlink_validity_bits: down_bits[1],
+            downlink_data_bits: down_bits[2],
+            downlink_utilization: down_util_weighted / total_bw,
+            uplink_utilization: up.utilization,
+            downlink_preemptions: preemptions,
+            client_tx_bits: self.tx_bits,
+            client_rx_bits: self.rx_bits,
+            energy_total,
+            energy_per_query: if answered == 0 {
+                0.0
+            } else {
+                energy_total / answered as f64
+            },
+            reports_lost: self.reports_lost,
+            server: self.server.counters().into(),
+            clients,
+            cache_evictions: evictions,
+            disconnections: self.disconnections,
+            events_processed: self.sched.events_delivered(),
+            sim_time_secs: self.cfg.sim_time_secs,
+        };
+        let _ = self.opts;
+        RunResult {
+            config: self.cfg,
+            metrics,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mobicache_model::{Scheme, Workload};
+
+    fn short_cfg(scheme: Scheme) -> SimConfig {
+        let mut cfg = SimConfig::paper_default().with_scheme(scheme);
+        cfg.sim_time_secs = 4_000.0;
+        cfg.db_size = 1_000;
+        cfg.num_clients = 20;
+        cfg
+    }
+
+    #[test]
+    fn every_scheme_runs_and_answers_queries() {
+        for scheme in Scheme::ALL {
+            let cfg = short_cfg(scheme);
+            let result = run(&cfg, RunOptions { check_consistency: true })
+                .unwrap_or_else(|e| panic!("{scheme:?}: {e}"));
+            let m = &result.metrics;
+            assert!(m.queries_answered > 0, "{scheme:?} answered none");
+            assert!(
+                m.queries_answered <= m.queries_issued,
+                "{scheme:?} answered more than issued"
+            );
+            assert!(m.item_hits + m.item_misses > 0, "{scheme:?}");
+            assert!(m.downlink_report_bits > 0.0, "{scheme:?} sent no reports");
+        }
+    }
+
+    #[test]
+    fn same_seed_same_metrics() {
+        let cfg = short_cfg(Scheme::Aaw).with_workload(Workload::hotcold());
+        let a = run(&cfg, RunOptions::default()).unwrap();
+        let b = run(&cfg, RunOptions::default()).unwrap();
+        assert_eq!(a.metrics.queries_answered, b.metrics.queries_answered);
+        assert_eq!(a.metrics.item_hits, b.metrics.item_hits);
+        assert_eq!(a.metrics.uplink_validity_bits, b.metrics.uplink_validity_bits);
+        assert_eq!(a.metrics.events_processed, b.metrics.events_processed);
+    }
+
+    #[test]
+    fn different_seed_different_trace() {
+        let cfg = short_cfg(Scheme::Bs);
+        let a = run(&cfg, RunOptions::default()).unwrap();
+        let b = run(&cfg.clone().with_seed(999), RunOptions::default()).unwrap();
+        assert_ne!(a.metrics.events_processed, b.metrics.events_processed);
+    }
+
+    #[test]
+    fn bs_scheme_has_zero_validity_uplink() {
+        let result = run(&short_cfg(Scheme::Bs), RunOptions::default()).unwrap();
+        assert_eq!(result.metrics.uplink_validity_bits, 0.0);
+        assert_eq!(result.metrics.clients.tlbs_sent, 0);
+        assert_eq!(result.metrics.clients.checks_sent, 0);
+    }
+
+    #[test]
+    fn adaptive_scheme_uses_tlbs_not_checks() {
+        let result = run(&short_cfg(Scheme::Afw), RunOptions::default()).unwrap();
+        assert!(result.metrics.clients.tlbs_sent > 0, "long disconnects must trigger Tlbs");
+        assert_eq!(result.metrics.clients.checks_sent, 0);
+        assert!(result.metrics.server.bs_reports > 0, "Tlbs must trigger BS broadcasts");
+        assert!(result.metrics.server.window_reports > 0, "but not always");
+    }
+
+    #[test]
+    fn checking_scheme_uses_checks_not_tlbs() {
+        let result = run(&short_cfg(Scheme::SimpleChecking), RunOptions::default()).unwrap();
+        assert!(result.metrics.clients.checks_sent > 0);
+        assert_eq!(result.metrics.clients.tlbs_sent, 0);
+        assert!(result.metrics.server.checks_processed > 0);
+        assert_eq!(result.metrics.server.bs_reports, 0);
+    }
+
+    #[test]
+    fn gcore_scheme_sends_group_checks() {
+        let result = run(&short_cfg(Scheme::Gcore), RunOptions { check_consistency: true })
+            .unwrap();
+        assert!(result.metrics.clients.checks_sent > 0);
+        assert!(result.metrics.server.checks_processed > 0);
+        assert_eq!(result.metrics.clients.tlbs_sent, 0);
+        assert!(result.metrics.uplink_validity_bits > 0.0);
+    }
+
+    #[test]
+    fn gcore_uplinks_less_than_full_cache_checking() {
+        let mut base = short_cfg(Scheme::Gcore).with_workload(Workload::hotcold());
+        base.sim_time_secs = 8_000.0;
+        base.p_disconnect = 0.3;
+        let gcore = run(&base, RunOptions::default()).unwrap();
+        let sc = run(&base.clone().with_scheme(Scheme::SimpleChecking), RunOptions::default())
+            .unwrap();
+        assert!(
+            gcore.metrics.uplink_validity_bits < sc.metrics.uplink_validity_bits,
+            "grouping must reduce checking uplink: {} vs {}",
+            gcore.metrics.uplink_validity_bits,
+            sc.metrics.uplink_validity_bits
+        );
+    }
+
+    #[test]
+    fn hotcold_hits_more_than_uniform() {
+        let mut uni = short_cfg(Scheme::SimpleChecking);
+        uni.sim_time_secs = 8_000.0;
+        let mut hot = uni.clone().with_workload(Workload::hotcold());
+        hot.db_size = 1_000; // cache 2 % = 20 items << 100 hot items, still far better locality
+        let u = run(&uni, RunOptions::default()).unwrap();
+        let h = run(&hot, RunOptions::default()).unwrap();
+        assert!(
+            h.metrics.hit_ratio > u.metrics.hit_ratio + 0.05,
+            "hotcold {} vs uniform {}",
+            h.metrics.hit_ratio,
+            u.metrics.hit_ratio
+        );
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let mut cfg = short_cfg(Scheme::Bs);
+        cfg.downlink_bps = 0.0;
+        assert!(run(&cfg, RunOptions::default()).is_err());
+    }
+
+    #[test]
+    fn report_overhead_shows_up_for_bs() {
+        // BS reports are ~2N bits every period; TS windows are tiny.
+        let bs = run(&short_cfg(Scheme::Bs), RunOptions::default()).unwrap();
+        let sc = run(&short_cfg(Scheme::SimpleChecking), RunOptions::default()).unwrap();
+        assert!(
+            bs.metrics.downlink_report_bits > 3.0 * sc.metrics.downlink_report_bits,
+            "bs {} vs sc {}",
+            bs.metrics.downlink_report_bits,
+            sc.metrics.downlink_report_bits
+        );
+    }
+
+    #[test]
+    fn dedicated_broadcast_channel_runs_consistently() {
+        for scheme in [Scheme::Bs, Scheme::Aaw, Scheme::SimpleChecking] {
+            let mut cfg = short_cfg(scheme);
+            cfg.downlink_topology = DownlinkTopology::Dedicated { broadcast_share: 0.3 };
+            let result = run(&cfg, RunOptions { check_consistency: true })
+                .unwrap_or_else(|e| panic!("{scheme:?}: {e}"));
+            assert!(result.metrics.queries_answered > 0, "{scheme:?}");
+            // Reports never preempt data on a dedicated channel.
+            assert_eq!(result.metrics.downlink_preemptions, 0, "{scheme:?}");
+        }
+    }
+
+    #[test]
+    fn dedicated_channel_rescues_bs_at_scale() {
+        // Figure 5 showed BS collapsing because its 2N-bit report starves
+        // the shared downlink. §6's future work — a dedicated broadcast
+        // channel — removes exactly that contention.
+        let mut shared = short_cfg(Scheme::Bs);
+        shared.db_size = 20_000;
+        shared.sim_time_secs = 8_000.0;
+        shared.num_clients = 100; // saturate the downlink so topology matters
+        let mut dedicated = shared.clone();
+        dedicated.downlink_topology = DownlinkTopology::Dedicated { broadcast_share: 0.25 };
+        // Give both the same point-to-point bandwidth for a fair fight:
+        // the dedicated variant gets extra broadcast bandwidth on top.
+        dedicated.downlink_bps = shared.downlink_bps / 0.75;
+        let s = run(&shared, RunOptions::default()).unwrap();
+        let d = run(&dedicated, RunOptions::default()).unwrap();
+        assert!(
+            d.metrics.queries_answered as f64 > 1.1 * s.metrics.queries_answered as f64,
+            "dedicated {} vs shared {}",
+            d.metrics.queries_answered,
+            s.metrics.queries_answered
+        );
+    }
+
+    #[test]
+    fn report_loss_is_survivable_and_counted() {
+        for scheme in [Scheme::Bs, Scheme::Aaw, Scheme::SimpleChecking, Scheme::TsNoCheck] {
+            let mut cfg = short_cfg(scheme);
+            cfg.p_report_loss = 0.2;
+            let result = run(&cfg, RunOptions { check_consistency: true })
+                .unwrap_or_else(|e| panic!("{scheme:?}: {e}"));
+            assert!(result.metrics.reports_lost > 0, "{scheme:?}");
+            assert!(result.metrics.queries_answered > 0, "{scheme:?}");
+        }
+    }
+
+    #[test]
+    fn zero_loss_keeps_baseline_metrics() {
+        // Enabling the loss machinery with p = 0 must not perturb runs.
+        let cfg = short_cfg(Scheme::Aaw);
+        let a = run(&cfg, RunOptions::default()).unwrap();
+        assert_eq!(a.metrics.reports_lost, 0);
+    }
+
+    #[test]
+    fn snooping_raises_hotcold_hit_ratio_and_stays_consistent() {
+        let mut base = short_cfg(Scheme::Aaw).with_workload(Workload::hotcold());
+        base.sim_time_secs = 8_000.0;
+        base.db_size = 5_000; // cache (2 %) exactly fits the 100-item hot set
+        let plain = run(&base, RunOptions { check_consistency: true }).unwrap();
+        let mut snoop_cfg = base.clone();
+        snoop_cfg.snoop_broadcasts = true;
+        let snoop = run(&snoop_cfg, RunOptions { check_consistency: true }).unwrap();
+        assert!(
+            snoop.metrics.hit_ratio > plain.metrics.hit_ratio + 0.05,
+            "snooping should share the hot set: {} vs {}",
+            snoop.metrics.hit_ratio,
+            plain.metrics.hit_ratio
+        );
+        assert!(snoop.metrics.queries_answered >= plain.metrics.queries_answered);
+    }
+
+    #[test]
+    fn energy_accounting_favors_adaptive_over_checking_tx() {
+        let mut base = short_cfg(Scheme::Aaw);
+        base.p_disconnect = 0.4;
+        base.sim_time_secs = 8_000.0;
+        let aaw = run(&base, RunOptions::default()).unwrap();
+        let sc = run(&base.clone().with_scheme(Scheme::SimpleChecking), RunOptions::default())
+            .unwrap();
+        assert!(aaw.metrics.energy_per_query > 0.0);
+        // Checking pays for its big uplink checks at 100x the rx rate.
+        assert!(
+            sc.metrics.client_tx_bits > aaw.metrics.client_tx_bits,
+            "sc tx {} vs aaw tx {}",
+            sc.metrics.client_tx_bits,
+            aaw.metrics.client_tx_bits
+        );
+    }
+
+    #[test]
+    fn bs_pays_energy_in_rx_not_tx() {
+        let base = short_cfg(Scheme::Bs);
+        let bs = run(&base, RunOptions::default()).unwrap();
+        let sc = run(&base.clone().with_scheme(Scheme::SimpleChecking), RunOptions::default())
+            .unwrap();
+        assert!(
+            bs.metrics.client_rx_bits > sc.metrics.client_rx_bits,
+            "bs rx {} vs sc rx {}",
+            bs.metrics.client_rx_bits,
+            sc.metrics.client_rx_bits
+        );
+    }
+}

@@ -1,0 +1,49 @@
+//! # mobicache — adaptive cache invalidation in mobile environments
+//!
+//! A full reproduction of *Qinglong Hu and Dik Lun Lee, "Adaptive Cache
+//! Invalidation Methods in Mobile Environments", HPDC 1997*: a
+//! discrete-event simulation of mobile clients caching data items from a
+//! stateless broadcast server, under seven invalidation schemes —
+//! broadcasting timestamps (`TS`), amnesic terminals (`AT`), signatures
+//! (`SIG`), `TS` with validity checking ("simple checking"),
+//! bit-sequences (`BS`), and the paper's two adaptive contributions
+//! **AFW** (adaptive with fixed window) and **AAW** (adaptive with
+//! adjusting window).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use mobicache::{run, RunOptions};
+//! use mobicache_model::{Scheme, SimConfig, Workload};
+//!
+//! let mut cfg = SimConfig::paper_default()
+//!     .with_scheme(Scheme::Aaw)
+//!     .with_workload(Workload::hotcold());
+//! cfg.sim_time_secs = 5_000.0; // short demo horizon
+//! let result = run(&cfg, RunOptions::default()).expect("valid config");
+//! println!(
+//!     "answered {} queries, {:.1} validity bits/query",
+//!     result.metrics.queries_answered,
+//!     result.metrics.uplink_validity_bits_per_query
+//! );
+//! ```
+//!
+//! The crate graph mirrors the system inventory in `DESIGN.md`: the
+//! simulation kernel lives in `mobicache-sim`, the report algorithms in
+//! `mobicache-reports`, the channel model in `mobicache-net`, server and
+//! client state machines in their own crates, and this crate wires them
+//! into a runnable [`Simulation`] with [`Metrics`] collection and an
+//! optional ground-truth consistency [`oracle`](RunOptions::check_consistency).
+
+mod engine;
+mod metrics;
+pub mod oracle;
+
+pub use engine::{run, RunOptions, RunResult, Simulation};
+pub use metrics::Metrics;
+
+// Re-export the configuration vocabulary so downstream users need only
+// this crate plus `mobicache-model`.
+pub use mobicache_model::{
+    CheckingMode, DownlinkTopology, Pattern, Scheme, SimConfig, Workload,
+};

@@ -1,0 +1,198 @@
+//! Run metrics.
+//!
+//! The paper's evaluation reports two primary quantities per
+//! configuration (§5): the **number of queries answered** in the
+//! simulated interval (throughput under a fully utilised network) and the
+//! **uplink communication cost for validity checking, in bits per
+//! answered query**. Everything else here is supporting diagnostics used
+//! by the extended experiments and the tests.
+
+use mobicache_client::ClientCounters;
+use mobicache_server::ServerCounters;
+use serde::{Deserialize, Serialize};
+
+/// Aggregated results of one simulation run.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Metrics {
+    // ---- the paper's headline metrics ----
+    /// Queries fully answered within the horizon (Figures 5, 7, 9, 11,
+    /// 13, 15, 16).
+    pub queries_answered: u64,
+    /// Validity-checking uplink traffic (`Tlb` reports + check requests)
+    /// divided by answered queries (Figures 6, 8, 10, 12, 14).
+    pub uplink_validity_bits_per_query: f64,
+
+    // ---- load and cache behaviour ----
+    /// Queries issued (answered + still in flight at the horizon).
+    pub queries_issued: u64,
+    /// Referenced items answered from cache.
+    pub item_hits: u64,
+    /// Referenced items downloaded from the server.
+    pub item_misses: u64,
+    /// `item_hits / (item_hits + item_misses)`.
+    pub hit_ratio: f64,
+    /// Mean query latency (issue → last item resolved), seconds.
+    pub mean_query_latency_secs: f64,
+    /// 95th-percentile query latency, seconds (histogram estimate).
+    pub p95_query_latency_secs: f64,
+
+    // ---- channel accounting (bits fully transmitted) ----
+    /// Total validity-checking uplink bits (class 1: `Tlb` + checks).
+    pub uplink_validity_bits: f64,
+    /// Total uplink bits of every class.
+    pub uplink_total_bits: f64,
+    /// Invalidation-report downlink bits (class 0).
+    pub downlink_report_bits: f64,
+    /// Validity-report downlink bits (class 1).
+    pub downlink_validity_bits: f64,
+    /// Data-item downlink bits (class 2).
+    pub downlink_data_bits: f64,
+    /// Downlink busy fraction over the horizon.
+    pub downlink_utilization: f64,
+    /// Uplink busy fraction over the horizon.
+    pub uplink_utilization: f64,
+    /// Data transmissions interrupted by a broadcast report.
+    pub downlink_preemptions: u64,
+
+    // ---- client radio energy (extension; §1 motivates power efficiency) ----
+    /// Bits transmitted by client radios (uplink messages).
+    pub client_tx_bits: f64,
+    /// Bits received by client radios (reports heard + addressed
+    /// downlink traffic).
+    pub client_rx_bits: f64,
+    /// Total client energy: `tx_bits·e_tx + rx_bits·e_rx` in abstract
+    /// units (defaults make transmission 100× reception).
+    pub energy_total: f64,
+    /// Energy per answered query.
+    pub energy_per_query: f64,
+    /// Broadcast reports individually missed due to fading
+    /// (`p_report_loss` extension).
+    pub reports_lost: u64,
+
+    // ---- scheme behaviour ----
+    /// Server-side report/decision counters.
+    pub server: ServerStats,
+    /// Client-side counters summed over all clients.
+    pub clients: ClientStats,
+    /// Cache evictions summed over all clients.
+    pub cache_evictions: u64,
+    /// Disconnection gaps taken (count of disconnect decisions).
+    pub disconnections: u64,
+    /// Events processed by the kernel (progress/debug metric).
+    pub events_processed: u64,
+    /// Simulated horizon, seconds.
+    pub sim_time_secs: f64,
+}
+
+/// Serializable mirror of [`ServerCounters`].
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Plain window reports broadcast.
+    pub window_reports: u64,
+    /// AAW enlarged-window reports broadcast.
+    pub enlarged_reports: u64,
+    /// Bit-sequence reports broadcast.
+    pub bs_reports: u64,
+    /// Amnesic-terminals reports broadcast.
+    pub at_reports: u64,
+    /// Signature reports broadcast.
+    pub sig_reports: u64,
+    /// `Tlb` messages received.
+    pub tlbs_received: u64,
+    /// Check requests processed.
+    pub checks_processed: u64,
+    /// Update transactions applied.
+    pub txns_applied: u64,
+    /// Individual item updates applied.
+    pub updates_applied: u64,
+}
+
+impl From<ServerCounters> for ServerStats {
+    fn from(c: ServerCounters) -> Self {
+        ServerStats {
+            window_reports: c.window_reports,
+            enlarged_reports: c.enlarged_reports,
+            bs_reports: c.bs_reports,
+            at_reports: c.at_reports,
+            sig_reports: c.sig_reports,
+            tlbs_received: c.tlbs_received,
+            checks_processed: c.checks_processed,
+            txns_applied: c.txns_applied,
+            updates_applied: c.updates_applied,
+        }
+    }
+}
+
+/// Serializable sum of [`ClientCounters`] over all clients.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize, PartialEq, Eq)]
+pub struct ClientStats {
+    /// `Tlb` messages sent.
+    pub tlbs_sent: u64,
+    /// Check requests sent.
+    pub checks_sent: u64,
+    /// Entire-cache drops.
+    pub full_drops: u64,
+    /// Limbo entries salvaged.
+    pub salvaged: u64,
+    /// Limbo entries dropped.
+    pub limbo_dropped: u64,
+    /// Reconnection gaps with cache contents at stake.
+    pub limbo_episodes: u64,
+}
+
+impl ClientStats {
+    /// Accumulates one client's counters.
+    pub fn absorb(&mut self, c: &ClientCounters) {
+        self.tlbs_sent += c.tlbs_sent;
+        self.checks_sent += c.checks_sent;
+        self.full_drops += c.full_drops;
+        self.salvaged += c.salvaged;
+        self.limbo_dropped += c.limbo_dropped;
+        self.limbo_episodes += c.limbo_episodes;
+    }
+}
+
+impl Metrics {
+    /// Throughput in queries per second of simulated time.
+    pub fn throughput_per_sec(&self) -> f64 {
+        if self.sim_time_secs <= 0.0 {
+            0.0
+        } else {
+            self.queries_answered as f64 / self.sim_time_secs
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_math() {
+        let m = Metrics {
+            queries_answered: 15_000,
+            sim_time_secs: 100_000.0,
+            ..Metrics::default()
+        };
+        assert!((m.throughput_per_sec() - 0.15).abs() < 1e-12);
+        assert_eq!(Metrics::default().throughput_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn client_stats_absorb_sums() {
+        let mut s = ClientStats::default();
+        let c = ClientCounters {
+            tlbs_sent: 2,
+            checks_sent: 3,
+            full_drops: 1,
+            salvaged: 4,
+            limbo_dropped: 5,
+            limbo_episodes: 6,
+            ..ClientCounters::default()
+        };
+        s.absorb(&c);
+        s.absorb(&c);
+        assert_eq!(s.tlbs_sent, 4);
+        assert_eq!(s.limbo_episodes, 12);
+    }
+}

@@ -1,0 +1,140 @@
+//! Ground-truth consistency oracle.
+//!
+//! When enabled ([`RunOptions::check_consistency`](crate::RunOptions)),
+//! the oracle records the full update history and, after every message a
+//! client processes, asserts the cache-consistency invariant that every
+//! invalidation scheme must uphold:
+//!
+//! > for every **valid** cached entry `(item, version, validated_at)`
+//! > there is no server update `u` with `version < u ≤ validated_at`.
+//!
+//! In words: if the scheme vouched for an entry at `validated_at`, the
+//! cached copy really was current at that moment. A violation means a
+//! stale read is possible — the one bug class an invalidation protocol
+//! exists to prevent. (Entries in limbo are exempt: they are barred from
+//! answering queries precisely because nothing has vouched for them.)
+
+use mobicache_cache::{EntryState, LruCache};
+use mobicache_model::{ClientId, ItemId};
+use mobicache_sim::SimTime;
+use std::collections::HashMap;
+
+/// Full update history for ground-truth checks.
+#[derive(Default)]
+pub struct Oracle {
+    /// Per-item update timestamps, in order.
+    history: HashMap<ItemId, Vec<SimTime>>,
+    checks: u64,
+}
+
+impl Oracle {
+    /// An empty oracle.
+    pub fn new() -> Self {
+        Oracle::default()
+    }
+
+    /// Records an update.
+    pub fn record_update(&mut self, now: SimTime, item: ItemId) {
+        let h = self.history.entry(item).or_default();
+        debug_assert!(h.last().is_none_or(|&last| last <= now));
+        h.push(now);
+    }
+
+    /// The item's version as of `asof`: its last update at or before that
+    /// time (zero if none).
+    pub fn version_asof(&self, item: ItemId, asof: SimTime) -> SimTime {
+        match self.history.get(&item) {
+            None => SimTime::ZERO,
+            Some(h) => {
+                let idx = h.partition_point(|&ts| ts <= asof);
+                if idx == 0 {
+                    SimTime::ZERO
+                } else {
+                    h[idx - 1]
+                }
+            }
+        }
+    }
+
+    /// Number of invariant evaluations performed.
+    pub fn checks_performed(&self) -> u64 {
+        self.checks
+    }
+
+    /// Asserts the consistency invariant over one client's cache.
+    ///
+    /// # Panics
+    /// Panics with a diagnostic if a valid entry misses an update it
+    /// should have seen.
+    pub fn assert_cache_consistent(&mut self, client: ClientId, cache: &LruCache) {
+        for (item, _) in cache.items() {
+            let entry = cache.peek(item).expect("listed entry present");
+            if entry.state != EntryState::Valid {
+                continue;
+            }
+            self.checks += 1;
+            let truth = self.version_asof(item, entry.validated_at);
+            assert!(
+                truth <= entry.version,
+                "consistency violation at {client:?}: {item:?} cached version {} but an update \
+                 at {} predates its validation time {}",
+                entry.version.as_secs(),
+                truth.as_secs(),
+                entry.validated_at.as_secs(),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn version_asof_tracks_history() {
+        let mut o = Oracle::new();
+        o.record_update(t(10.0), ItemId(1));
+        o.record_update(t(20.0), ItemId(1));
+        assert_eq!(o.version_asof(ItemId(1), t(5.0)), SimTime::ZERO);
+        assert_eq!(o.version_asof(ItemId(1), t(10.0)), t(10.0));
+        assert_eq!(o.version_asof(ItemId(1), t(15.0)), t(10.0));
+        assert_eq!(o.version_asof(ItemId(1), t(99.0)), t(20.0));
+        assert_eq!(o.version_asof(ItemId(2), t(99.0)), SimTime::ZERO);
+    }
+
+    #[test]
+    fn consistent_cache_passes() {
+        let mut o = Oracle::new();
+        o.record_update(t(10.0), ItemId(1));
+        let mut cache = LruCache::new(4);
+        cache.insert(ItemId(1), t(10.0), t(12.0)); // fresh copy
+        o.assert_cache_consistent(ClientId(0), &cache);
+        assert_eq!(o.checks_performed(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "consistency violation")]
+    fn stale_valid_entry_is_caught() {
+        let mut o = Oracle::new();
+        o.record_update(t(10.0), ItemId(1));
+        let mut cache = LruCache::new(4);
+        // Claims validity at t=12 with a pre-update version.
+        cache.insert(ItemId(1), SimTime::ZERO, t(12.0));
+        o.assert_cache_consistent(ClientId(0), &cache);
+    }
+
+    #[test]
+    fn limbo_entries_are_exempt() {
+        let mut o = Oracle::new();
+        o.record_update(t(10.0), ItemId(1));
+        let mut cache = LruCache::new(4);
+        cache.insert(ItemId(1), SimTime::ZERO, t(12.0));
+        cache.mark_all_limbo();
+        o.assert_cache_consistent(ClientId(0), &cache);
+        assert_eq!(o.checks_performed(), 0);
+    }
+}

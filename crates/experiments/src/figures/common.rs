@@ -1,0 +1,171 @@
+//! Shared sweep building blocks.
+
+use mobicache_model::{Scheme, SimConfig, Workload};
+
+/// The four schemes of every paper plot, in the paper's legend order.
+pub fn paper_schemes() -> Vec<Scheme> {
+    vec![Scheme::Aaw, Scheme::Afw, Scheme::SimpleChecking, Scheme::Bs]
+}
+
+/// Database sizes swept in Figures 5/6 and 11/12 ("1000 to 80000 data
+/// items", Table 1).
+pub const DB_SIZES: [u32; 7] = [1_000, 5_000, 10_000, 20_000, 40_000, 60_000, 80_000];
+
+/// Disconnection probabilities swept in Figures 7/8 and 13/14.
+pub const DISC_PROBS: [f64; 8] = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8];
+
+/// Mean disconnection times for Figure 9 (x axis 200–2000 s).
+pub const DISC_TIMES_SHORT: [f64; 7] = [200.0, 500.0, 800.0, 1_100.0, 1_400.0, 1_700.0, 2_000.0];
+
+/// Mean disconnection times for Figure 10 (x axis up to 8000 s).
+pub const DISC_TIMES_LONG: [f64; 7] =
+    [500.0, 1_000.0, 2_000.0, 3_000.0, 4_000.0, 6_000.0, 8_000.0];
+
+/// Uplink bandwidths for the asymmetric-environment Figures 15/16
+/// (100–1000 bits/second).
+pub const UPLINK_BPS: [f64; 10] = [
+    100.0, 200.0, 300.0, 400.0, 500.0, 600.0, 700.0, 800.0, 900.0, 1_000.0,
+];
+
+/// Base config for the Figure 5/6 sweep: UNIFORM workload, p = 0.1,
+/// mean disconnection 4000 s, 2 % buffers.
+pub fn uniform_dbsweep_base() -> SimConfig {
+    let mut cfg = SimConfig::paper_default().with_workload(Workload::uniform());
+    cfg.p_disconnect = 0.1;
+    cfg.mean_disconnect_secs = 4_000.0;
+    cfg.cache_fraction = 0.02;
+    cfg
+}
+
+/// Base config for the Figure 7/8 sweep: UNIFORM, N = 10⁴, mean
+/// disconnection 400 s, 2 % buffers.
+pub fn uniform_probsweep_base() -> SimConfig {
+    let mut cfg = SimConfig::paper_default().with_workload(Workload::uniform());
+    cfg.db_size = 10_000;
+    cfg.mean_disconnect_secs = 400.0;
+    cfg.cache_fraction = 0.02;
+    cfg
+}
+
+/// Base config for the Figure 9/10 sweep: UNIFORM, N = 10⁴, p = 0.1,
+/// 1 % buffers.
+pub fn uniform_discsweep_base() -> SimConfig {
+    let mut cfg = SimConfig::paper_default().with_workload(Workload::uniform());
+    cfg.db_size = 10_000;
+    cfg.p_disconnect = 0.1;
+    cfg.cache_fraction = 0.01;
+    cfg
+}
+
+/// Base config for the Figure 11/12 sweep: HOTCOLD, p = 0.1, mean
+/// disconnection 400 s, 2 % buffers.
+pub fn hotcold_dbsweep_base() -> SimConfig {
+    let mut cfg = SimConfig::paper_default().with_workload(Workload::hotcold());
+    cfg.p_disconnect = 0.1;
+    cfg.mean_disconnect_secs = 400.0;
+    cfg.cache_fraction = 0.02;
+    cfg
+}
+
+/// Base config for the Figure 13/14 sweep: HOTCOLD, N = 10⁴, mean
+/// disconnection 400 s, 2 % buffers.
+pub fn hotcold_probsweep_base() -> SimConfig {
+    let mut cfg = SimConfig::paper_default().with_workload(Workload::hotcold());
+    cfg.db_size = 10_000;
+    cfg.mean_disconnect_secs = 400.0;
+    cfg.cache_fraction = 0.02;
+    cfg
+}
+
+/// Base config for the Figure 15/16 sweep: N = 5·10³, mean disconnection
+/// 4000 s, p = 0.1, 2 % buffers; the uplink bandwidth is the swept
+/// variable.
+pub fn asymmetric_base(workload: Workload) -> SimConfig {
+    let mut cfg = SimConfig::paper_default().with_workload(workload);
+    cfg.db_size = 5_000;
+    cfg.mean_disconnect_secs = 4_000.0;
+    cfg.p_disconnect = 0.1;
+    cfg.cache_fraction = 0.02;
+    cfg
+}
+
+/// Sweeps database size over a base config.
+pub fn db_points(base: SimConfig) -> Vec<(f64, SimConfig)> {
+    DB_SIZES
+        .iter()
+        .map(|&n| {
+            let mut cfg = base.clone();
+            cfg.db_size = n;
+            (n as f64, cfg)
+        })
+        .collect()
+}
+
+/// Sweeps disconnection probability over a base config.
+pub fn prob_points(base: SimConfig) -> Vec<(f64, SimConfig)> {
+    DISC_PROBS
+        .iter()
+        .map(|&p| {
+            let mut cfg = base.clone();
+            cfg.p_disconnect = p;
+            (p, cfg)
+        })
+        .collect()
+}
+
+/// Sweeps mean disconnection time over a base config.
+pub fn disc_points(base: SimConfig, times: &[f64]) -> Vec<(f64, SimConfig)> {
+    times
+        .iter()
+        .map(|&d| {
+            let mut cfg = base.clone();
+            cfg.mean_disconnect_secs = d;
+            (d, cfg)
+        })
+        .collect()
+}
+
+/// Sweeps uplink bandwidth over a base config.
+pub fn uplink_points(base: SimConfig) -> Vec<(f64, SimConfig)> {
+    UPLINK_BPS
+        .iter()
+        .map(|&bw| {
+            let mut cfg = base.clone();
+            cfg.uplink_bps = bw;
+            (bw, cfg)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_bases_validate() {
+        uniform_dbsweep_base().validate().unwrap();
+        uniform_probsweep_base().validate().unwrap();
+        uniform_discsweep_base().validate().unwrap();
+        hotcold_dbsweep_base().validate().unwrap();
+        hotcold_probsweep_base().validate().unwrap();
+        asymmetric_base(Workload::uniform()).validate().unwrap();
+    }
+
+    #[test]
+    fn sweeps_produce_expected_counts() {
+        assert_eq!(db_points(uniform_dbsweep_base()).len(), 7);
+        assert_eq!(prob_points(uniform_probsweep_base()).len(), 8);
+        assert_eq!(uplink_points(asymmetric_base(Workload::hotcold())).len(), 10);
+        assert_eq!(
+            disc_points(uniform_discsweep_base(), &DISC_TIMES_SHORT).len(),
+            7
+        );
+    }
+
+    #[test]
+    fn db_sweep_sets_db_size() {
+        let pts = db_points(uniform_dbsweep_base());
+        assert_eq!(pts[0].1.db_size, 1_000);
+        assert_eq!(pts[6].1.db_size, 80_000);
+    }
+}

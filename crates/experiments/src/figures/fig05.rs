@@ -1,0 +1,21 @@
+//! Figure 5: UNIFORM workload — queries answered vs database size.
+
+use super::common;
+use crate::spec::{FigureSpec, MetricKind};
+
+/// The spec.
+pub fn spec() -> FigureSpec {
+    FigureSpec {
+        id: "fig05",
+        paper_ref: "Figure 5",
+        title: "UNIFORM workload: throughput vs database size \
+                (p=0.1, mean disc 4000 s, buffer 2 %)",
+        x_label: "Database Size",
+        metric: MetricKind::QueriesAnswered,
+        schemes: common::paper_schemes(),
+        points: common::db_points(common::uniform_dbsweep_base()),
+        expected_shape: "BS throughput collapses as N grows (its report is ~2N bits per \
+                         period); the other three stay roughly flat, with simple checking \
+                         >= AAW >= AFW.",
+    }
+}

@@ -1,0 +1,21 @@
+//! Figure 6: UNIFORM workload — validity uplink cost vs database size.
+
+use super::common;
+use crate::spec::{FigureSpec, MetricKind};
+
+/// The spec.
+pub fn spec() -> FigureSpec {
+    FigureSpec {
+        id: "fig06",
+        paper_ref: "Figure 6",
+        title: "UNIFORM workload: uplink validity cost vs database size \
+                (p=0.1, mean disc 4000 s, buffer 2 %)",
+        x_label: "Database Size",
+        metric: MetricKind::ValidityBitsPerQuery,
+        schemes: common::paper_schemes(),
+        points: common::db_points(common::uniform_dbsweep_base()),
+        expected_shape: "BS pays zero uplink; the adaptive methods pay a small flat cost \
+                         (one Tlb timestamp per reconnection); simple checking pays the \
+                         most and its cost grows with N (cached ids+timestamps).",
+    }
+}

@@ -1,0 +1,22 @@
+//! Figure 7: UNIFORM workload — queries answered vs disconnection
+//! probability.
+
+use super::common;
+use crate::spec::{FigureSpec, MetricKind};
+
+/// The spec.
+pub fn spec() -> FigureSpec {
+    FigureSpec {
+        id: "fig07",
+        paper_ref: "Figure 7",
+        title: "UNIFORM workload: throughput vs disconnection probability \
+                (N=10^4, mean disc 400 s, buffer 2 %)",
+        x_label: "Probability of Disconnection in an Interval",
+        metric: MetricKind::QueriesAnswered,
+        schemes: common::paper_schemes(),
+        points: common::prob_points(common::uniform_probsweep_base()),
+        expected_shape: "All but BS decline slightly as p grows (more reconnection \
+                         traffic and adaptive BS broadcasts); AAW stays above AFW; BS \
+                         is lowest and flat.",
+    }
+}

@@ -1,0 +1,22 @@
+//! Figure 8: UNIFORM workload — validity uplink cost vs disconnection
+//! probability.
+
+use super::common;
+use crate::spec::{FigureSpec, MetricKind};
+
+/// The spec.
+pub fn spec() -> FigureSpec {
+    FigureSpec {
+        id: "fig08",
+        paper_ref: "Figure 8",
+        title: "UNIFORM workload: uplink validity cost vs disconnection probability \
+                (N=10^4, mean disc 400 s, buffer 2 %)",
+        x_label: "Probability of Disconnection in an Interval",
+        metric: MetricKind::ValidityBitsPerQuery,
+        schemes: common::paper_schemes(),
+        points: common::prob_points(common::uniform_probsweep_base()),
+        expected_shape: "Costs grow with p for every uplinking scheme; simple checking \
+                         grows fastest, the adaptive methods stay low and close to each \
+                         other, BS stays at zero.",
+    }
+}

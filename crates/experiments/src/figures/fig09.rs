@@ -1,0 +1,21 @@
+//! Figure 9: UNIFORM workload — queries answered vs mean disconnection
+//! time.
+
+use super::common;
+use crate::spec::{FigureSpec, MetricKind};
+
+/// The spec.
+pub fn spec() -> FigureSpec {
+    FigureSpec {
+        id: "fig09",
+        paper_ref: "Figure 9",
+        title: "UNIFORM workload: throughput vs mean disconnection time \
+                (N=10^4, p=0.1, buffer 1 %)",
+        x_label: "Mean Disconnection Time",
+        metric: MetricKind::QueriesAnswered,
+        schemes: common::paper_schemes(),
+        points: common::disc_points(common::uniform_discsweep_base(), &common::DISC_TIMES_SHORT),
+        expected_shape: "Mild decline with longer disconnections; AAW above AFW; BS \
+                         lowest (fixed report overhead), simple checking highest.",
+    }
+}

@@ -1,0 +1,20 @@
+//! Figure 10: UNIFORM workload — validity uplink cost vs mean
+//! disconnection time.
+
+use super::common;
+use crate::spec::{FigureSpec, MetricKind};
+
+/// The spec.
+pub fn spec() -> FigureSpec {
+    FigureSpec {
+        id: "fig10",
+        paper_ref: "Figure 10",
+        title: "UNIFORM workload: uplink validity cost vs mean disconnection time \
+                (N=10^4, p=0.1, buffer 1 %)",
+        x_label: "Mean Disconnection Time",
+        metric: MetricKind::ValidityBitsPerQuery,
+        schemes: common::paper_schemes(),
+        points: common::disc_points(common::uniform_discsweep_base(), &common::DISC_TIMES_LONG),
+        expected_shape: "Simple checking highest; adaptive methods low and flat; BS zero.",
+    }
+}

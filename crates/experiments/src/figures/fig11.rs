@@ -1,0 +1,21 @@
+//! Figure 11: HOTCOLD workload — queries answered vs database size.
+
+use super::common;
+use crate::spec::{FigureSpec, MetricKind};
+
+/// The spec.
+pub fn spec() -> FigureSpec {
+    FigureSpec {
+        id: "fig11",
+        paper_ref: "Figure 11",
+        title: "HOTCOLD workload: throughput vs database size \
+                (p=0.1, mean disc 400 s, buffer 2 %)",
+        x_label: "Database Size",
+        metric: MetricKind::QueriesAnswered,
+        schemes: common::paper_schemes(),
+        points: common::db_points(common::hotcold_dbsweep_base()),
+        expected_shape: "Throughput low below N=5000 (the 2 % cache is smaller than the \
+                         100-item hot set), then caching pays off: simple checking best, \
+                         AAW second, AFW third, BS worst and falling with N.",
+    }
+}

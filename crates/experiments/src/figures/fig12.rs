@@ -1,0 +1,20 @@
+//! Figure 12: HOTCOLD workload — validity uplink cost vs database size.
+
+use super::common;
+use crate::spec::{FigureSpec, MetricKind};
+
+/// The spec.
+pub fn spec() -> FigureSpec {
+    FigureSpec {
+        id: "fig12",
+        paper_ref: "Figure 12",
+        title: "HOTCOLD workload: uplink validity cost vs database size \
+                (p=0.1, mean disc 400 s, buffer 2 %)",
+        x_label: "Database Size",
+        metric: MetricKind::ValidityBitsPerQuery,
+        schemes: common::paper_schemes(),
+        points: common::db_points(common::hotcold_dbsweep_base()),
+        expected_shape: "Simple checking highest and growing with N; adaptive methods \
+                         low and flat; BS zero.",
+    }
+}

@@ -1,0 +1,20 @@
+//! Figure 13: HOTCOLD workload — queries answered vs disconnection
+//! probability.
+
+use super::common;
+use crate::spec::{FigureSpec, MetricKind};
+
+/// The spec.
+pub fn spec() -> FigureSpec {
+    FigureSpec {
+        id: "fig13",
+        paper_ref: "Figure 13",
+        title: "HOTCOLD workload: throughput vs disconnection probability \
+                (N=10^4, mean disc 400 s, buffer 2 %)",
+        x_label: "Probability of Disconnection in an Interval",
+        metric: MetricKind::QueriesAnswered,
+        schemes: common::paper_schemes(),
+        points: common::prob_points(common::hotcold_probsweep_base()),
+        expected_shape: "Throughput declines as p grows; simple checking >= AAW >= AFW > BS.",
+    }
+}

@@ -1,0 +1,21 @@
+//! Figure 14: HOTCOLD workload — validity uplink cost vs disconnection
+//! probability.
+
+use super::common;
+use crate::spec::{FigureSpec, MetricKind};
+
+/// The spec.
+pub fn spec() -> FigureSpec {
+    FigureSpec {
+        id: "fig14",
+        paper_ref: "Figure 14",
+        title: "HOTCOLD workload: uplink validity cost vs disconnection probability \
+                (N=10^4, mean disc 400 s, buffer 2 %)",
+        x_label: "Probability of Disconnection in an Interval",
+        metric: MetricKind::ValidityBitsPerQuery,
+        schemes: common::paper_schemes(),
+        points: common::prob_points(common::hotcold_probsweep_base()),
+        expected_shape: "Simple checking rises steeply with p; adaptive methods rise \
+                         slowly; BS stays at zero.",
+    }
+}

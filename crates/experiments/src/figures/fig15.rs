@@ -1,0 +1,24 @@
+//! Figure 15: asymmetric communication environment, UNIFORM workload —
+//! queries answered vs uplink bandwidth.
+
+use super::common;
+use crate::spec::{FigureSpec, MetricKind};
+use mobicache_model::Workload;
+
+/// The spec.
+pub fn spec() -> FigureSpec {
+    FigureSpec {
+        id: "fig15",
+        paper_ref: "Figure 15",
+        title: "Asymmetric environment, UNIFORM workload: throughput vs uplink \
+                bandwidth (N=5*10^3, mean disc 4000 s, buffer 2 %)",
+        x_label: "Uplink Bandwidth (bits/second)",
+        metric: MetricKind::QueriesAnswered,
+        schemes: common::paper_schemes(),
+        points: common::uplink_points(common::asymmetric_base(Workload::uniform())),
+        expected_shape: "Every curve rises with uplink bandwidth and flattens at the \
+                         downlink-bound plateau; below roughly 200 bits/second the \
+                         adaptive methods overtake simple checking (whose big check \
+                         messages starve the uplink).",
+    }
+}

@@ -1,0 +1,22 @@
+//! Figure 16: asymmetric communication environment, HOTCOLD workload —
+//! queries answered vs uplink bandwidth.
+
+use super::common;
+use crate::spec::{FigureSpec, MetricKind};
+use mobicache_model::Workload;
+
+/// The spec.
+pub fn spec() -> FigureSpec {
+    FigureSpec {
+        id: "fig16",
+        paper_ref: "Figure 16",
+        title: "Asymmetric environment, HOTCOLD workload: throughput vs uplink \
+                bandwidth (N=5*10^3, mean disc 4000 s, buffer 2 %)",
+        x_label: "Uplink Bandwidth (bits/second)",
+        metric: MetricKind::QueriesAnswered,
+        schemes: common::paper_schemes(),
+        points: common::uplink_points(common::asymmetric_base(Workload::hotcold())),
+        expected_shape: "Same crossover as Figure 15 at higher absolute throughput \
+                         (the hot set makes caching effective).",
+    }
+}

@@ -1,0 +1,103 @@
+//! The experiment registry: one module per paper figure plus the
+//! ablation extensions (see DESIGN.md §4 for the index).
+
+pub mod ablations;
+pub mod common;
+pub mod extensions;
+pub mod fig05;
+pub mod fig06;
+pub mod fig07;
+pub mod fig08;
+pub mod fig09;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig16;
+
+use crate::spec::FigureSpec;
+
+/// Every paper figure, in order.
+pub fn paper_figures() -> Vec<FigureSpec> {
+    vec![
+        fig05::spec(),
+        fig06::spec(),
+        fig07::spec(),
+        fig08::spec(),
+        fig09::spec(),
+        fig10::spec(),
+        fig11::spec(),
+        fig12::spec(),
+        fig13::spec(),
+        fig14::spec(),
+        fig15::spec(),
+        fig16::spec(),
+    ]
+}
+
+/// The ablation extensions beyond the paper's plots.
+pub fn ablation_figures() -> Vec<FigureSpec> {
+    ablations::all()
+}
+
+/// The extension experiments (future work, energy, GCORE, robustness).
+pub fn extension_figures() -> Vec<FigureSpec> {
+    extensions::all()
+}
+
+/// Every experiment the harness knows.
+pub fn all_figures() -> Vec<FigureSpec> {
+    let mut v = paper_figures();
+    v.extend(ablation_figures());
+    v.extend(extension_figures());
+    v
+}
+
+/// Looks up a spec by id.
+pub fn by_id(id: &str) -> Option<FigureSpec> {
+    all_figures().into_iter().find(|s| s.id == id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_all_paper_figures() {
+        let figs = paper_figures();
+        assert_eq!(figs.len(), 12);
+        for (i, f) in figs.iter().enumerate() {
+            assert_eq!(f.id, format!("fig{:02}", i + 5), "ordering broken");
+            assert!(!f.points.is_empty());
+            assert!(!f.schemes.is_empty());
+            for (_, cfg) in &f.points {
+                cfg.validate().unwrap_or_else(|e| panic!("{}: {e}", f.id));
+            }
+        }
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let figs = all_figures();
+        let mut ids: Vec<_> = figs.iter().map(|f| f.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), figs.len());
+    }
+
+    #[test]
+    fn lookup_by_id() {
+        assert!(by_id("fig05").is_some());
+        assert!(by_id("abl-window").is_some());
+        assert!(by_id("nope").is_none());
+    }
+
+    #[test]
+    fn paper_figures_use_the_paper_scheme_set() {
+        for f in paper_figures() {
+            assert_eq!(f.schemes.len(), 4, "{}", f.id);
+        }
+    }
+}

@@ -1,0 +1,246 @@
+//! Sweep execution.
+//!
+//! Runs every `(scheme, point)` job of a figure, fanning out over the
+//! available cores with scoped threads and a crossbeam work queue. Each
+//! job is an independent simulation (common random numbers: the same
+//! master seed, so streams match across schemes), so the fan-out is
+//! embarrassingly parallel; results are reassembled in spec order.
+
+use crate::spec::{FigureResult, FigureSpec, PointResult, SeriesResult};
+use crossbeam::channel;
+use mobicache::{run, RunOptions};
+use parking_lot::Mutex;
+use std::num::NonZeroUsize;
+use std::time::Instant;
+
+/// Scales a spec for quick smoke runs and benches.
+#[derive(Clone, Copy, Debug)]
+pub struct RunScale {
+    /// Multiplier on the simulated horizon (1.0 = the paper's 100 000 s).
+    pub time_factor: f64,
+    /// Cap on worker threads (`None` = all available cores).
+    pub max_threads: Option<usize>,
+    /// Independent replications per point (different derived seeds);
+    /// curves report the mean and standard error. The paper plots single
+    /// runs, so the default is 1.
+    pub replications: u32,
+}
+
+impl Default for RunScale {
+    fn default() -> Self {
+        RunScale {
+            time_factor: 1.0,
+            max_threads: None,
+            replications: 1,
+        }
+    }
+}
+
+impl RunScale {
+    /// A reduced-horizon scale for smoke tests and benches.
+    pub fn smoke() -> Self {
+        RunScale {
+            time_factor: 0.05,
+            max_threads: None,
+            replications: 1,
+        }
+    }
+
+    /// Builder-style replication count override.
+    pub fn with_replications(mut self, replications: u32) -> Self {
+        assert!(replications > 0, "need at least one replication");
+        self.replications = replications;
+        self
+    }
+}
+
+/// Executes every point of `spec` and reassembles the curves.
+///
+/// # Panics
+/// Panics if any underlying simulation rejects its configuration — specs
+/// are constructed from validated bases, so that is a programming error.
+pub fn run_figure(spec: &FigureSpec, scale: RunScale) -> FigureResult {
+    let started = Instant::now();
+    // Job list: (series index, point index, config).
+    let mut jobs = Vec::new();
+    for (si, &scheme) in spec.schemes.iter().enumerate() {
+        for (pi, (_, base)) in spec.points.iter().enumerate() {
+            let mut cfg = base.clone().with_scheme(scheme);
+            cfg.sim_time_secs = (cfg.sim_time_secs * scale.time_factor).max(
+                // Never shrink below a few broadcast periods.
+                10.0 * cfg.broadcast_period_secs,
+            );
+            jobs.push((si, pi, cfg));
+        }
+    }
+
+    let threads = scale
+        .max_threads
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+        .clamp(1, jobs.len().max(1));
+
+    let results: Mutex<Vec<(usize, usize, PointResult)>> =
+        Mutex::new(Vec::with_capacity(jobs.len()));
+    let (tx, rx) = channel::unbounded();
+    for job in jobs {
+        tx.send(job).expect("queue open");
+    }
+    drop(tx);
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let rx = rx.clone();
+            let results = &results;
+            let spec = &spec;
+            scope.spawn(move || {
+                while let Ok((si, pi, cfg)) = rx.recv() {
+                    // Replications vary the seed only; everything else is
+                    // common random numbers across schemes and points.
+                    let mut ys = mobicache_sim::OnlineStats::new();
+                    let mut first_metrics = None;
+                    for rep in 0..scale.replications {
+                        let rep_cfg = cfg
+                            .clone()
+                            .with_seed(cfg.seed.wrapping_add(rep as u64 * 0x9E37_79B9));
+                        let outcome = run(&rep_cfg, RunOptions::default())
+                            .unwrap_or_else(|e| panic!("{}: invalid config: {e}", spec.id));
+                        ys.record(spec.metric.extract(&outcome.metrics));
+                        if first_metrics.is_none() {
+                            first_metrics = Some(outcome.metrics);
+                        }
+                    }
+                    let n = ys.count() as f64;
+                    let stderr = if n > 1.0 {
+                        // Sample std dev over sqrt(n).
+                        (ys.variance() * n / (n - 1.0)).sqrt() / n.sqrt()
+                    } else {
+                        0.0
+                    };
+                    let x = spec.points[pi].0;
+                    results.lock().push((
+                        si,
+                        pi,
+                        PointResult {
+                            x,
+                            y: ys.mean(),
+                            y_stderr: stderr,
+                            replications: scale.replications,
+                            metrics: first_metrics.expect("at least one replication"),
+                        },
+                    ));
+                }
+            });
+        }
+    });
+
+    let mut collected = results.into_inner();
+    collected.sort_by_key(|&(si, pi, _)| (si, pi));
+    let mut series: Vec<SeriesResult> = spec
+        .schemes
+        .iter()
+        .map(|&scheme| SeriesResult {
+            scheme,
+            points: Vec::with_capacity(spec.points.len()),
+        })
+        .collect();
+    for (si, _, point) in collected {
+        series[si].points.push(point);
+    }
+
+    FigureResult {
+        id: spec.id.to_string(),
+        paper_ref: spec.paper_ref.to_string(),
+        title: spec.title.to_string(),
+        x_label: spec.x_label.to_string(),
+        y_label: spec.metric.label().to_string(),
+        series,
+        wall_secs: started.elapsed().as_secs_f64(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::MetricKind;
+    use mobicache_model::{Scheme, SimConfig};
+
+    fn tiny_spec() -> FigureSpec {
+        let mut base = SimConfig::paper_default();
+        base.sim_time_secs = 2_000.0;
+        base.db_size = 500;
+        base.num_clients = 10;
+        FigureSpec {
+            id: "test",
+            paper_ref: "none",
+            title: "test",
+            x_label: "x",
+            metric: MetricKind::QueriesAnswered,
+            schemes: vec![Scheme::Bs, Scheme::Aaw],
+            points: vec![(1.0, base.clone()), (2.0, base)],
+            expected_shape: "n/a",
+        }
+    }
+
+    #[test]
+    fn runner_preserves_order_and_shape() {
+        let result = run_figure(&tiny_spec(), RunScale::default());
+        assert_eq!(result.series.len(), 2);
+        assert_eq!(result.series[0].scheme, Scheme::Bs);
+        assert_eq!(result.series[1].scheme, Scheme::Aaw);
+        for s in &result.series {
+            assert_eq!(s.points.len(), 2);
+            assert_eq!(s.points[0].x, 1.0);
+            assert_eq!(s.points[1].x, 2.0);
+            assert!(s.points.iter().all(|p| p.y > 0.0));
+        }
+        assert!(result.wall_secs > 0.0);
+    }
+
+    #[test]
+    fn scale_shrinks_horizon_but_not_below_floor() {
+        let spec = tiny_spec();
+        let one = Some(1);
+        let full = run_figure(
+            &spec,
+            RunScale { time_factor: 1.0, max_threads: one, replications: 1 },
+        );
+        let small = run_figure(
+            &spec,
+            RunScale { time_factor: 0.1, max_threads: one, replications: 1 },
+        );
+        let yf = full.curve(Scheme::Bs)[0];
+        let ys = small.curve(Scheme::Bs)[0];
+        assert!(ys < yf, "shorter horizon answers fewer queries ({ys} !< {yf})");
+    }
+
+    #[test]
+    fn replications_produce_error_bars() {
+        let spec = tiny_spec();
+        let result = run_figure(&spec, RunScale::default().with_replications(3));
+        for s in &result.series {
+            for p in &s.points {
+                assert_eq!(p.replications, 3);
+                assert!(p.y > 0.0);
+                // Different seeds give slightly different throughput, so
+                // the spread is positive (run-length quantisation could in
+                // principle collapse it, but not at these sizes).
+                assert!(p.y_stderr > 0.0, "expected spread, got {}", p.y_stderr);
+            }
+        }
+    }
+
+    #[test]
+    fn single_replication_has_zero_stderr() {
+        let spec = tiny_spec();
+        let result = run_figure(&spec, RunScale::default());
+        assert!(result
+            .series
+            .iter()
+            .flat_map(|s| &s.points)
+            .all(|p| p.y_stderr == 0.0 && p.replications == 1));
+    }
+}

@@ -1,0 +1,114 @@
+//! Strongly typed identifiers.
+//!
+//! The database is "a collection of N named data items" (§2); items are the
+//! unit of update, query, caching, and invalidation. Clients are the mobile
+//! hosts. Both are dense indices, so `u32`/`u16` newtypes keep hot
+//! structures small (see the type-size guidance in the Rust perf book) while
+//! preventing accidental cross-use.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a database item, `0 .. N`.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct ItemId(pub u32);
+
+impl ItemId {
+    /// The dense index of this item.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for ItemId {
+    #[inline]
+    fn from(v: u32) -> Self {
+        ItemId(v)
+    }
+}
+
+impl fmt::Debug for ItemId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "item#{}", self.0)
+    }
+}
+
+impl fmt::Display for ItemId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Identifier of a mobile client, `0 .. num_clients`.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct ClientId(pub u16);
+
+impl ClientId {
+    /// The dense index of this client.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u16> for ClientId {
+    #[inline]
+    fn from(v: u16) -> Self {
+        ClientId(v)
+    }
+}
+
+impl fmt::Debug for ClientId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "client#{}", self.0)
+    }
+}
+
+impl fmt::Display for ClientId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn item_id_roundtrip() {
+        let id = ItemId::from(42u32);
+        assert_eq!(id.index(), 42);
+        assert_eq!(format!("{id}"), "42");
+        assert_eq!(format!("{id:?}"), "item#42");
+    }
+
+    #[test]
+    fn client_id_roundtrip() {
+        let id = ClientId::from(7u16);
+        assert_eq!(id.index(), 7);
+        assert_eq!(format!("{id:?}"), "client#7");
+    }
+
+    #[test]
+    fn ids_are_hashable_and_ordered() {
+        let mut set = HashSet::new();
+        set.insert(ItemId(1));
+        set.insert(ItemId(1));
+        set.insert(ItemId(2));
+        assert_eq!(set.len(), 2);
+        assert!(ItemId(1) < ItemId(2));
+    }
+
+    #[test]
+    fn type_sizes_stay_small() {
+        // Hot structures index by these; keep them word-fraction sized.
+        assert_eq!(std::mem::size_of::<ItemId>(), 4);
+        assert_eq!(std::mem::size_of::<ClientId>(), 2);
+    }
+}

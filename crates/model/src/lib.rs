@@ -1,0 +1,22 @@
+//! # mobicache-model — shared domain model
+//!
+//! Core vocabulary shared by every crate in the workspace:
+//!
+//! * [`ids`] — strongly typed item and client identifiers.
+//! * [`params`] — the simulation parameter set, encoding the paper's
+//!   Table 1 defaults, plus the [`params::Scheme`] enumeration of
+//!   invalidation strategies.
+//! * [`msg`] — the uplink/downlink message taxonomy with bit-level size
+//!   accounting (the simulator charges channels by message size, so size
+//!   formulas live next to the message definitions).
+//! * [`units`] — small helpers for bits/bytes/bandwidth conversions.
+
+pub mod ids;
+pub mod msg;
+pub mod params;
+pub mod units;
+
+pub use ids::{ClientId, ItemId};
+pub use msg::{DownlinkKind, SizeParams, UplinkKind};
+pub use params::{CheckingMode, DownlinkTopology, Pattern, Scheme, SimConfig, Workload};
+pub use units::{bits_of_bytes, bits_per_id, Bits};

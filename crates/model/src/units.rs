@@ -1,0 +1,50 @@
+//! Bits, bytes and bandwidth helpers.
+//!
+//! All channel accounting is done in **bits** (the paper reports "uplink
+//! communication cost per query (bits/query)" and bandwidths in bits per
+//! second), carried as `f64` so fractional analytic sizes such as
+//! `log₂N` compose cleanly.
+
+/// A quantity of bits.
+pub type Bits = f64;
+
+/// Converts a byte count to bits.
+#[inline]
+pub fn bits_of_bytes(bytes: u64) -> Bits {
+    (bytes * 8) as f64
+}
+
+/// Number of bits needed to name one of `n` items: `⌈log₂ n⌉`, minimum 1.
+///
+/// This is the `log₂N` factor in the paper's report-size formulas
+/// (`IR(w)` is `n_w · (log₂N + b_T)` bits; `IR(BS)` is `2N + b_T·log₂N`).
+#[inline]
+pub fn bits_per_id(n: u64) -> Bits {
+    if n <= 1 {
+        1.0
+    } else {
+        ((n as f64).log2().ceil()).max(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_to_bits() {
+        assert_eq!(bits_of_bytes(512), 4096.0);
+        assert_eq!(bits_of_bytes(8192), 65536.0);
+        assert_eq!(bits_of_bytes(0), 0.0);
+    }
+
+    #[test]
+    fn id_width_is_ceil_log2() {
+        assert_eq!(bits_per_id(1), 1.0);
+        assert_eq!(bits_per_id(2), 1.0);
+        assert_eq!(bits_per_id(1000), 10.0);
+        assert_eq!(bits_per_id(1024), 10.0);
+        assert_eq!(bits_per_id(1025), 11.0);
+        assert_eq!(bits_per_id(80_000), 17.0);
+    }
+}

@@ -1,0 +1,123 @@
+//! Property tests for the `AT` and `SIG` report algorithms.
+
+use mobicache_model::ItemId;
+use mobicache_reports::{AtDecision, AtReport, SigDecision, SigReport, Signer};
+use mobicache_sim::SimTime;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn t(s: f64) -> SimTime {
+    SimTime::from_secs(s)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// AT soundness: a covered client never keeps an item listed in the
+    /// report, and never drops an unlisted one.
+    #[test]
+    fn at_invalidation_is_exact_for_covered_clients(
+        listed in prop::collection::hash_set(0u32..64, 0..20),
+        cached in prop::collection::hash_set(0u32..64, 0..20),
+    ) {
+        let report = AtReport {
+            broadcast_at: t(100.0),
+            prev_broadcast: t(80.0),
+            items: listed.iter().copied().map(ItemId).collect(),
+        };
+        match report.decide(t(80.0), cached.iter().copied().map(ItemId)) {
+            AtDecision::Invalidate(stale) => {
+                for item in &cached {
+                    let should_drop = listed.contains(item);
+                    prop_assert_eq!(stale.contains(&ItemId(*item)), should_drop);
+                }
+            }
+            other => return Err(TestCaseError::fail(format!("covered client got {other:?}"))),
+        }
+    }
+
+    /// AT refuses any client that missed even part of the last interval.
+    #[test]
+    fn at_refuses_stale_clients(tlb in 0.0..79.99f64) {
+        let report = AtReport {
+            broadcast_at: t(100.0),
+            prev_broadcast: t(80.0),
+            items: vec![],
+        };
+        prop_assert_eq!(report.decide(t(tlb), vec![ItemId(0)]), AtDecision::NotCovered);
+    }
+
+    /// SIG has no false negatives: every genuinely updated cached item is
+    /// flagged (XOR cancellation across 32x32-bit signatures is
+    /// negligible at these sizes, and the seed is fixed).
+    #[test]
+    fn sig_flags_every_updated_cached_item(
+        updates in prop::collection::hash_map(0u32..128, 1.0f64..100.0, 1..10),
+        cached in prop::collection::hash_set(0u32..128, 0..40),
+    ) {
+        let signer = Signer::new(32, 32, 42);
+        let n = 128usize;
+        let base_versions = vec![SimTime::ZERO; n];
+        let baseline = signer.combine(&base_versions);
+        let mut versions = base_versions;
+        for (&item, &ts) in &updates {
+            versions[item as usize] = t(ts);
+        }
+        let report = SigReport { broadcast_at: t(200.0), combined: signer.combine(&versions) };
+        match report.decide(&signer, Some(&baseline), cached.iter().copied().map(ItemId)) {
+            SigDecision::Invalidate(flagged) => {
+                for item in cached.iter().filter(|i| updates.contains_key(i)) {
+                    prop_assert!(
+                        flagged.contains(&ItemId(*item)),
+                        "updated item {} not flagged", item
+                    );
+                }
+            }
+            other => return Err(TestCaseError::fail(format!("{other:?}"))),
+        }
+    }
+
+    /// SIG with an unchanged database flags nothing.
+    #[test]
+    fn sig_unchanged_database_flags_nothing(
+        cached in prop::collection::hash_set(0u32..128, 0..40),
+        seed in 0u64..1000,
+    ) {
+        let signer = Signer::new(32, 32, seed);
+        let versions = vec![SimTime::ZERO; 128];
+        let baseline = signer.combine(&versions);
+        let report = SigReport { broadcast_at: t(10.0), combined: signer.combine(&versions) };
+        match report.decide(&signer, Some(&baseline), cached.into_iter().map(ItemId)) {
+            SigDecision::Invalidate(flagged) => prop_assert!(flagged.is_empty()),
+            other => return Err(TestCaseError::fail(format!("{other:?}"))),
+        }
+    }
+
+    /// The incremental XOR maintenance used by the server equals batch
+    /// recomputation for any update sequence.
+    #[test]
+    fn sig_incremental_equals_batch(
+        updates in prop::collection::vec((0u32..64, 1.0f64..1000.0), 0..50),
+    ) {
+        let signer = Signer::new(16, 24, 9);
+        let n = 64usize;
+        let mut versions = vec![SimTime::ZERO; n];
+        let mut combined = signer.combine(&versions);
+        let mut latest: HashMap<u32, f64> = HashMap::new();
+        // Apply updates in increasing-time order, as the server would.
+        let mut ordered = updates.clone();
+        ordered.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        for (item, ts) in ordered {
+            let prev = latest.insert(item, ts).map_or(SimTime::ZERO, t);
+            let delta = signer.item_signature(ItemId(item), prev)
+                ^ signer.item_signature(ItemId(item), t(ts));
+            for (j, sig) in combined.iter_mut().enumerate() {
+                if signer.is_member(j as u32, ItemId(item)) {
+                    *sig ^= delta;
+                }
+            }
+            versions[item as usize] = t(ts);
+        }
+        prop_assert_eq!(combined, signer.combine(&versions));
+    }
+}

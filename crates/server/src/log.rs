@@ -1,0 +1,191 @@
+//! The server's update history.
+//!
+//! Three access paths, all cheap:
+//!
+//! * **point lookup** — the current version (last update time) of an item,
+//!   for data delivery and validity checking: `O(1)`;
+//! * **window extraction** — every item updated after a timestamp, for
+//!   `TS` window reports (plain, enlarged, and `AT`): `O(log U + k)` via a
+//!   recency-ordered index (`U` = items ever updated, `k` = result size);
+//! * **recency scan** — items ordered most-recently-updated first, for
+//!   bit-sequence construction: iterator over the same index.
+
+use mobicache_model::ItemId;
+use mobicache_sim::SimTime;
+use std::collections::BTreeSet;
+use std::ops::Bound;
+
+/// Per-item last-update times with a recency index.
+pub struct UpdateLog {
+    db_size: u32,
+    /// Last update time per item; `None` until first updated. Initial
+    /// versions are [`SimTime::ZERO`] — matching clients, which treat a
+    /// never-updated item's version as zero.
+    last_update: Vec<Option<SimTime>>,
+    /// `(last_update, item)` ordered index over ever-updated items.
+    recency: BTreeSet<(SimTime, ItemId)>,
+    total_updates: u64,
+}
+
+impl UpdateLog {
+    /// An empty log over `db_size` items.
+    pub fn new(db_size: u32) -> Self {
+        assert!(db_size > 0, "empty database");
+        UpdateLog {
+            db_size,
+            last_update: vec![None; db_size as usize],
+            recency: BTreeSet::new(),
+            total_updates: 0,
+        }
+    }
+
+    /// Database size `N`.
+    pub fn db_size(&self) -> u32 {
+        self.db_size
+    }
+
+    /// Total update events applied (not distinct items).
+    pub fn total_updates(&self) -> u64 {
+        self.total_updates
+    }
+
+    /// Number of items updated at least once.
+    pub fn distinct_updated(&self) -> usize {
+        self.recency.len()
+    }
+
+    /// Records an update of `item` at time `now`. Returns the item's
+    /// previous version (`SimTime::ZERO` if never updated).
+    ///
+    /// # Panics
+    /// Panics if `item` is out of range or time goes backwards for the
+    /// item.
+    pub fn apply_update(&mut self, now: SimTime, item: ItemId) -> SimTime {
+        let slot = &mut self.last_update[item.index()];
+        let prev = match *slot {
+            Some(prev) => {
+                assert!(prev <= now, "update time went backwards for {item:?}");
+                self.recency.remove(&(prev, item));
+                prev
+            }
+            None => SimTime::ZERO,
+        };
+        *slot = Some(now);
+        self.recency.insert((now, item));
+        self.total_updates += 1;
+        prev
+    }
+
+    /// The item's current version: its last update time, or
+    /// [`SimTime::ZERO`] if never updated.
+    #[inline]
+    pub fn version(&self, item: ItemId) -> SimTime {
+        self.last_update[item.index()].unwrap_or(SimTime::ZERO)
+    }
+
+    /// `true` when the cached copy `version` of `item` is still current.
+    #[inline]
+    pub fn is_valid(&self, item: ItemId, version: SimTime) -> bool {
+        self.version(item) <= version
+    }
+
+    /// Time of the most recent update anywhere, if any (`TS(B_0)`).
+    pub fn latest_update(&self) -> Option<SimTime> {
+        self.recency.iter().next_back().map(|&(ts, _)| ts)
+    }
+
+    /// Every item updated strictly after `since`, as `(item, ts)` pairs
+    /// (unordered).
+    pub fn updates_since(&self, since: SimTime) -> Vec<(ItemId, SimTime)> {
+        self.recency
+            .range((Bound::Excluded((since, ItemId(u32::MAX))), Bound::Unbounded))
+            .map(|&(ts, item)| (item, ts))
+            .collect()
+    }
+
+    /// Number of items updated strictly after `since`.
+    pub fn count_since(&self, since: SimTime) -> usize {
+        self.recency
+            .range((Bound::Excluded((since, ItemId(u32::MAX))), Bound::Unbounded))
+            .count()
+    }
+
+    /// Items ordered most recently updated first.
+    pub fn recency_desc(&self) -> impl Iterator<Item = (ItemId, SimTime)> + '_ {
+        self.recency.iter().rev().map(|&(ts, item)| (item, ts))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn versions_start_at_zero() {
+        let log = UpdateLog::new(10);
+        assert_eq!(log.version(ItemId(3)), SimTime::ZERO);
+        assert!(log.is_valid(ItemId(3), SimTime::ZERO));
+        assert_eq!(log.latest_update(), None);
+    }
+
+    #[test]
+    fn apply_and_lookup() {
+        let mut log = UpdateLog::new(10);
+        let prev = log.apply_update(t(5.0), ItemId(2));
+        assert_eq!(prev, SimTime::ZERO);
+        assert_eq!(log.version(ItemId(2)), t(5.0));
+        assert!(!log.is_valid(ItemId(2), t(4.0)));
+        assert!(log.is_valid(ItemId(2), t(5.0)));
+        let prev = log.apply_update(t(9.0), ItemId(2));
+        assert_eq!(prev, t(5.0));
+        assert_eq!(log.total_updates(), 2);
+        assert_eq!(log.distinct_updated(), 1);
+    }
+
+    #[test]
+    fn updates_since_is_strict() {
+        let mut log = UpdateLog::new(10);
+        log.apply_update(t(1.0), ItemId(1));
+        log.apply_update(t(2.0), ItemId(2));
+        log.apply_update(t(3.0), ItemId(3));
+        let mut got = log.updates_since(t(2.0));
+        got.sort_unstable_by_key(|&(i, _)| i);
+        assert_eq!(got, vec![(ItemId(3), t(3.0))]);
+        assert_eq!(log.count_since(t(0.0)), 3);
+        assert_eq!(log.count_since(t(3.0)), 0);
+    }
+
+    #[test]
+    fn reupdate_moves_item_in_recency() {
+        let mut log = UpdateLog::new(10);
+        log.apply_update(t(1.0), ItemId(1));
+        log.apply_update(t(2.0), ItemId(2));
+        log.apply_update(t(3.0), ItemId(1));
+        let order: Vec<ItemId> = log.recency_desc().map(|(i, _)| i).collect();
+        assert_eq!(order, vec![ItemId(1), ItemId(2)]);
+        // The stale (1.0, item1) entry must be gone.
+        assert_eq!(log.count_since(t(0.0)), 2);
+        assert_eq!(log.latest_update(), Some(t(3.0)));
+    }
+
+    #[test]
+    fn recency_breaks_timestamp_ties_deterministically() {
+        let mut log = UpdateLog::new(10);
+        log.apply_update(t(1.0), ItemId(5));
+        log.apply_update(t(1.0), ItemId(3));
+        let order: Vec<ItemId> = log.recency_desc().map(|(i, _)| i).collect();
+        assert_eq!(order, vec![ItemId(5), ItemId(3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "backwards")]
+    fn time_travel_rejected() {
+        let mut log = UpdateLog::new(10);
+        log.apply_update(t(5.0), ItemId(1));
+        log.apply_update(t(4.0), ItemId(1));
+    }
+}

@@ -1,0 +1,561 @@
+//! The broadcast server: report construction and the adaptive decision.
+
+use crate::log::UpdateLog;
+use mobicache_model::msg::SizeParams;
+use mobicache_model::{ItemId, Scheme};
+use mobicache_reports::{AtReport, BitSequences, ReportPayload, SigReport, Signer, WindowReport};
+use mobicache_sim::SimTime;
+
+/// Counters describing the server's behaviour over a run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServerCounters {
+    /// Plain `IR(w)` window reports broadcast.
+    pub window_reports: u64,
+    /// AAW enlarged-window reports broadcast.
+    pub enlarged_reports: u64,
+    /// Bit-sequence reports broadcast.
+    pub bs_reports: u64,
+    /// Amnesic-terminals reports broadcast.
+    pub at_reports: u64,
+    /// Signature reports broadcast.
+    pub sig_reports: u64,
+    /// `Tlb` messages received from clients.
+    pub tlbs_received: u64,
+    /// Validity-check requests processed.
+    pub checks_processed: u64,
+    /// Update transactions applied.
+    pub txns_applied: u64,
+    /// Individual item updates applied.
+    pub updates_applied: u64,
+}
+
+/// Answer to a validity-check request.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ValidityVerdict {
+    /// Server time the verdict is valid as of.
+    pub asof: SimTime,
+    /// The checked items that are still valid.
+    pub valid: Vec<ItemId>,
+    /// Number of items checked (sizes the downlink validity report).
+    pub checked: u32,
+}
+
+/// Answer to a grouped-checking request (GCORE-like extension).
+#[derive(Clone, Debug, PartialEq)]
+pub struct GroupVerdict {
+    /// Server time the verdict is valid as of.
+    pub asof: SimTime,
+    /// `false` when some group's `Tlb` predates the retention window —
+    /// the client must drop its cache.
+    pub covered: bool,
+    /// Items of the checked groups updated since their `Tlb`s.
+    pub stale: Vec<ItemId>,
+}
+
+/// The stateless broadcast server.
+pub struct Server {
+    scheme: Scheme,
+    params: SizeParams,
+    window_secs: f64,
+    log: UpdateLog,
+    /// `Tlb`s uplinked since the last report build (cleared each period —
+    /// the only per-period client feedback the adaptive schemes keep).
+    pending_tlbs: Vec<SimTime>,
+    prev_broadcast: SimTime,
+    /// Signature state (maintained incrementally when running `SIG`).
+    signer: Signer,
+    combined: Option<Vec<u64>>,
+    /// Grouped-checking parameters: `(group count, retention seconds)`.
+    gcore: (u32, f64),
+    counters: ServerCounters,
+}
+
+impl Server {
+    /// A server for `scheme` over a database of `db_size` items, with the
+    /// invalidation window `w · L` in seconds.
+    pub fn new(scheme: Scheme, db_size: u32, window_secs: f64, params: SizeParams) -> Self {
+        let signer = Signer::new(32, 32, 0x5161_5161);
+        let combined = (scheme == Scheme::Sig).then(|| {
+            signer.combine(&vec![SimTime::ZERO; db_size as usize])
+        });
+        Server {
+            scheme,
+            params,
+            window_secs,
+            log: UpdateLog::new(db_size),
+            pending_tlbs: Vec::new(),
+            prev_broadcast: SimTime::ZERO,
+            signer,
+            combined,
+            gcore: (64, 100.0 * window_secs),
+            counters: ServerCounters::default(),
+        }
+    }
+
+    /// Sets the grouped-checking parameters (group count and retention
+    /// window in seconds). Only meaningful under [`Scheme::Gcore`].
+    pub fn configure_gcore(&mut self, groups: u32, retention_secs: f64) {
+        assert!(groups > 0, "need at least one group");
+        assert!(retention_secs > 0.0, "retention must be positive");
+        self.gcore = (groups, retention_secs);
+    }
+
+    /// The group an item belongs to (round-robin partition).
+    #[inline]
+    pub fn group_of(item: ItemId, groups: u32) -> u32 {
+        item.0 % groups
+    }
+
+    /// Answers a grouped-checking request: for each `(group, Tlb)` pair,
+    /// the items of that group updated since the `Tlb` — unless any
+    /// `Tlb` predates the retention window, in which case the verdict is
+    /// uncovered and the client drops its cache.
+    pub fn process_group_check(
+        &mut self,
+        now: SimTime,
+        groups: &[(u32, SimTime)],
+    ) -> GroupVerdict {
+        self.counters.checks_processed += 1;
+        let (group_count, retention_secs) = self.gcore;
+        let horizon = SimTime::from_secs(now.as_secs() - retention_secs);
+        if groups.iter().any(|&(_, tlb)| tlb < horizon) {
+            return GroupVerdict {
+                asof: now,
+                covered: false,
+                stale: Vec::new(),
+            };
+        }
+        let mut stale = Vec::new();
+        for &(group, tlb) in groups {
+            for (item, _) in self.log.updates_since(tlb) {
+                if Self::group_of(item, group_count) == group {
+                    stale.push(item);
+                }
+            }
+        }
+        stale.sort_unstable();
+        stale.dedup();
+        GroupVerdict {
+            asof: now,
+            covered: true,
+            stale,
+        }
+    }
+
+    /// The scheme this server runs.
+    pub fn scheme(&self) -> Scheme {
+        self.scheme
+    }
+
+    /// The signature parameters (used by `SIG` clients).
+    pub fn signer(&self) -> Signer {
+        self.signer
+    }
+
+    /// Read access to the update history (the simulation oracle uses
+    /// this as ground truth).
+    pub fn log(&self) -> &UpdateLog {
+        &self.log
+    }
+
+    /// Behaviour counters.
+    pub fn counters(&self) -> ServerCounters {
+        self.counters
+    }
+
+    /// Applies one update transaction touching `items` at time `now`.
+    pub fn apply_txn(&mut self, now: SimTime, items: &[ItemId]) {
+        self.counters.txns_applied += 1;
+        for &item in items {
+            let prev = self.log.apply_update(now, item);
+            self.counters.updates_applied += 1;
+            if let Some(combined) = &mut self.combined {
+                // Incremental signature maintenance: swap the item's old
+                // signature for the new one in every subset containing it.
+                let delta = self.signer.item_signature(item, prev)
+                    ^ self.signer.item_signature(item, now);
+                for (j, sig) in combined.iter_mut().enumerate() {
+                    if self.signer.is_member(j as u32, item) {
+                        *sig ^= delta;
+                    }
+                }
+            }
+        }
+    }
+
+    /// The current version of an item (for data delivery).
+    #[inline]
+    pub fn version(&self, item: ItemId) -> SimTime {
+        self.log.version(item)
+    }
+
+    /// Records a `Tlb` uplinked by a reconnecting adaptive-scheme client.
+    pub fn receive_tlb(&mut self, tlb: SimTime) {
+        self.counters.tlbs_received += 1;
+        self.pending_tlbs.push(tlb);
+    }
+
+    /// Answers a simple-checking validity request: which of the client's
+    /// `(item, version)` pairs are still current.
+    pub fn process_check(&mut self, now: SimTime, entries: &[(ItemId, SimTime)]) -> ValidityVerdict {
+        self.counters.checks_processed += 1;
+        ValidityVerdict {
+            asof: now,
+            valid: entries
+                .iter()
+                .filter(|&&(item, version)| self.log.is_valid(item, version))
+                .map(|&(item, _)| item)
+                .collect(),
+            checked: entries.len() as u32,
+        }
+    }
+
+    /// Start of the default window for a report broadcast at `now`
+    /// (`T − w·L`; may be negative early in the run, which simply means
+    /// the report covers the whole history so far).
+    fn window_start(&self, now: SimTime) -> SimTime {
+        SimTime::from_secs(now.as_secs() - self.window_secs)
+    }
+
+    fn build_window(&self, now: SimTime, history_since: SimTime, dummy: Option<SimTime>) -> WindowReport {
+        WindowReport {
+            broadcast_at: now,
+            window_start: self.window_start(now),
+            records: self.log.updates_since(history_since),
+            dummy,
+        }
+    }
+
+    fn build_bs(&self, now: SimTime) -> BitSequences {
+        BitSequences::from_recency(now, self.log.db_size(), self.log.recency_desc())
+    }
+
+    /// A pending `Tlb` is *eligible* for bit-sequence salvage when it
+    /// falls outside the default window but within BS reach
+    /// (`TS(B_n) ≤ Tlb ≤ T − w·L`, Figure 3). `TS(B_n) ≤ Tlb` is
+    /// equivalent to "at most `N/2` items updated after `Tlb`".
+    fn eligible_tlbs(&self, now: SimTime) -> Vec<SimTime> {
+        let wstart = self.window_start(now);
+        let half = (self.log.db_size() / 2) as usize;
+        self.pending_tlbs
+            .iter()
+            .copied()
+            .filter(|&tlb| tlb < wstart && self.log.count_since(tlb) <= half)
+            .collect()
+    }
+
+    /// Builds the invalidation report for the broadcast at `now`,
+    /// consuming the period's pending `Tlb`s.
+    pub fn build_report(&mut self, now: SimTime) -> ReportPayload {
+        let report = match self.scheme {
+            Scheme::TsNoCheck | Scheme::SimpleChecking | Scheme::Gcore => {
+                self.counters.window_reports += 1;
+                ReportPayload::Window(self.build_window(now, self.window_start(now), None))
+            }
+            Scheme::At => {
+                self.counters.at_reports += 1;
+                let items = self
+                    .log
+                    .updates_since(self.prev_broadcast)
+                    .into_iter()
+                    .map(|(item, _)| item)
+                    .collect();
+                ReportPayload::At(AtReport {
+                    broadcast_at: now,
+                    prev_broadcast: self.prev_broadcast,
+                    items,
+                })
+            }
+            Scheme::Bs => {
+                self.counters.bs_reports += 1;
+                ReportPayload::BitSeq(self.build_bs(now))
+            }
+            Scheme::Sig => {
+                self.counters.sig_reports += 1;
+                ReportPayload::Sig(
+                    SigReport {
+                        broadcast_at: now,
+                        combined: self.combined.clone().expect("SIG state maintained"),
+                    },
+                    self.signer,
+                )
+            }
+            Scheme::Afw => {
+                // Figure 3: broadcast BS iff some pending Tlb needs (and
+                // can use) more history than the window provides.
+                let eligible = !self.eligible_tlbs(now).is_empty();
+                if eligible {
+                    self.counters.bs_reports += 1;
+                    ReportPayload::BitSeq(self.build_bs(now))
+                } else {
+                    self.counters.window_reports += 1;
+                    ReportPayload::Window(self.build_window(now, self.window_start(now), None))
+                }
+            }
+            Scheme::Aaw => {
+                // Figure 4: between BS and the enlarged window, pick the
+                // smaller report.
+                match self.eligible_tlbs(now).into_iter().min() {
+                    None => {
+                        self.counters.window_reports += 1;
+                        ReportPayload::Window(self.build_window(now, self.window_start(now), None))
+                    }
+                    Some(min_tlb) => {
+                        let n_enlarged = self.log.count_since(min_tlb) as f64 + 1.0;
+                        let enlarged_bits =
+                            self.params.timestamp_bits + n_enlarged * self.params.record_bits();
+                        let bs_bits = 2.0 * self.log.db_size() as f64
+                            + self.params.timestamp_bits
+                                * mobicache_model::units::bits_per_id(self.log.db_size() as u64);
+                        if enlarged_bits <= bs_bits {
+                            self.counters.enlarged_reports += 1;
+                            ReportPayload::Window(self.build_window(now, min_tlb, Some(min_tlb)))
+                        } else {
+                            self.counters.bs_reports += 1;
+                            ReportPayload::BitSeq(self.build_bs(now))
+                        }
+                    }
+                }
+            }
+        };
+        self.pending_tlbs.clear();
+        self.prev_broadcast = now;
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mobicache_reports::BsDecision;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn params(db: u64) -> SizeParams {
+        SizeParams {
+            db_size: db,
+            group_count: 64,
+            timestamp_bits: 48.0,
+            header_bits: 64.0,
+            control_bytes: 512,
+            item_bytes: 8192,
+        }
+    }
+
+    fn server(scheme: Scheme, db: u32) -> Server {
+        Server::new(scheme, db, 200.0, params(db as u64))
+    }
+
+    #[test]
+    fn window_report_covers_default_window() {
+        let mut s = server(Scheme::SimpleChecking, 100);
+        s.apply_txn(t(100.0), &[ItemId(1)]);
+        s.apply_txn(t(900.0), &[ItemId(2)]);
+        let r = s.build_report(t(1000.0));
+        match r {
+            ReportPayload::Window(w) => {
+                assert_eq!(w.window_start, t(800.0));
+                assert_eq!(w.records, vec![(ItemId(2), t(900.0))]);
+                assert_eq!(w.dummy, None);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(s.counters().window_reports, 1);
+    }
+
+    #[test]
+    fn afw_broadcasts_window_without_pending_tlbs() {
+        let mut s = server(Scheme::Afw, 100);
+        assert!(matches!(s.build_report(t(1000.0)), ReportPayload::Window(_)));
+    }
+
+    #[test]
+    fn afw_switches_to_bs_for_eligible_tlb() {
+        let mut s = server(Scheme::Afw, 100);
+        s.apply_txn(t(500.0), &[ItemId(1)]);
+        // Tlb = 300 < window start (800) and only 1 item updated since.
+        s.receive_tlb(t(300.0));
+        let r = s.build_report(t(1000.0));
+        assert!(r.is_bitseq(), "eligible Tlb must trigger BS, got {r:?}");
+        // The pending Tlb is consumed: next period reverts to the window.
+        assert!(matches!(s.build_report(t(1020.0)), ReportPayload::Window(_)));
+        assert_eq!(s.counters().bs_reports, 1);
+        assert_eq!(s.counters().window_reports, 1);
+    }
+
+    #[test]
+    fn afw_ignores_tlb_within_window() {
+        let mut s = server(Scheme::Afw, 100);
+        s.receive_tlb(t(900.0)); // inside [800, 1000]
+        assert!(matches!(s.build_report(t(1000.0)), ReportPayload::Window(_)));
+    }
+
+    #[test]
+    fn afw_ignores_tlb_below_bs_reach() {
+        // More than half the database updated after the Tlb: BS cannot
+        // salvage that client, so don't waste a BS broadcast (Figure 3).
+        let mut s = server(Scheme::Afw, 10);
+        for i in 0..6u32 {
+            s.apply_txn(t(500.0 + i as f64), &[ItemId(i)]);
+        }
+        s.receive_tlb(t(100.0));
+        assert!(matches!(s.build_report(t(1000.0)), ReportPayload::Window(_)));
+    }
+
+    #[test]
+    fn aaw_prefers_small_enlarged_window() {
+        let mut s = server(Scheme::Aaw, 10_000);
+        s.apply_txn(t(500.0), &[ItemId(1), ItemId(2)]);
+        s.receive_tlb(t(300.0));
+        let r = s.build_report(t(1000.0));
+        match r {
+            ReportPayload::Window(w) => {
+                assert_eq!(w.dummy, Some(t(300.0)));
+                // Enlarged history reaches back to the Tlb.
+                assert_eq!(w.records.len(), 2);
+                assert!(w.covers(t(300.0)));
+            }
+            other => panic!("expected enlarged window, got {other:?}"),
+        }
+        assert_eq!(s.counters().enlarged_reports, 1);
+    }
+
+    #[test]
+    fn aaw_falls_back_to_bs_when_enlarged_window_is_bigger() {
+        // Tiny database, lots of distinct updates since the Tlb: the
+        // enlarged window would list them all and exceed 2N + bT·log N.
+        let mut s = server(Scheme::Aaw, 16);
+        for i in 0..8u32 {
+            s.apply_txn(t(500.0 + i as f64), &[ItemId(i)]);
+        }
+        s.receive_tlb(t(100.0));
+        let r = s.build_report(t(1000.0));
+        assert!(r.is_bitseq(), "expected BS, got {r:?}");
+    }
+
+    #[test]
+    fn aaw_enlarged_report_salvages_the_requesting_client() {
+        let mut s = server(Scheme::Aaw, 10_000);
+        s.apply_txn(t(500.0), &[ItemId(7)]);
+        s.receive_tlb(t(300.0));
+        let r = s.build_report(t(1000.0));
+        let ReportPayload::Window(w) = r else { panic!("expected window") };
+        // A client at Tlb=300 caching item 7 (version 0) and item 9.
+        match w.decide(t(300.0), vec![(ItemId(7), SimTime::ZERO), (ItemId(9), SimTime::ZERO)]) {
+            mobicache_reports::WindowDecision::Invalidate(stale) => {
+                assert_eq!(stale, vec![ItemId(7)]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn bs_scheme_always_broadcasts_bs() {
+        let mut s = server(Scheme::Bs, 64);
+        s.apply_txn(t(10.0), &[ItemId(3)]);
+        let r = s.build_report(t(20.0));
+        let ReportPayload::BitSeq(bs) = r else { panic!("expected BS") };
+        assert_eq!(bs.decide(t(10.0), vec![ItemId(3)]), BsDecision::Clean);
+        match bs.decide(t(5.0), vec![ItemId(3)]) {
+            BsDecision::Invalidate(stale) => assert_eq!(stale, vec![ItemId(3)]),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn at_report_lists_only_last_interval() {
+        let mut s = server(Scheme::At, 100);
+        s.apply_txn(t(5.0), &[ItemId(1)]);
+        s.build_report(t(20.0));
+        s.apply_txn(t(25.0), &[ItemId(2)]);
+        let r = s.build_report(t(40.0));
+        let ReportPayload::At(at) = r else { panic!("expected AT") };
+        assert_eq!(at.items, vec![ItemId(2)]);
+        assert_eq!(at.prev_broadcast, t(20.0));
+    }
+
+    #[test]
+    fn validity_check_verdicts() {
+        let mut s = server(Scheme::SimpleChecking, 100);
+        s.apply_txn(t(50.0), &[ItemId(1)]);
+        let verdict = s.process_check(
+            t(60.0),
+            &[
+                (ItemId(1), SimTime::ZERO), // stale
+                (ItemId(1), t(50.0)),       // current
+                (ItemId(2), SimTime::ZERO), // never updated
+            ],
+        );
+        assert_eq!(verdict.asof, t(60.0));
+        assert_eq!(verdict.checked, 3);
+        assert_eq!(verdict.valid, vec![ItemId(1), ItemId(2)]);
+        assert_eq!(s.counters().checks_processed, 1);
+    }
+
+    #[test]
+    fn group_check_lists_stale_items_per_group() {
+        let mut s = server(Scheme::Gcore, 100);
+        s.configure_gcore(10, 10_000.0);
+        // Items 3 and 13 share group 3; item 4 is group 4.
+        s.apply_txn(t(500.0), &[ItemId(3), ItemId(13), ItemId(4)]);
+        let verdict = s.process_group_check(t(1000.0), &[(3, t(100.0))]);
+        assert!(verdict.covered);
+        assert_eq!(verdict.stale, vec![ItemId(3), ItemId(13)]);
+        assert_eq!(verdict.asof, t(1000.0));
+        // A fresher Tlb sees no stale items.
+        let verdict = s.process_group_check(t(1000.0), &[(3, t(600.0))]);
+        assert!(verdict.stale.is_empty());
+    }
+
+    #[test]
+    fn group_check_refuses_beyond_retention() {
+        let mut s = server(Scheme::Gcore, 100);
+        s.configure_gcore(10, 300.0);
+        let verdict = s.process_group_check(t(1000.0), &[(0, t(500.0)), (1, t(650.0))]);
+        assert!(!verdict.covered, "Tlb 500 < horizon 700 must refuse");
+        let verdict = s.process_group_check(t(1000.0), &[(1, t(800.0))]);
+        assert!(verdict.covered);
+    }
+
+    #[test]
+    fn group_check_dedupes_across_groups() {
+        let mut s = server(Scheme::Gcore, 100);
+        s.configure_gcore(10, 10_000.0);
+        s.apply_txn(t(500.0), &[ItemId(7)]);
+        s.apply_txn(t(600.0), &[ItemId(7)]);
+        let verdict = s.process_group_check(t(1000.0), &[(7, t(100.0))]);
+        assert_eq!(verdict.stale, vec![ItemId(7)], "one entry despite two updates");
+    }
+
+    #[test]
+    fn gcore_scheme_broadcasts_plain_windows() {
+        let mut s = server(Scheme::Gcore, 100);
+        assert!(matches!(s.build_report(t(1000.0)), ReportPayload::Window(_)));
+    }
+
+    #[test]
+    fn sig_state_matches_batch_recomputation() {
+        let mut s = server(Scheme::Sig, 50);
+        s.apply_txn(t(5.0), &[ItemId(1), ItemId(30)]);
+        s.apply_txn(t(9.0), &[ItemId(1)]);
+        let r = s.build_report(t(20.0));
+        let ReportPayload::Sig(sig, signer) = r else { panic!("expected SIG") };
+        let mut versions = vec![SimTime::ZERO; 50];
+        versions[1] = t(9.0);
+        versions[30] = t(5.0);
+        assert_eq!(sig.combined, signer.combine(&versions));
+    }
+
+    #[test]
+    fn tlb_buffer_cleared_every_period() {
+        let mut s = server(Scheme::Afw, 100);
+        s.apply_txn(t(500.0), &[ItemId(1)]);
+        s.receive_tlb(t(300.0));
+        assert!(s.build_report(t(1000.0)).is_bitseq());
+        // Same Tlb not re-broadcast: buffer is per-period.
+        assert!(!s.build_report(t(1020.0)).is_bitseq());
+        assert_eq!(s.counters().tlbs_received, 1);
+    }
+}

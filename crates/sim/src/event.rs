@@ -1,0 +1,195 @@
+//! The future event list.
+//!
+//! A classic discrete-event scheduler: a binary heap of `(time, seq, event)`
+//! entries where `seq` is a monotonically increasing tie-breaker so that
+//! events scheduled for the same instant are delivered in FIFO (insertion)
+//! order. Deterministic tie-breaking matters: the mobile-caching model
+//! schedules a broadcast tick and many client wake-ups at the same instant,
+//! and reproducibility from a seed requires a stable service order.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A future event list over an application-defined event type `E`.
+///
+/// The scheduler owns the simulation clock: [`Scheduler::pop`] advances
+/// `now()` to the popped event's timestamp. Scheduling an event in the past
+/// panics — that is always a model bug.
+pub struct Scheduler<E> {
+    heap: BinaryHeap<Entry<E>>,
+    now: SimTime,
+    seq: u64,
+    popped: u64,
+}
+
+impl<E> Default for Scheduler<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Scheduler<E> {
+    /// An empty scheduler with the clock at zero.
+    pub fn new() -> Self {
+        Scheduler {
+            heap: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            seq: 0,
+            popped: 0,
+        }
+    }
+
+    /// The current simulated time (timestamp of the last popped event).
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events currently pending.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when no events are pending.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events delivered so far (a cheap progress metric).
+    #[inline]
+    pub fn events_delivered(&self) -> u64 {
+        self.popped
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is earlier than the current clock.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        assert!(
+            at >= self.now,
+            "scheduled event in the past: at={at:?} now={:?}",
+            self.now
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry { at, seq, event });
+    }
+
+    /// Schedules `event` after a relative delay in seconds.
+    pub fn schedule_in(&mut self, delay: f64, event: E) {
+        assert!(delay >= 0.0, "negative delay {delay}");
+        let at = self.now + delay;
+        self.schedule(at, event);
+    }
+
+    /// Timestamp of the next pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Removes and returns the earliest event, advancing the clock to its
+    /// timestamp. Returns `None` when the event list is exhausted.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let entry = self.heap.pop()?;
+        debug_assert!(entry.at >= self.now, "event list went backwards");
+        self.now = entry.at;
+        self.popped += 1;
+        Some((entry.at, entry.event))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivers_in_time_order() {
+        let mut s: Scheduler<&str> = Scheduler::new();
+        s.schedule(SimTime::from_secs(5.0), "c");
+        s.schedule(SimTime::from_secs(1.0), "a");
+        s.schedule(SimTime::from_secs(3.0), "b");
+        let order: Vec<_> = std::iter::from_fn(|| s.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_broken_by_insertion_order() {
+        let mut s: Scheduler<u32> = Scheduler::new();
+        for i in 0..100 {
+            s.schedule(SimTime::from_secs(7.0), i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| s.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_to_popped_event() {
+        let mut s: Scheduler<()> = Scheduler::new();
+        s.schedule(SimTime::from_secs(2.5), ());
+        assert_eq!(s.now(), SimTime::ZERO);
+        s.pop();
+        assert_eq!(s.now(), SimTime::from_secs(2.5));
+    }
+
+    #[test]
+    fn schedule_in_is_relative() {
+        let mut s: Scheduler<u8> = Scheduler::new();
+        s.schedule(SimTime::from_secs(4.0), 1);
+        s.pop();
+        s.schedule_in(6.0, 2);
+        let (at, _) = s.pop().unwrap();
+        assert_eq!(at, SimTime::from_secs(10.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "in the past")]
+    fn past_scheduling_panics() {
+        let mut s: Scheduler<()> = Scheduler::new();
+        s.schedule(SimTime::from_secs(10.0), ());
+        s.pop();
+        s.schedule(SimTime::from_secs(1.0), ());
+    }
+
+    #[test]
+    fn counters() {
+        let mut s: Scheduler<u8> = Scheduler::new();
+        assert!(s.is_empty());
+        s.schedule_in(1.0, 0);
+        s.schedule_in(2.0, 1);
+        assert_eq!(s.len(), 2);
+        s.pop();
+        assert_eq!(s.events_delivered(), 1);
+        assert_eq!(s.len(), 1);
+    }
+}

@@ -1,0 +1,227 @@
+//! Deterministic, splittable pseudo-random generation.
+//!
+//! Reproducibility is a first-class requirement: a figure in EXPERIMENTS.md
+//! must be regenerable bit-for-bit from its seed. We therefore implement a
+//! fixed algorithm (xoshiro256++, seeded through SplitMix64) rather than
+//! relying on `rand`'s version-dependent `StdRng`/`SmallRng` stream
+//! stability.
+//!
+//! Every stochastic process in the model (the server's update process, each
+//! client's query/think/disconnection processes, …) gets an **independent
+//! stream** derived from `(master seed, stream id)` so that changing one
+//! parameter (say, the number of clients) does not perturb the random
+//! choices of unrelated processes — the classic common-random-numbers
+//! variance-reduction discipline.
+
+/// SplitMix64 step; used for seeding and stream derivation.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// xoshiro256++ generator with helper methods for the simulator.
+#[derive(Clone, Debug)]
+pub struct SimRng {
+    s: [u64; 4],
+}
+
+impl SimRng {
+    /// Creates a generator from a raw 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut s = [0u64; 4];
+        for w in &mut s {
+            *w = splitmix64(&mut sm);
+        }
+        // xoshiro must not start from the all-zero state; splitmix64 of any
+        // seed cannot produce four zero words, but guard regardless.
+        if s == [0, 0, 0, 0] {
+            s[0] = 0x9E37_79B9_7F4A_7C15;
+        }
+        SimRng { s }
+    }
+
+    /// Derives an independent stream from a master seed and a stream id.
+    ///
+    /// Streams with different ids are statistically independent for our
+    /// purposes (the ids are mixed through SplitMix64 before seeding).
+    pub fn stream(master_seed: u64, stream_id: u64) -> Self {
+        let mut sm = master_seed ^ 0xA076_1D64_78BD_642F;
+        let a = splitmix64(&mut sm);
+        let mut sm2 = a ^ stream_id.wrapping_mul(0xE703_7ED1_A0B4_28DB);
+        let derived = splitmix64(&mut sm2) ^ splitmix64(&mut sm2).rotate_left(32);
+        SimRng::new(derived)
+    }
+
+    /// The next 64 uniformly distributed bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0]
+            .wrapping_add(s[3])
+            .rotate_left(23)
+            .wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform `f64` in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform `f64` in `(0, 1]` — safe to pass to `ln()`.
+    #[inline]
+    pub fn next_f64_open0(&mut self) -> f64 {
+        1.0 - self.next_f64()
+    }
+
+    /// A uniform integer in `[0, bound)` using Lemire's unbiased method.
+    ///
+    /// # Panics
+    /// Panics if `bound` is zero.
+    #[inline]
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "next_below(0)");
+        // Lemire's multiply-shift rejection method.
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (bound as u128);
+        let mut lo = m as u64;
+        if lo < bound {
+            let threshold = bound.wrapping_neg() % bound;
+            while lo < threshold {
+                x = self.next_u64();
+                m = (x as u128) * (bound as u128);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// A uniform integer in the inclusive range `[lo, hi]`.
+    #[inline]
+    pub fn next_range_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "empty range [{lo}, {hi}]");
+        lo + self.next_below(hi - lo + 1)
+    }
+
+    /// A Bernoulli trial with success probability `p`.
+    #[inline]
+    pub fn coin(&mut self, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        self.next_f64() < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = SimRng::new(42);
+        let mut b = SimRng::new(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn streams_are_deterministic_and_distinct() {
+        let mut s0 = SimRng::stream(7, 0);
+        let mut s0b = SimRng::stream(7, 0);
+        let mut s1 = SimRng::stream(7, 1);
+        assert_eq!(s0.next_u64(), s0b.next_u64());
+        let mut collisions = 0;
+        for _ in 0..256 {
+            if s0.next_u64() == s1.next_u64() {
+                collisions += 1;
+            }
+        }
+        assert_eq!(collisions, 0);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = SimRng::new(3);
+        for _ in 0..10_000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+            let y = r.next_f64_open0();
+            assert!(y > 0.0 && y <= 1.0);
+        }
+    }
+
+    #[test]
+    fn f64_mean_near_half() {
+        let mut r = SimRng::new(11);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| r.next_f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn next_below_is_in_range_and_roughly_uniform() {
+        let mut r = SimRng::new(5);
+        let bound = 10u64;
+        let mut counts = [0u32; 10];
+        for _ in 0..100_000 {
+            let v = r.next_below(bound);
+            assert!(v < bound);
+            counts[v as usize] += 1;
+        }
+        for &c in &counts {
+            // Expected 10 000 each; allow ±5 %.
+            assert!((9_500..10_500).contains(&c), "count {c}");
+        }
+    }
+
+    #[test]
+    fn range_inclusive_hits_endpoints() {
+        let mut r = SimRng::new(9);
+        let mut saw_lo = false;
+        let mut saw_hi = false;
+        for _ in 0..10_000 {
+            let v = r.next_range_inclusive(3, 6);
+            assert!((3..=6).contains(&v));
+            saw_lo |= v == 3;
+            saw_hi |= v == 6;
+        }
+        assert!(saw_lo && saw_hi);
+    }
+
+    #[test]
+    fn coin_respects_probability() {
+        let mut r = SimRng::new(13);
+        let hits = (0..100_000).filter(|_| r.coin(0.3)).count();
+        let p = hits as f64 / 100_000.0;
+        assert!((p - 0.3).abs() < 0.01, "p {p}");
+        assert!((0..1000).all(|_| !r.coin(0.0)));
+        assert!((0..1000).all(|_| r.coin(1.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "next_below(0)")]
+    fn zero_bound_panics() {
+        SimRng::new(0).next_below(0);
+    }
+}

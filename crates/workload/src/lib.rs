@@ -1,0 +1,26 @@
+//! # mobicache-workload — query and update generation
+//!
+//! Implements §4–5 of the paper's simulation model:
+//!
+//! * [`pattern`] — item selection per access pattern (Table 2): UNIFORM,
+//!   HOTCOLD (hot query region with probability 0.8), and a Zipf
+//!   extension.
+//! * [`txn`] — update transactions ("updates are separated by an
+//!   exponentially distributed update interarrival time", mean 5 items per
+//!   transaction) and query reference sets.
+//! * [`gap`] — the client think/disconnect process: "the arrival of a new
+//!   query is separated from the completion of the previous query by
+//!   either an exponentially distributed think time or an exponentially
+//!   distributed disconnection time."
+//!
+//! Each generator owns no RNG; callers pass a [`SimRng`](mobicache_sim::SimRng)
+//! stream, so every client/server process draws from its own independent
+//! stream (common-random-numbers discipline across parameter sweeps).
+
+pub mod gap;
+pub mod pattern;
+pub mod txn;
+
+pub use gap::{Gap, GapKind, GapProcess};
+pub use pattern::ItemSampler;
+pub use txn::{QueryGen, UpdateGen};

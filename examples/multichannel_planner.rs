@@ -1,0 +1,61 @@
+//! Multi-channel planner (§6 future work): for a given database size,
+//! find the broadcast-channel share that maximises bit-sequences
+//! throughput on a split downlink, and compare against the paper's
+//! shared channel.
+//!
+//! ```text
+//! cargo run --release --example multichannel_planner            # N = 40 000
+//! cargo run --release --example multichannel_planner -- 80000   # custom N
+//! ```
+
+use mobicache::{run, DownlinkTopology, RunOptions, Scheme, SimConfig, Workload};
+
+fn main() {
+    let db_size: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(40_000);
+
+    let mut base = SimConfig::paper_default()
+        .with_scheme(Scheme::Bs)
+        .with_workload(Workload::uniform());
+    base.db_size = db_size;
+    base.sim_time_secs = 30_000.0;
+
+    let shared = run(&base, RunOptions::default()).expect("valid config").metrics;
+    println!(
+        "N = {db_size}: shared channel (the paper's model) answers {} queries \
+         ({}% downlink busy, {} report preemptions)",
+        shared.queries_answered,
+        (shared.downlink_utilization * 100.0).round(),
+        shared.downlink_preemptions
+    );
+    println!();
+    println!("{:>16} {:>12} {:>12}", "broadcast share", "answered", "vs shared");
+
+    let mut best: Option<(f64, u64)> = None;
+    for share in [0.05, 0.1, 0.15, 0.2, 0.3, 0.4, 0.5] {
+        let mut cfg = base.clone();
+        cfg.downlink_topology = DownlinkTopology::Dedicated { broadcast_share: share };
+        let m = run(&cfg, RunOptions::default()).expect("valid config").metrics;
+        println!(
+            "{:>16} {:>12} {:>11.0}%",
+            share,
+            m.queries_answered,
+            100.0 * m.queries_answered as f64 / shared.queries_answered as f64
+        );
+        if best.is_none_or(|(_, q)| m.queries_answered > q) {
+            best = Some((share, m.queries_answered));
+        }
+    }
+    let (share, answered) = best.expect("non-empty sweep");
+    println!(
+        "\nBest split for BS at N = {db_size}: {share} broadcast share \
+         ({answered} answered, {:+.0}% over the shared channel).",
+        100.0 * (answered as f64 / shared.queries_answered as f64 - 1.0)
+    );
+    println!(
+        "The report channel stops stealing data bandwidth — exactly the \
+         multiple-channel environment Section 6 of the paper proposes to study."
+    );
+}

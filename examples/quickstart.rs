@@ -1,0 +1,39 @@
+//! Quickstart: simulate one configuration under each invalidation scheme
+//! and print the paper's two headline metrics.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use mobicache::{run, RunOptions, Scheme, SimConfig, Workload};
+
+fn main() {
+    // Table 1 defaults, HOTCOLD workload, shortened horizon for a demo.
+    let mut base = SimConfig::paper_default().with_workload(Workload::hotcold());
+    base.sim_time_secs = 20_000.0;
+    base.db_size = 10_000;
+
+    println!(
+        "{:<34} {:>10} {:>12} {:>10} {:>12}",
+        "scheme", "answered", "bits/query", "hit ratio", "latency (s)"
+    );
+    for scheme in Scheme::ALL {
+        let cfg = base.clone().with_scheme(scheme);
+        let result = run(&cfg, RunOptions::default()).expect("valid config");
+        let m = &result.metrics;
+        println!(
+            "{:<34} {:>10} {:>12.1} {:>10.3} {:>12.1}",
+            scheme.label(),
+            m.queries_answered,
+            m.uplink_validity_bits_per_query,
+            m.hit_ratio,
+            m.mean_query_latency_secs,
+        );
+    }
+    println!();
+    println!(
+        "The adaptive schemes (AFW/AAW) keep the validity uplink near the\n\
+         bit-sequences zero while answering nearly as many queries as the\n\
+         checking scheme — the paper's headline trade-off."
+    );
+}

@@ -1,0 +1,7 @@
+//! Top-level reproduction package: re-exports the public API so the
+//! examples and cross-crate integration tests in this repository have a
+//! single import root. Library users should depend on the `mobicache`
+//! crate directly.
+
+pub use mobicache::*;
+pub use mobicache_experiments as experiments;

@@ -1,0 +1,131 @@
+//! Conservation and accounting invariants across the full stack.
+
+use mobicache::{run, Metrics, RunOptions, Scheme, SimConfig, Workload};
+
+fn metrics(scheme: Scheme, f: impl FnOnce(&mut SimConfig)) -> Metrics {
+    let mut cfg = SimConfig::paper_default().with_scheme(scheme);
+    cfg.sim_time_secs = 8_000.0;
+    cfg.db_size = 2_000;
+    cfg.num_clients = 40;
+    f(&mut cfg);
+    run(&cfg, RunOptions::default()).expect("valid config").metrics
+}
+
+#[test]
+fn queries_answered_never_exceed_issued() {
+    for scheme in Scheme::ALL {
+        let m = metrics(scheme, |_| {});
+        assert!(m.queries_answered <= m.queries_issued, "{scheme:?}");
+        // In-flight queries at the horizon: at most one per client.
+        assert!(m.queries_issued - m.queries_answered <= 40, "{scheme:?}");
+    }
+}
+
+#[test]
+fn item_accounting_matches_queries() {
+    // With one item per query, items resolved == queries answered.
+    for scheme in [Scheme::Aaw, Scheme::Bs, Scheme::SimpleChecking] {
+        let m = metrics(scheme, |_| {});
+        assert_eq!(m.item_hits + m.item_misses, m.queries_answered, "{scheme:?}");
+    }
+}
+
+#[test]
+fn downlink_data_bits_match_misses() {
+    // Every miss is exactly one data item + header on the downlink; the
+    // horizon may cut the last transmissions, so transmitted data is at
+    // most misses-worth and within one item of it.
+    let m = metrics(Scheme::Aaw, |_| {});
+    let per_item = 8192.0 * 8.0 + 64.0;
+    assert!(m.downlink_data_bits <= m.item_misses as f64 * per_item);
+    assert!(
+        m.downlink_data_bits >= (m.item_misses as f64 - 40.0) * per_item,
+        "more than one in-flight item per client unaccounted"
+    );
+}
+
+#[test]
+fn utilizations_are_fractions() {
+    for scheme in Scheme::ALL {
+        let m = metrics(scheme, |_| {});
+        assert!((0.0..=1.0).contains(&m.downlink_utilization), "{scheme:?}");
+        assert!((0.0..=1.0).contains(&m.uplink_utilization), "{scheme:?}");
+    }
+}
+
+#[test]
+fn saturated_downlink_is_actually_busy() {
+    // The paper's premise: the downlink is the bottleneck and essentially
+    // fully utilised under the default load.
+    let m = metrics(Scheme::SimpleChecking, |cfg| {
+        cfg.sim_time_secs = 20_000.0;
+        cfg.num_clients = 100; // the paper's population; 40 would underload
+    });
+    assert!(
+        m.downlink_utilization > 0.9,
+        "expected a saturated downlink, got {}",
+        m.downlink_utilization
+    );
+}
+
+#[test]
+fn validity_bits_are_a_subset_of_total_uplink() {
+    for scheme in [Scheme::SimpleChecking, Scheme::Afw, Scheme::Aaw] {
+        let m = metrics(scheme, |cfg| cfg.p_disconnect = 0.3);
+        assert!(m.uplink_validity_bits <= m.uplink_total_bits, "{scheme:?}");
+        assert!(m.uplink_validity_bits > 0.0, "{scheme:?} sent no validity traffic");
+    }
+}
+
+#[test]
+fn report_counts_match_broadcast_periods() {
+    let m = metrics(Scheme::Aaw, |_| {});
+    let reports = m.server.window_reports + m.server.enlarged_reports + m.server.bs_reports;
+    // One report per period; the first fires at t = L.
+    let periods = (8_000.0 / 20.0) as u64;
+    assert_eq!(reports, periods);
+}
+
+#[test]
+fn disconnections_reported_consistently() {
+    let m = metrics(Scheme::Bs, |cfg| cfg.p_disconnect = 0.5);
+    assert!(m.disconnections > 0);
+    // Every disconnection follows a completed query.
+    assert!(m.disconnections <= m.queries_answered);
+}
+
+#[test]
+fn hit_ratio_is_consistent_with_counts() {
+    let m = metrics(Scheme::SimpleChecking, |cfg| {
+        cfg.workload = Workload::hotcold();
+    });
+    let expect = m.item_hits as f64 / (m.item_hits + m.item_misses) as f64;
+    assert!((m.hit_ratio - expect).abs() < 1e-12);
+}
+
+#[test]
+fn bs_report_bits_match_formula() {
+    let m = metrics(Scheme::Bs, |_| {});
+    // Every report is 2N + bT*ceil(log2 N) + header bits.
+    let n: f64 = 2_000.0;
+    let per_report = 2.0 * n + 48.0 * 11.0 + 64.0;
+    let reports = m.server.bs_reports as f64;
+    // The final report's transmission may still be in flight at the
+    // horizon, so allow exactly one report of slack.
+    assert!(
+        (m.downlink_report_bits - reports * per_report).abs() <= per_report + 1.0,
+        "report bits {} vs expected {}",
+        m.downlink_report_bits,
+        reports * per_report
+    );
+}
+
+#[test]
+fn zero_disconnection_means_no_validity_traffic() {
+    for scheme in [Scheme::SimpleChecking, Scheme::Afw, Scheme::Aaw] {
+        let m = metrics(scheme, |cfg| cfg.p_disconnect = 0.0);
+        assert_eq!(m.uplink_validity_bits, 0.0, "{scheme:?}");
+        assert_eq!(m.disconnections, 0, "{scheme:?}");
+        assert_eq!(m.clients.limbo_episodes, 0, "{scheme:?}");
+    }
+}

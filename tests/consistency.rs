@@ -1,0 +1,136 @@
+//! End-to-end consistency: every scheme, run with the ground-truth
+//! oracle asserting after every client-visible message that no valid
+//! cache entry is stale. This is the invariant the whole paper is about.
+
+use mobicache::{run, RunOptions, Scheme, SimConfig, Workload};
+
+fn base(scheme: Scheme) -> SimConfig {
+    let mut cfg = SimConfig::paper_default().with_scheme(scheme);
+    cfg.sim_time_secs = 10_000.0;
+    cfg.db_size = 2_000;
+    cfg.num_clients = 30;
+    cfg
+}
+
+#[test]
+fn all_schemes_uphold_consistency_under_uniform() {
+    for scheme in Scheme::ALL {
+        let cfg = base(scheme);
+        let result = run(&cfg, RunOptions { check_consistency: true })
+            .unwrap_or_else(|e| panic!("{scheme:?}: {e}"));
+        assert!(result.metrics.queries_answered > 0, "{scheme:?}");
+    }
+}
+
+#[test]
+fn all_schemes_uphold_consistency_under_hotcold() {
+    for scheme in Scheme::ALL {
+        let cfg = base(scheme).with_workload(Workload::hotcold());
+        run(&cfg, RunOptions { check_consistency: true })
+            .unwrap_or_else(|e| panic!("{scheme:?}: {e}"));
+    }
+}
+
+#[test]
+fn consistency_holds_under_heavy_disconnection() {
+    // The stress regime for reconnection logic: most gaps are long
+    // disconnections, far beyond the broadcast window.
+    for scheme in [Scheme::SimpleChecking, Scheme::Afw, Scheme::Aaw, Scheme::Bs] {
+        let mut cfg = base(scheme).with_workload(Workload::hotcold());
+        cfg.p_disconnect = 0.7;
+        cfg.mean_disconnect_secs = 3_000.0;
+        run(&cfg, RunOptions { check_consistency: true })
+            .unwrap_or_else(|e| panic!("{scheme:?}: {e}"));
+    }
+}
+
+#[test]
+fn consistency_holds_with_lazy_checking() {
+    let mut cfg = base(Scheme::SimpleChecking);
+    cfg.checking_mode = mobicache::CheckingMode::QueriedItems;
+    cfg.p_disconnect = 0.5;
+    cfg.mean_disconnect_secs = 2_000.0;
+    run(&cfg, RunOptions { check_consistency: true }).expect("valid config");
+}
+
+#[test]
+fn consistency_holds_with_fast_updates() {
+    // Updates every 10 s mean: reports carry many records, BS levels
+    // churn, caches invalidate constantly.
+    for scheme in [Scheme::Bs, Scheme::Aaw, Scheme::SimpleChecking] {
+        let mut cfg = base(scheme);
+        cfg.mean_update_interarrival_secs = 10.0;
+        run(&cfg, RunOptions { check_consistency: true })
+            .unwrap_or_else(|e| panic!("{scheme:?}: {e}"));
+    }
+}
+
+#[test]
+fn consistency_holds_with_multi_item_queries() {
+    for scheme in [Scheme::Aaw, Scheme::SimpleChecking] {
+        let mut cfg = base(scheme);
+        cfg.items_per_query_mean = 5.0;
+        run(&cfg, RunOptions { check_consistency: true })
+            .unwrap_or_else(|e| panic!("{scheme:?}: {e}"));
+    }
+}
+
+#[test]
+fn consistency_holds_on_tiny_database() {
+    // A 20-item database forces constant cache churn and exercises the
+    // BS hierarchy's smallest geometries.
+    for scheme in Scheme::ALL {
+        let mut cfg = base(scheme);
+        cfg.db_size = 20;
+        cfg.cache_fraction = 0.2;
+        // Hot region must fit the tiny DB.
+        cfg.workload = Workload::uniform();
+        run(&cfg, RunOptions { check_consistency: true })
+            .unwrap_or_else(|e| panic!("{scheme:?}: {e}"));
+    }
+}
+
+#[test]
+fn consistency_holds_under_combined_extensions() {
+    // Everything at once: report loss, snooping, a dedicated broadcast
+    // channel, heavy disconnection — the oracle must stay silent.
+    for scheme in [Scheme::Aaw, Scheme::Afw, Scheme::SimpleChecking, Scheme::Bs, Scheme::Gcore] {
+        let mut cfg = base(scheme).with_workload(Workload::hotcold());
+        cfg.p_disconnect = 0.5;
+        cfg.mean_disconnect_secs = 1_500.0;
+        cfg.p_report_loss = 0.15;
+        cfg.snoop_broadcasts = true;
+        cfg.downlink_topology =
+            mobicache::DownlinkTopology::Dedicated { broadcast_share: 0.3 };
+        run(&cfg, RunOptions { check_consistency: true })
+            .unwrap_or_else(|e| panic!("{scheme:?}: {e}"));
+    }
+}
+
+#[test]
+fn consistency_holds_for_gcore_beyond_retention() {
+    // Disconnections far beyond the GCORE retention window: every
+    // reconnection ends in an uncovered verdict and a full drop, which
+    // must still be consistent.
+    let mut cfg = base(Scheme::Gcore);
+    cfg.gcore_retention_intervals = 5; // only 100 s of history
+    cfg.p_disconnect = 0.5;
+    cfg.mean_disconnect_secs = 2_000.0;
+    let result = run(&cfg, RunOptions { check_consistency: true }).expect("valid config");
+    assert!(
+        result.metrics.clients.full_drops > 0,
+        "expected retention-exceeded drops"
+    );
+}
+
+#[test]
+fn consistency_holds_under_starved_uplink() {
+    // 1 % uplink (Table 1's lower bound): requests and checks queue for
+    // a long time, stressing in-flight/stale interleavings.
+    for scheme in [Scheme::SimpleChecking, Scheme::Afw, Scheme::Aaw] {
+        let mut cfg = base(scheme);
+        cfg.uplink_bps = 100.0;
+        run(&cfg, RunOptions { check_consistency: true })
+            .unwrap_or_else(|e| panic!("{scheme:?}: {e}"));
+    }
+}

@@ -1,0 +1,207 @@
+//! Qualitative reproduction checks: the orderings and crossovers of the
+//! paper's figures must hold on reduced-horizon runs. These are the
+//! smoke-level versions of the full campaign in EXPERIMENTS.md.
+
+use mobicache::{run, Metrics, RunOptions, Scheme, SimConfig, Workload};
+
+fn sim(cfg: &SimConfig) -> Metrics {
+    run(cfg, RunOptions::default()).expect("valid config").metrics
+}
+
+fn fig5_base() -> SimConfig {
+    let mut cfg = SimConfig::paper_default().with_workload(Workload::uniform());
+    cfg.p_disconnect = 0.1;
+    cfg.mean_disconnect_secs = 4_000.0;
+    cfg.cache_fraction = 0.02;
+    cfg.sim_time_secs = 20_000.0;
+    cfg
+}
+
+/// Figure 5: at a large database, BS throughput collapses below every
+/// other scheme while SC/AAW/AFW stay close to their small-database
+/// levels.
+#[test]
+fn fig5_bs_collapses_with_database_size() {
+    let mut small = fig5_base();
+    small.db_size = 1_000;
+    let mut large = fig5_base();
+    large.db_size = 80_000;
+
+    let bs_small = sim(&small.clone().with_scheme(Scheme::Bs)).queries_answered;
+    let bs_large = sim(&large.clone().with_scheme(Scheme::Bs)).queries_answered;
+    assert!(
+        (bs_large as f64) < 0.5 * bs_small as f64,
+        "BS must collapse: {bs_small} -> {bs_large}"
+    );
+
+    for scheme in [Scheme::Aaw, Scheme::SimpleChecking] {
+        let q_small = sim(&small.clone().with_scheme(scheme)).queries_answered;
+        let q_large = sim(&large.clone().with_scheme(scheme)).queries_answered;
+        assert!(
+            (q_large as f64) > 0.9 * q_small as f64,
+            "{scheme:?} should stay flat: {q_small} -> {q_large}"
+        );
+        assert!(q_large > 2 * bs_large, "{scheme:?} must beat BS at N=80000");
+    }
+}
+
+/// Figure 6: validity-uplink ordering at every database size —
+/// checking >> adaptive > BS = 0 — and checking grows with N.
+#[test]
+fn fig6_validity_uplink_ordering() {
+    for db in [1_000u32, 40_000] {
+        let mut base = fig5_base();
+        base.db_size = db;
+        let sc = sim(&base.clone().with_scheme(Scheme::SimpleChecking));
+        let aaw = sim(&base.clone().with_scheme(Scheme::Aaw));
+        let afw = sim(&base.clone().with_scheme(Scheme::Afw));
+        let bs = sim(&base.clone().with_scheme(Scheme::Bs));
+        assert_eq!(bs.uplink_validity_bits_per_query, 0.0);
+        assert!(
+            sc.uplink_validity_bits_per_query > 3.0 * aaw.uplink_validity_bits_per_query,
+            "N={db}: sc {} vs aaw {}",
+            sc.uplink_validity_bits_per_query,
+            aaw.uplink_validity_bits_per_query
+        );
+        assert!(aaw.uplink_validity_bits_per_query > 0.0);
+        assert!(afw.uplink_validity_bits_per_query > 0.0);
+    }
+    // Growth with N for the checking scheme.
+    let mut small = fig5_base();
+    small.db_size = 1_000;
+    let mut large = fig5_base();
+    large.db_size = 40_000;
+    let sc_small = sim(&small.with_scheme(Scheme::SimpleChecking));
+    let sc_large = sim(&large.with_scheme(Scheme::SimpleChecking));
+    assert!(
+        sc_large.uplink_validity_bits_per_query > sc_small.uplink_validity_bits_per_query,
+        "checking cost must grow with N: {} -> {}",
+        sc_small.uplink_validity_bits_per_query,
+        sc_large.uplink_validity_bits_per_query
+    );
+}
+
+/// Figures 7/8: raising the disconnection probability raises validity
+/// uplink for the uplinking schemes and never helps throughput.
+#[test]
+fn fig7_8_disconnection_probability_effects() {
+    let mut base = SimConfig::paper_default().with_workload(Workload::uniform());
+    base.db_size = 10_000;
+    base.mean_disconnect_secs = 400.0;
+    base.sim_time_secs = 20_000.0;
+    for scheme in [Scheme::SimpleChecking, Scheme::Aaw, Scheme::Afw] {
+        let mut lo = base.clone().with_scheme(scheme);
+        lo.p_disconnect = 0.1;
+        let mut hi = base.clone().with_scheme(scheme);
+        hi.p_disconnect = 0.8;
+        let m_lo = sim(&lo);
+        let m_hi = sim(&hi);
+        assert!(
+            m_hi.uplink_validity_bits_per_query > m_lo.uplink_validity_bits_per_query,
+            "{scheme:?}: validity cost must rise with p"
+        );
+    }
+    // BS is insensitive: identical zero uplink at both ends.
+    let mut bs_hi = base.clone().with_scheme(Scheme::Bs);
+    bs_hi.p_disconnect = 0.8;
+    assert_eq!(sim(&bs_hi).uplink_validity_bits_per_query, 0.0);
+}
+
+/// Figure 11: under HOTCOLD at a mid-size database the ordering is
+/// simple checking >= AAW >= AFW > BS.
+#[test]
+fn fig11_hotcold_ordering() {
+    let mut base = SimConfig::paper_default().with_workload(Workload::hotcold());
+    base.db_size = 20_000;
+    base.mean_disconnect_secs = 400.0;
+    base.p_disconnect = 0.1;
+    base.sim_time_secs = 40_000.0; // long enough for cache warm-up
+    let sc = sim(&base.clone().with_scheme(Scheme::SimpleChecking)).queries_answered;
+    let aaw = sim(&base.clone().with_scheme(Scheme::Aaw)).queries_answered;
+    let afw = sim(&base.clone().with_scheme(Scheme::Afw)).queries_answered;
+    let bs = sim(&base.clone().with_scheme(Scheme::Bs)).queries_answered;
+    assert!(sc >= aaw, "sc {sc} vs aaw {aaw}");
+    assert!(aaw >= afw, "aaw {aaw} vs afw {afw}");
+    assert!(afw > bs, "afw {afw} vs bs {bs}");
+}
+
+/// Figures 15/16: at a starved uplink the adaptive schemes at least
+/// match simple checking; at full uplink simple checking wins.
+#[test]
+fn fig15_16_asymmetric_crossover() {
+    let mut base = SimConfig::paper_default().with_workload(Workload::hotcold());
+    base.db_size = 5_000;
+    base.mean_disconnect_secs = 4_000.0;
+    base.sim_time_secs = 30_000.0;
+
+    let mut starved = base.clone();
+    starved.uplink_bps = 100.0;
+    let aaw_lo = sim(&starved.clone().with_scheme(Scheme::Aaw)).queries_answered;
+    let sc_lo = sim(&starved.with_scheme(Scheme::SimpleChecking)).queries_answered;
+    assert!(
+        aaw_lo >= sc_lo,
+        "at 100 bps uplink AAW must not trail checking: {aaw_lo} vs {sc_lo}"
+    );
+
+    let mut full = base;
+    full.uplink_bps = 10_000.0;
+    let aaw_hi = sim(&full.clone().with_scheme(Scheme::Aaw)).queries_answered;
+    let sc_hi = sim(&full.with_scheme(Scheme::SimpleChecking)).queries_answered;
+    assert!(
+        sc_hi >= aaw_hi,
+        "at full uplink checking leads: {sc_hi} vs {aaw_hi}"
+    );
+}
+
+/// §3.2's motivation: AAW prefers enlarged windows over full BS
+/// broadcasts when disconnections are only moderately long, saving
+/// downlink bandwidth relative to AFW.
+#[test]
+fn aaw_broadcasts_less_report_traffic_than_afw() {
+    let mut base = SimConfig::paper_default().with_workload(Workload::uniform());
+    base.db_size = 10_000;
+    base.p_disconnect = 0.3;
+    base.mean_disconnect_secs = 2_000.0;
+    base.sim_time_secs = 20_000.0;
+    let aaw = sim(&base.clone().with_scheme(Scheme::Aaw));
+    let afw = sim(&base.clone().with_scheme(Scheme::Afw));
+    assert!(aaw.server.enlarged_reports > 0, "AAW must use enlarged windows");
+    assert!(
+        aaw.server.bs_reports < afw.server.bs_reports,
+        "AAW should need fewer BS broadcasts: {} vs {}",
+        aaw.server.bs_reports,
+        afw.server.bs_reports
+    );
+    assert!(
+        aaw.downlink_report_bits < afw.downlink_report_bits,
+        "AAW report traffic {} must undercut AFW {}",
+        aaw.downlink_report_bits,
+        afw.downlink_report_bits
+    );
+}
+
+/// The window ablation's headline: plain TS is highly window-sensitive,
+/// the adaptive scheme is not.
+#[test]
+fn window_sensitivity_ts_vs_adaptive() {
+    let mut base = SimConfig::paper_default().with_workload(Workload::hotcold());
+    base.db_size = 5_000;
+    base.p_disconnect = 0.3;
+    base.mean_disconnect_secs = 1_000.0;
+    base.sim_time_secs = 30_000.0;
+
+    let drops = |scheme: Scheme, w: u32| {
+        let mut cfg = base.clone().with_scheme(scheme);
+        cfg.window_intervals = w;
+        sim(&cfg).clients.full_drops
+    };
+    // Plain TS: a bigger window rescues many caches.
+    let ts_small = drops(Scheme::TsNoCheck, 2);
+    let ts_large = drops(Scheme::TsNoCheck, 100);
+    assert!(
+        ts_large * 2 < ts_small,
+        "TS full drops should fall sharply with w: {ts_small} -> {ts_large}"
+    );
+    // AAW never full-drops on window size alone.
+    assert_eq!(drops(Scheme::Aaw, 2), 0);
+}
