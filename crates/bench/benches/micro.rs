@@ -74,11 +74,16 @@ fn bench_window(c: &mut Criterion) {
                 .collect(),
             dummy: None,
         };
-        let cache: Vec<(ItemId, SimTime)> =
-            (0..200).map(|i| (ItemId(i * 31 % 10_000), t(805.0))).collect();
-        group.bench_with_input(BenchmarkId::new("decide_indexed", records), &records, |b, _| {
-            b.iter(|| black_box(report.decide_indexed(t(900.0), cache.iter().copied())));
-        });
+        let cache: Vec<(ItemId, SimTime)> = (0..200)
+            .map(|i| (ItemId(i * 31 % 10_000), t(805.0)))
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new("decide_indexed", records),
+            &records,
+            |b, _| {
+                b.iter(|| black_box(report.decide_indexed(t(900.0), cache.iter().copied())));
+            },
+        );
         group.bench_with_input(BenchmarkId::new("size_bits", records), &records, |b, _| {
             b.iter(|| black_box(report.size_bits(&p)));
         });
@@ -148,9 +153,14 @@ fn bench_facility(c: &mut Criterion) {
             let mut now = SimTime::ZERO;
             let mut pending = Vec::new();
             for i in 0..100u64 {
-                if let Some(done) =
-                    f.submit(now, Job { bits: 1_000.0, class: (i % 3) as usize, tag: i })
-                {
+                if let Some(done) = f.submit(
+                    now,
+                    Job {
+                        bits: 1_000.0,
+                        class: (i % 3) as usize,
+                        tag: i,
+                    },
+                ) {
                     pending.push(done);
                 }
                 while let Some(compl) = pending.pop() {

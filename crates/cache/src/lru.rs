@@ -136,7 +136,11 @@ impl LruCache {
     pub fn insert(&mut self, item: ItemId, version: SimTime, now: SimTime) {
         if !self.map.contains_key(&item) && self.map.len() == self.capacity {
             // Evict the least recently used entry.
-            let (&oldest_seq, &victim) = self.order.iter().next().expect("cache full but order empty");
+            let (&oldest_seq, &victim) = self
+                .order
+                .iter()
+                .next()
+                .expect("cache full but order empty");
             self.order.remove(&oldest_seq);
             self.map.remove(&victim);
             self.evictions += 1;
@@ -272,7 +276,9 @@ impl LruCache {
 
     /// `true` when any entry is in limbo.
     pub fn has_limbo(&self) -> bool {
-        self.map.values().any(|s| s.entry.state == EntryState::Limbo)
+        self.map
+            .values()
+            .any(|s| s.entry.state == EntryState::Limbo)
     }
 
     /// Internal-consistency check used by tests and debug assertions.

@@ -81,6 +81,8 @@ pub struct Client {
     /// signals that a fresh unvouched period may have to be folded into
     /// an already-open gap.
     reconnect_pending: bool,
+    /// When the current doze period started, while disconnected.
+    disconnected_at: Option<SimTime>,
     query: Option<QueryState>,
     /// Stored combined signatures (SIG scheme).
     sig_baseline: Option<Vec<u64>>,
@@ -98,6 +100,7 @@ impl Client {
             connected: true,
             gap: None,
             reconnect_pending: false,
+            disconnected_at: None,
             query: None,
             sig_baseline: None,
             counters: ClientCounters::default(),
@@ -146,18 +149,21 @@ impl Client {
     /// # Panics
     /// Panics if a query is still in flight (the model only disconnects
     /// between queries).
-    pub fn disconnect(&mut self, _now: SimTime) {
+    pub fn disconnect(&mut self, now: SimTime) {
         assert!(self.query.is_none(), "disconnect with a query in flight");
         assert!(self.connected, "already disconnected");
         self.connected = false;
+        self.disconnected_at = Some(now);
     }
 
-    /// Wakes up from doze mode. Cache reconciliation happens at the next
-    /// broadcast report.
-    pub fn reconnect(&mut self, _now: SimTime) {
+    /// Wakes up from doze mode, returning the length of the doze period
+    /// in seconds. Cache reconciliation happens at the next broadcast
+    /// report.
+    pub fn reconnect(&mut self, now: SimTime) -> f64 {
         assert!(!self.connected, "already connected");
         self.connected = true;
         self.reconnect_pending = true;
+        self.disconnected_at.take().map_or(0.0, |at| now - at)
     }
 
     /// Issues a query referencing `items`. The query waits for the next
@@ -353,7 +359,12 @@ impl Client {
         }
     }
 
-    fn apply_report(&mut self, now: SimTime, payload: &ReportPayload, actions: &mut Vec<ClientAction>) {
+    fn apply_report(
+        &mut self,
+        now: SimTime,
+        payload: &ReportPayload,
+        actions: &mut Vec<ClientAction>,
+    ) {
         let etlb = self.effective_tlb();
         // A report vouches for the database state at its *broadcast* time,
         // not its delivery time — updates can land while the report is on
@@ -598,9 +609,7 @@ impl Client {
                 .cache
                 .peek(item)
                 .is_some_and(|e| e.state == EntryState::Limbo);
-            if limbo
-                && matches!(self.cfg.scheme, Scheme::SimpleChecking | Scheme::Gcore)
-            {
+            if limbo && matches!(self.cfg.scheme, Scheme::SimpleChecking | Scheme::Gcore) {
                 // A verdict is (or will be) on its way: under FullCache
                 // the gap check already covers this item; under
                 // QueriedItems we check it now, targeted.
@@ -659,7 +668,10 @@ mod tests {
         ReportPayload::Window(WindowReport {
             broadcast_at: t(at),
             window_start: t(wstart),
-            records: records.into_iter().map(|(i, ts)| (ItemId(i), t(ts))).collect(),
+            records: records
+                .into_iter()
+                .map(|(i, ts)| (ItemId(i), t(ts)))
+                .collect(),
             dummy: None,
         })
     }
@@ -668,7 +680,10 @@ mod tests {
     fn warm(c: &mut Client, at: f64, item: u32) {
         c.start_query(t(at), vec![ItemId(item)]);
         let acts = c.on_report(t(at) + 1.0, &window(at + 1.0, at - 199.0, vec![]));
-        assert!(matches!(&acts[0], ClientAction::Uplink(UplinkKind::QueryRequest { .. })));
+        assert!(matches!(
+            &acts[0],
+            ClientAction::Uplink(UplinkKind::QueryRequest { .. })
+        ));
         let acts = c.on_data(t(at) + 2.0, ItemId(item), SimTime::ZERO);
         assert!(matches!(&acts[0], ClientAction::QueryDone(_)));
     }
@@ -681,7 +696,9 @@ mod tests {
         let acts = c.on_report(t(20.0), &window(20.0, -180.0, vec![]));
         assert_eq!(
             acts,
-            vec![ClientAction::Uplink(UplinkKind::QueryRequest { item: ItemId(3) })]
+            vec![ClientAction::Uplink(UplinkKind::QueryRequest {
+                item: ItemId(3)
+            })]
         );
         let acts = c.on_data(t(27.0), ItemId(3), SimTime::ZERO);
         match &acts[0] {
@@ -713,12 +730,14 @@ mod tests {
     fn report_invalidates_updated_item() {
         let mut c = Client::new(ClientId(0), cfg(Scheme::SimpleChecking));
         warm(&mut c, 20.0, 3); // version ZERO
-        // Item 3 updated at t=30; next report lists it.
+                               // Item 3 updated at t=30; next report lists it.
         c.start_query(t(35.0), vec![ItemId(3)]);
         let acts = c.on_report(t(40.0), &window(40.0, -160.0, vec![(3, 30.0)]));
         assert_eq!(
             acts,
-            vec![ClientAction::Uplink(UplinkKind::QueryRequest { item: ItemId(3) })],
+            vec![ClientAction::Uplink(UplinkKind::QueryRequest {
+                item: ItemId(3)
+            })],
             "stale copy must be refetched"
         );
     }
@@ -772,7 +791,10 @@ mod tests {
         let acts = c.on_report(t(800.0), &window(800.0, 600.0, vec![]));
         // Check goes up; the query waits for the verdict, not for data.
         assert_eq!(acts.len(), 1);
-        assert!(matches!(&acts[0], ClientAction::Uplink(UplinkKind::CheckRequest { .. })));
+        assert!(matches!(
+            &acts[0],
+            ClientAction::Uplink(UplinkKind::CheckRequest { .. })
+        ));
         assert!(c.has_pending_query());
         // Verdict: valid — the query completes as a hit.
         let acts = c.on_validity(t(802.0), t(801.0), &[ItemId(3)]);
@@ -797,7 +819,10 @@ mod tests {
         c.reconnect(t(800.0));
         // No proactive check on the uncovering report.
         let acts = c.on_report(t(800.0), &window(800.0, 600.0, vec![]));
-        assert!(acts.is_empty(), "lazy mode sends nothing proactively: {acts:?}");
+        assert!(
+            acts.is_empty(),
+            "lazy mode sends nothing proactively: {acts:?}"
+        );
         assert!(c.cache().has_limbo());
         // Query on item 3: targeted check for just that entry.
         c.start_query(t(810.0), vec![ItemId(3)]);
@@ -886,8 +911,14 @@ mod tests {
         let acts = c.on_report(t(820.0), &enlarged);
         assert!(acts.is_empty());
         assert!(!c.cache().has_limbo());
-        assert!(c.cache().peek(ItemId(3)).is_some(), "unlisted entry salvaged");
-        assert!(c.cache().peek(ItemId(5)).is_none(), "listed stale entry dropped");
+        assert!(
+            c.cache().peek(ItemId(3)).is_some(),
+            "unlisted entry salvaged"
+        );
+        assert!(
+            c.cache().peek(ItemId(5)).is_none(),
+            "listed stale entry dropped"
+        );
     }
 
     #[test]
@@ -903,14 +934,20 @@ mod tests {
             ))
         };
         let acts = c.on_report(t(20.0), &empty_bs(20.0));
-        assert!(matches!(&acts[0], ClientAction::Uplink(UplinkKind::QueryRequest { .. })));
+        assert!(matches!(
+            &acts[0],
+            ClientAction::Uplink(UplinkKind::QueryRequest { .. })
+        ));
         c.on_data(t(22.0), ItemId(3), SimTime::ZERO);
         c.disconnect(t(30.0));
         c.reconnect(t(2000.0));
         let acts = c.on_report(t(2000.0), &empty_bs(2000.0));
         assert!(acts.is_empty());
         assert!(!c.cache().has_limbo());
-        assert!(c.cache().peek(ItemId(3)).is_some(), "salvaged across a 2000 s gap");
+        assert!(
+            c.cache().peek(ItemId(3)).is_some(),
+            "salvaged across a 2000 s gap"
+        );
     }
 
     #[test]
@@ -949,7 +986,9 @@ mod tests {
         let acts = c.on_report(t(40.0), &window(40.0, -160.0, vec![]));
         assert_eq!(
             acts,
-            vec![ClientAction::Uplink(UplinkKind::QueryRequest { item: ItemId(7) })]
+            vec![ClientAction::Uplink(UplinkKind::QueryRequest {
+                item: ItemId(7)
+            })]
         );
         let acts = c.on_data(t(47.0), ItemId(7), SimTime::ZERO);
         match &acts[0] {
@@ -1033,7 +1072,10 @@ mod tests {
         c.reconnect(t(790.0));
         // First report after reconnect: uncovered -> gap opens, Tlb sent.
         let acts = c.on_report(t(800.0), &window(800.0, 600.0, vec![]));
-        assert!(matches!(&acts[0], ClientAction::Uplink(UplinkKind::TlbReport { .. })));
+        assert!(matches!(
+            &acts[0],
+            ClientAction::Uplink(UplinkKind::TlbReport { .. })
+        ));
         // Fetch item 9 during the gap; it is valid.
         c.start_query(t(802.0), vec![ItemId(9)]);
         c.on_report(t(805.0), &window(805.0, 605.0, vec![]));
@@ -1115,7 +1157,10 @@ mod tests {
         // Warm item 3 via AT reports.
         c.start_query(t(5.0), vec![ItemId(3)]);
         let acts = c.on_report(t(20.0), &at(20.0, 0.0, vec![]));
-        assert!(matches!(&acts[0], ClientAction::Uplink(UplinkKind::QueryRequest { .. })));
+        assert!(matches!(
+            &acts[0],
+            ClientAction::Uplink(UplinkKind::QueryRequest { .. })
+        ));
         c.on_data(t(22.0), ItemId(3), SimTime::ZERO);
         // Connected client: listed update drops exactly item 3.
         c.on_report(t(40.0), &at(40.0, 20.0, vec![3]));
@@ -1153,14 +1198,20 @@ mod tests {
         // the query to a fresh fetch rather than a phantom hit.
         let mut c = Client::new(
             ClientId(0),
-            ClientConfig { cache_capacity: 1, ..cfg(Scheme::SimpleChecking) },
+            ClientConfig {
+                cache_capacity: 1,
+                ..cfg(Scheme::SimpleChecking)
+            },
         );
         warm(&mut c, 20.0, 3);
         c.disconnect(t(30.0));
         c.reconnect(t(790.0));
         c.start_query(t(795.0), vec![ItemId(3)]);
         let acts = c.on_report(t(800.0), &window(800.0, 600.0, vec![]));
-        assert!(matches!(&acts[0], ClientAction::Uplink(UplinkKind::CheckRequest { .. })));
+        assert!(matches!(
+            &acts[0],
+            ClientAction::Uplink(UplinkKind::CheckRequest { .. })
+        ));
         // Eviction: a snooped item lands in the 1-slot cache.
         c.on_snooped_data(t(801.0), ItemId(9), t(500.0));
         assert!(c.cache().peek(ItemId(3)).is_none(), "limbo entry evicted");
@@ -1179,7 +1230,10 @@ mod tests {
         let mut c = Client::new(ClientId(0), cfg(Scheme::SimpleChecking));
         c.start_query(t(5.0), vec![ItemId(3)]);
         let acts = c.on_report(t(20.0), &window(20.0, -180.0, vec![]));
-        assert!(matches!(&acts[0], ClientAction::Uplink(UplinkKind::QueryRequest { .. })));
+        assert!(matches!(
+            &acts[0],
+            ClientAction::Uplink(UplinkKind::QueryRequest { .. })
+        ));
         // A snooped copy of the same item arrives mid-fetch: ignored so
         // the addressed delivery resolves the query.
         c.on_snooped_data(t(21.0), ItemId(3), t(10.0));
@@ -1206,7 +1260,10 @@ mod tests {
         // First report: no baseline yet, cache empty, fine.
         c.start_query(t(5.0), vec![ItemId(3)]);
         let acts = c.on_report(t(20.0), &sig0);
-        assert!(matches!(&acts[0], ClientAction::Uplink(UplinkKind::QueryRequest { .. })));
+        assert!(matches!(
+            &acts[0],
+            ClientAction::Uplink(UplinkKind::QueryRequest { .. })
+        ));
         c.on_data(t(22.0), ItemId(3), SimTime::ZERO);
         // Second report: item 3 unchanged — cache keeps it.
         let sig1 = ReportPayload::Sig(

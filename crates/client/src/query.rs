@@ -56,12 +56,18 @@ pub struct QueryState {
 impl QueryState {
     /// A fresh query over `items`.
     pub fn new(issued_at: SimTime, items: Vec<ItemId>) -> Self {
-        assert!(!items.is_empty(), "a query must reference at least one item");
+        assert!(
+            !items.is_empty(),
+            "a query must reference at least one item"
+        );
         QueryState {
             issued_at,
             items: items
                 .into_iter()
-                .map(|item| PendingItem { item, state: PendingState::WaitReport })
+                .map(|item| PendingItem {
+                    item,
+                    state: PendingState::WaitReport,
+                })
                 .collect(),
             hits: 0,
             misses: 0,
@@ -139,7 +145,11 @@ mod tests {
         let mut q = QueryState::new(t(0.0), vec![ItemId(1), ItemId(2), ItemId(3)]);
         assert!(q.resolve(ItemId(1), PendingState::WaitReport, true));
         assert!(q.transition(ItemId(2), PendingState::WaitReport, PendingState::WaitData));
-        assert!(q.transition(ItemId(3), PendingState::WaitReport, PendingState::WaitValidity));
+        assert!(q.transition(
+            ItemId(3),
+            PendingState::WaitReport,
+            PendingState::WaitValidity
+        ));
         assert!(!q.is_complete());
         assert!(q.resolve(ItemId(2), PendingState::WaitData, false));
         assert!(q.resolve(ItemId(3), PendingState::WaitValidity, true));

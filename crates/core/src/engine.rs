@@ -16,22 +16,67 @@
 
 use crate::metrics::{ClientStats, Metrics};
 use crate::oracle::Oracle;
-use mobicache_client::{Client, ClientAction, ClientConfig};
+use crate::probe::{CacheEventKind, IntervalSnapshot, Probe, ProbeEvent, ReportKind, RunTotals};
+use mobicache_client::{Client, ClientAction, ClientConfig, ClientCounters};
 use mobicache_model::msg::{DownlinkKind, SizeParams, UplinkKind, CLASS_CHECK, CLASS_REPORT};
-use mobicache_model::{ClientId, DownlinkTopology, ItemId, SimConfig};
+use mobicache_model::{ClientId, ConfigError, DownlinkTopology, ItemId, SimConfig};
 use mobicache_net::Channel;
 use mobicache_reports::ReportPayload;
 use mobicache_server::Server;
 use mobicache_sim::{Histogram, OnlineStats, Scheduler, SimRng, SimTime};
 use mobicache_workload::{GapKind, GapProcess, QueryGen, UpdateGen};
 
-/// Options orthogonal to the modelled system.
-#[derive(Clone, Copy, Debug, Default)]
-pub struct RunOptions {
+/// Options orthogonal to the modelled system, built fluently:
+///
+/// ```
+/// use mobicache::{IntervalSampler, RunOptions};
+///
+/// let mut sampler = IntervalSampler::every(10);
+/// let opts = RunOptions::new()
+///     .check_consistency(true)
+///     .probe(&mut sampler);
+/// # let _ = opts;
+/// ```
+#[derive(Default)]
+pub struct RunOptions<'p> {
     /// Record the full update history and assert the cache-consistency
     /// invariant after every message each client processes. Roughly
     /// doubles runtime; intended for tests.
-    pub check_consistency: bool,
+    check_consistency: bool,
+    /// Observer receiving typed run events and interval snapshots.
+    probe: Option<&'p mut dyn Probe>,
+}
+
+impl<'p> RunOptions<'p> {
+    /// Defaults: no consistency oracle, no probe.
+    pub fn new() -> Self {
+        RunOptions::default()
+    }
+
+    /// Enables (or disables) the ground-truth consistency oracle.
+    #[must_use]
+    pub fn check_consistency(mut self, enabled: bool) -> Self {
+        self.check_consistency = enabled;
+        self
+    }
+
+    /// Attaches a run observer. Probes are read-only: they never touch
+    /// the RNG streams or the event list, so a probed run stays
+    /// bit-identical to an unprobed one with the same seed.
+    #[must_use]
+    pub fn probe(mut self, probe: &'p mut dyn Probe) -> Self {
+        self.probe = Some(probe);
+        self
+    }
+}
+
+impl std::fmt::Debug for RunOptions<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunOptions")
+            .field("check_consistency", &self.check_consistency)
+            .field("probe", &self.probe.is_some())
+            .finish()
+    }
 }
 
 /// Everything a run produces.
@@ -83,9 +128,9 @@ enum DownPayload {
 type UpPayload = (ClientId, UplinkKind);
 
 /// A fully wired simulation, ready to run.
-pub struct Simulation {
+pub struct Simulation<'p> {
     cfg: SimConfig,
-    opts: RunOptions,
+    opts: RunOptions<'p>,
     sp: SizeParams,
     horizon: SimTime,
     sched: Scheduler<Ev>,
@@ -111,24 +156,32 @@ pub struct Simulation {
     /// Client-radio energy accounting (bits).
     tx_bits: f64,
     rx_bits: f64,
+    /// Broadcast periods completed (snapshot stride counter).
+    ticks: u64,
+    /// Cumulative counters at the last interval snapshot.
+    snap_prev: RunTotals,
+    /// Simulated second of the last interval snapshot.
+    snap_prev_secs: f64,
+    /// Next interval snapshot index.
+    snap_index: u32,
 }
 
 /// Builds and runs a simulation in one call.
 ///
 /// # Errors
-/// Returns the validation error message for an inconsistent
+/// Returns the typed validation error for an inconsistent
 /// configuration.
-pub fn run(cfg: &SimConfig, opts: RunOptions) -> Result<RunResult, String> {
+pub fn run(cfg: &SimConfig, opts: RunOptions<'_>) -> Result<RunResult, ConfigError> {
     Ok(Simulation::new(cfg, opts)?.run_to_completion())
 }
 
-impl Simulation {
+impl<'p> Simulation<'p> {
     /// Wires up a simulation for `cfg`.
     ///
     /// # Errors
-    /// Returns the validation error message for an inconsistent
+    /// Returns the typed validation error for an inconsistent
     /// configuration.
-    pub fn new(cfg: &SimConfig, opts: RunOptions) -> Result<Self, String> {
+    pub fn new(cfg: &SimConfig, opts: RunOptions<'p>) -> Result<Self, ConfigError> {
         cfg.validate()?;
         let sp = SizeParams {
             db_size: cfg.db_size as u64,
@@ -210,6 +263,10 @@ impl Simulation {
             reports_lost: 0,
             tx_bits: 0.0,
             rx_bits: 0.0,
+            ticks: 0,
+            snap_prev: RunTotals::default(),
+            snap_prev_secs: 0.0,
+            snap_index: 0,
             sched,
             cfg: cfg.clone(),
             opts,
@@ -242,7 +299,16 @@ impl Simulation {
                 Ev::Tick => self.on_tick(now),
                 Ev::UpdateArrival => self.on_update(now),
                 Ev::QueryArrival(c) => self.on_query_arrival(now, c),
-                Ev::Reconnect(c) => self.clients[c.index()].reconnect(now),
+                Ev::Reconnect(c) => {
+                    let offline_secs = self.clients[c.index()].reconnect(now);
+                    self.emit(
+                        now,
+                        ProbeEvent::Reconnect {
+                            client: c,
+                            offline_secs,
+                        },
+                    );
+                }
                 Ev::DownlinkDone(idx, token) => self.on_downlink_done(now, idx, token),
                 Ev::UplinkDone(token) => self.on_uplink_done(now, token),
             }
@@ -251,14 +317,96 @@ impl Simulation {
     }
 
     fn on_tick(&mut self, now: SimTime) {
-        let report = self.server.build_report(now);
+        let (report, decision) = self.server.build_report_observed(now);
         let kind = DownlinkKind::InvalidationReport {
             content_bits: report.size_bits(&self.sp),
         };
         let bits = kind.size_bits(&self.sp);
+        if self.opts.probe.is_some() {
+            let report_kind = ReportKind::of(&report);
+            let window_start_secs = match &report {
+                ReportPayload::Window(w) => Some(w.window_start.as_secs()),
+                _ => None,
+            };
+            self.emit(
+                now,
+                ProbeEvent::ReportBroadcast {
+                    kind: report_kind,
+                    bits,
+                    window_start_secs,
+                },
+            );
+            if let Some(d) = decision {
+                self.emit(now, ProbeEvent::AdaptiveDecision(d));
+            }
+        }
         self.send_downlink(now, bits, kind.class(), DownPayload::Report(report));
         self.sched
             .schedule_in(self.cfg.broadcast_period_secs, Ev::Tick);
+        self.ticks += 1;
+        let stride = self.opts.probe.as_ref().and_then(|p| p.snapshot_every());
+        if let Some(k) = stride {
+            if self.ticks.is_multiple_of(u64::from(k.max(1))) {
+                self.take_snapshot(now.as_secs());
+            }
+        }
+    }
+
+    /// Forwards a typed event to the attached probe, if any.
+    fn emit(&mut self, now: SimTime, event: ProbeEvent) {
+        if let Some(p) = self.opts.probe.as_mut() {
+            p.on_event(now, &event);
+        }
+    }
+
+    /// Current cumulative counters (the snapshot basis — the same sums
+    /// [`Simulation::finish`] folds into [`Metrics`]).
+    fn current_totals(&self) -> RunTotals {
+        let sc = self.server.counters();
+        let mut t = RunTotals {
+            reports_broadcast: sc.window_reports
+                + sc.enlarged_reports
+                + sc.bs_reports
+                + sc.at_reports
+                + sc.sig_reports,
+            tlbs_received: sc.tlbs_received,
+            checks_processed: sc.checks_processed,
+            disconnections: self.disconnections,
+            reports_lost: self.reports_lost,
+            client_tx_bits: self.tx_bits,
+            client_rx_bits: self.rx_bits,
+            events_scheduled: self.sched.events_scheduled(),
+            events_delivered: self.sched.events_delivered(),
+            ..RunTotals::default()
+        };
+        for client in &self.clients {
+            let c = client.counters();
+            t.queries_issued += c.queries_issued;
+            t.queries_answered += c.queries_answered;
+            t.item_hits += c.item_hits;
+            t.item_misses += c.item_misses;
+            t.cache_evictions += client.cache().evictions();
+        }
+        t
+    }
+
+    /// Closes the current snapshot interval at `end_secs` and hands the
+    /// delta to the probe.
+    fn take_snapshot(&mut self, end_secs: f64) {
+        let totals = self.current_totals();
+        let snap = IntervalSnapshot {
+            index: self.snap_index,
+            start_secs: self.snap_prev_secs,
+            end_secs,
+            delta: totals.delta_since(&self.snap_prev),
+            queue_high_water: self.sched.queue_high_water(),
+        };
+        if let Some(p) = self.opts.probe.as_mut() {
+            p.on_snapshot(&snap);
+        }
+        self.snap_prev = totals;
+        self.snap_prev_secs = end_secs;
+        self.snap_index += 1;
     }
 
     fn on_update(&mut self, now: SimTime) {
@@ -274,7 +422,9 @@ impl Simulation {
     }
 
     fn on_query_arrival(&mut self, now: SimTime, c: ClientId) {
-        let items = self.query_gen.next_query_items(&mut self.rng_clients[c.index()]);
+        let items = self
+            .query_gen
+            .next_query_items(&mut self.rng_clients[c.index()]);
         self.clients[c.index()].start_query(now, items);
         // The query waits for the next broadcast report (§2).
     }
@@ -292,15 +442,15 @@ impl Simulation {
                     if !self.clients[i].is_connected() {
                         continue; // dozing clients miss the broadcast
                     }
-                    if self.cfg.p_report_loss > 0.0
-                        && self.rng_loss.coin(self.cfg.p_report_loss)
-                    {
+                    if self.cfg.p_report_loss > 0.0 && self.rng_loss.coin(self.cfg.p_report_loss) {
                         self.reports_lost += 1;
                         continue; // fading: this client misses the report
                     }
                     self.rx_bits += delivered.bits;
+                    let before = self.pre_observe(i);
                     let actions = self.clients[i].on_report(now, &report);
                     self.process_actions(now, ClientId(i as u16), actions);
+                    self.post_observe(now, ClientId(i as u16), before);
                     self.check_consistency(i);
                 }
             }
@@ -310,8 +460,10 @@ impl Simulation {
                 // bit-level model would have to resolve with torn reads).
                 let version = self.server.version(item);
                 self.rx_bits += delivered.bits;
+                let before = self.pre_observe(dest.index());
                 let actions = self.clients[dest.index()].on_data(now, item, version);
                 self.process_actions(now, dest, actions);
+                self.post_observe(now, dest, before);
                 self.check_consistency(dest.index());
                 // Snooping extension: the downlink is a broadcast medium,
                 // so every other connected client overhears the item.
@@ -331,18 +483,27 @@ impl Simulation {
                     return; // verdict lost; the client will re-check
                 }
                 self.rx_bits += delivered.bits;
+                let before = self.pre_observe(dest.index());
                 let actions = self.clients[dest.index()].on_validity(now, asof, &valid);
                 self.process_actions(now, dest, actions);
+                self.post_observe(now, dest, before);
                 self.check_consistency(dest.index());
             }
-            DownPayload::GroupVerdict { dest, asof, covered, stale } => {
+            DownPayload::GroupVerdict {
+                dest,
+                asof,
+                covered,
+                stale,
+            } => {
                 if !self.clients[dest.index()].is_connected() {
                     return; // verdict lost; the client will re-check
                 }
                 self.rx_bits += delivered.bits;
+                let before = self.pre_observe(dest.index());
                 let actions =
                     self.clients[dest.index()].on_group_validity(now, asof, covered, &stale);
                 self.process_actions(now, dest, actions);
+                self.post_observe(now, dest, before);
                 self.check_consistency(dest.index());
             }
         }
@@ -360,7 +521,12 @@ impl Simulation {
             UplinkKind::QueryRequest { item } => {
                 let dk = DownlinkKind::DataItem { item };
                 let bits = dk.size_bits(&self.sp);
-                self.send_downlink(now, bits, dk.class(), DownPayload::Data { item, dest: from });
+                self.send_downlink(
+                    now,
+                    bits,
+                    dk.class(),
+                    DownPayload::Data { item, dest: from },
+                );
             }
             UplinkKind::TlbReport { tlb_secs } => {
                 self.server.receive_tlb(SimTime::from_secs(tlb_secs));
@@ -431,6 +597,15 @@ impl Simulation {
                     let latency = outcome.completed_at - outcome.issued_at;
                     self.latency.record(latency);
                     self.latency_hist.record(latency);
+                    self.emit(
+                        now,
+                        ProbeEvent::QueryResolved {
+                            client: c,
+                            latency_secs: latency,
+                            hits: outcome.hits,
+                            misses: outcome.misses,
+                        },
+                    );
                     // §4: the gap after a completion is a think period or,
                     // with probability p, a disconnection.
                     let gap = self.gap_proc.sample(&mut self.rng_clients[c.index()]);
@@ -442,6 +617,13 @@ impl Simulation {
                         GapKind::Disconnect => {
                             self.disconnections += 1;
                             self.clients[c.index()].disconnect(now);
+                            self.emit(
+                                now,
+                                ProbeEvent::Disconnect {
+                                    client: c,
+                                    for_secs: gap.duration_secs,
+                                },
+                            );
                             // Reconnect is scheduled before the query at
                             // the same instant; FIFO tie-breaking delivers
                             // it first.
@@ -455,16 +637,78 @@ impl Simulation {
         }
     }
 
-    fn check_consistency(&mut self, idx: usize) {
-        if let Some(oracle) = &mut self.oracle {
-            oracle.assert_cache_consistent(
-                ClientId(idx as u16),
-                self.clients[idx].cache(),
+    /// Counter state captured before a client processes a message, so
+    /// limbo salvage and cache-population changes surface as probe
+    /// events without threading observers through the client crate.
+    /// `None` (no probe attached) makes the pre/post pair free.
+    fn pre_observe(&self, idx: usize) -> Option<(ClientCounters, u64)> {
+        self.opts.probe.as_ref()?;
+        Some((
+            self.clients[idx].counters(),
+            self.clients[idx].cache().evictions(),
+        ))
+    }
+
+    /// Emits events for whatever the paired [`Simulation::pre_observe`]
+    /// saw change.
+    fn post_observe(&mut self, now: SimTime, c: ClientId, before: Option<(ClientCounters, u64)>) {
+        let Some((before, ev_before)) = before else {
+            return;
+        };
+        let after = self.clients[c.index()].counters();
+        let ev_after = self.clients[c.index()].cache().evictions();
+        let salvaged = after.salvaged - before.salvaged;
+        let dropped = after.limbo_dropped - before.limbo_dropped;
+        if salvaged + dropped > 0 {
+            self.emit(
+                now,
+                ProbeEvent::LimboSalvage {
+                    client: c,
+                    salvaged,
+                    dropped,
+                },
+            );
+        }
+        if after.full_drops > before.full_drops {
+            self.emit(
+                now,
+                ProbeEvent::CacheEvent {
+                    client: c,
+                    kind: CacheEventKind::FullDrop,
+                },
+            );
+        }
+        if ev_after > ev_before {
+            self.emit(
+                now,
+                ProbeEvent::CacheEvent {
+                    client: c,
+                    kind: CacheEventKind::Evictions {
+                        count: ev_after - ev_before,
+                    },
+                },
             );
         }
     }
 
-    fn finish(self) -> RunResult {
+    fn check_consistency(&mut self, idx: usize) {
+        if let Some(oracle) = &mut self.oracle {
+            oracle.assert_cache_consistent(ClientId(idx as u16), self.clients[idx].cache());
+        }
+    }
+
+    fn finish(mut self) -> RunResult {
+        // Close the last (possibly partial) interval so snapshot deltas
+        // telescope exactly to the final metrics.
+        let wants_snapshots = self
+            .opts
+            .probe
+            .as_ref()
+            .and_then(|p| p.snapshot_every())
+            .is_some();
+        if wants_snapshots {
+            self.take_snapshot(self.horizon.as_secs());
+        }
         let horizon = self.horizon;
         let up = self.uplink.stats(horizon);
         let mut clients = ClientStats::default();
@@ -499,8 +743,8 @@ impl Simulation {
             preemptions += s.preemptions;
         }
         let validity_bits = up.bits_by_class[CLASS_CHECK];
-        let energy_total = self.tx_bits * self.cfg.energy_tx_per_bit
-            + self.rx_bits * self.cfg.energy_rx_per_bit;
+        let energy_total =
+            self.tx_bits * self.cfg.energy_tx_per_bit + self.rx_bits * self.cfg.energy_rx_per_bit;
         let metrics = Metrics {
             queries_answered: answered,
             uplink_validity_bits_per_query: if answered == 0 {
@@ -542,7 +786,6 @@ impl Simulation {
             events_processed: self.sched.events_delivered(),
             sim_time_secs: self.cfg.sim_time_secs,
         };
-        let _ = self.opts;
         RunResult {
             config: self.cfg,
             metrics,
@@ -567,7 +810,7 @@ mod tests {
     fn every_scheme_runs_and_answers_queries() {
         for scheme in Scheme::ALL {
             let cfg = short_cfg(scheme);
-            let result = run(&cfg, RunOptions { check_consistency: true })
+            let result = run(&cfg, RunOptions::new().check_consistency(true))
                 .unwrap_or_else(|e| panic!("{scheme:?}: {e}"));
             let m = &result.metrics;
             assert!(m.queries_answered > 0, "{scheme:?} answered none");
@@ -587,7 +830,10 @@ mod tests {
         let b = run(&cfg, RunOptions::default()).unwrap();
         assert_eq!(a.metrics.queries_answered, b.metrics.queries_answered);
         assert_eq!(a.metrics.item_hits, b.metrics.item_hits);
-        assert_eq!(a.metrics.uplink_validity_bits, b.metrics.uplink_validity_bits);
+        assert_eq!(
+            a.metrics.uplink_validity_bits,
+            b.metrics.uplink_validity_bits
+        );
         assert_eq!(a.metrics.events_processed, b.metrics.events_processed);
     }
 
@@ -610,9 +856,15 @@ mod tests {
     #[test]
     fn adaptive_scheme_uses_tlbs_not_checks() {
         let result = run(&short_cfg(Scheme::Afw), RunOptions::default()).unwrap();
-        assert!(result.metrics.clients.tlbs_sent > 0, "long disconnects must trigger Tlbs");
+        assert!(
+            result.metrics.clients.tlbs_sent > 0,
+            "long disconnects must trigger Tlbs"
+        );
         assert_eq!(result.metrics.clients.checks_sent, 0);
-        assert!(result.metrics.server.bs_reports > 0, "Tlbs must trigger BS broadcasts");
+        assert!(
+            result.metrics.server.bs_reports > 0,
+            "Tlbs must trigger BS broadcasts"
+        );
         assert!(result.metrics.server.window_reports > 0, "but not always");
     }
 
@@ -627,8 +879,11 @@ mod tests {
 
     #[test]
     fn gcore_scheme_sends_group_checks() {
-        let result = run(&short_cfg(Scheme::Gcore), RunOptions { check_consistency: true })
-            .unwrap();
+        let result = run(
+            &short_cfg(Scheme::Gcore),
+            RunOptions::new().check_consistency(true),
+        )
+        .unwrap();
         assert!(result.metrics.clients.checks_sent > 0);
         assert!(result.metrics.server.checks_processed > 0);
         assert_eq!(result.metrics.clients.tlbs_sent, 0);
@@ -641,8 +896,11 @@ mod tests {
         base.sim_time_secs = 8_000.0;
         base.p_disconnect = 0.3;
         let gcore = run(&base, RunOptions::default()).unwrap();
-        let sc = run(&base.clone().with_scheme(Scheme::SimpleChecking), RunOptions::default())
-            .unwrap();
+        let sc = run(
+            &base.clone().with_scheme(Scheme::SimpleChecking),
+            RunOptions::default(),
+        )
+        .unwrap();
         assert!(
             gcore.metrics.uplink_validity_bits < sc.metrics.uplink_validity_bits,
             "grouping must reduce checking uplink: {} vs {}",
@@ -691,8 +949,10 @@ mod tests {
     fn dedicated_broadcast_channel_runs_consistently() {
         for scheme in [Scheme::Bs, Scheme::Aaw, Scheme::SimpleChecking] {
             let mut cfg = short_cfg(scheme);
-            cfg.downlink_topology = DownlinkTopology::Dedicated { broadcast_share: 0.3 };
-            let result = run(&cfg, RunOptions { check_consistency: true })
+            cfg.downlink_topology = DownlinkTopology::Dedicated {
+                broadcast_share: 0.3,
+            };
+            let result = run(&cfg, RunOptions::new().check_consistency(true))
                 .unwrap_or_else(|e| panic!("{scheme:?}: {e}"));
             assert!(result.metrics.queries_answered > 0, "{scheme:?}");
             // Reports never preempt data on a dedicated channel.
@@ -710,7 +970,9 @@ mod tests {
         shared.sim_time_secs = 8_000.0;
         shared.num_clients = 100; // saturate the downlink so topology matters
         let mut dedicated = shared.clone();
-        dedicated.downlink_topology = DownlinkTopology::Dedicated { broadcast_share: 0.25 };
+        dedicated.downlink_topology = DownlinkTopology::Dedicated {
+            broadcast_share: 0.25,
+        };
         // Give both the same point-to-point bandwidth for a fair fight:
         // the dedicated variant gets extra broadcast bandwidth on top.
         dedicated.downlink_bps = shared.downlink_bps / 0.75;
@@ -726,10 +988,15 @@ mod tests {
 
     #[test]
     fn report_loss_is_survivable_and_counted() {
-        for scheme in [Scheme::Bs, Scheme::Aaw, Scheme::SimpleChecking, Scheme::TsNoCheck] {
+        for scheme in [
+            Scheme::Bs,
+            Scheme::Aaw,
+            Scheme::SimpleChecking,
+            Scheme::TsNoCheck,
+        ] {
             let mut cfg = short_cfg(scheme);
             cfg.p_report_loss = 0.2;
-            let result = run(&cfg, RunOptions { check_consistency: true })
+            let result = run(&cfg, RunOptions::new().check_consistency(true))
                 .unwrap_or_else(|e| panic!("{scheme:?}: {e}"));
             assert!(result.metrics.reports_lost > 0, "{scheme:?}");
             assert!(result.metrics.queries_answered > 0, "{scheme:?}");
@@ -749,10 +1016,10 @@ mod tests {
         let mut base = short_cfg(Scheme::Aaw).with_workload(Workload::hotcold());
         base.sim_time_secs = 8_000.0;
         base.db_size = 5_000; // cache (2 %) exactly fits the 100-item hot set
-        let plain = run(&base, RunOptions { check_consistency: true }).unwrap();
+        let plain = run(&base, RunOptions::new().check_consistency(true)).unwrap();
         let mut snoop_cfg = base.clone();
         snoop_cfg.snoop_broadcasts = true;
-        let snoop = run(&snoop_cfg, RunOptions { check_consistency: true }).unwrap();
+        let snoop = run(&snoop_cfg, RunOptions::new().check_consistency(true)).unwrap();
         assert!(
             snoop.metrics.hit_ratio > plain.metrics.hit_ratio + 0.05,
             "snooping should share the hot set: {} vs {}",
@@ -768,8 +1035,11 @@ mod tests {
         base.p_disconnect = 0.4;
         base.sim_time_secs = 8_000.0;
         let aaw = run(&base, RunOptions::default()).unwrap();
-        let sc = run(&base.clone().with_scheme(Scheme::SimpleChecking), RunOptions::default())
-            .unwrap();
+        let sc = run(
+            &base.clone().with_scheme(Scheme::SimpleChecking),
+            RunOptions::default(),
+        )
+        .unwrap();
         assert!(aaw.metrics.energy_per_query > 0.0);
         // Checking pays for its big uplink checks at 100x the rx rate.
         assert!(
@@ -784,8 +1054,11 @@ mod tests {
     fn bs_pays_energy_in_rx_not_tx() {
         let base = short_cfg(Scheme::Bs);
         let bs = run(&base, RunOptions::default()).unwrap();
-        let sc = run(&base.clone().with_scheme(Scheme::SimpleChecking), RunOptions::default())
-            .unwrap();
+        let sc = run(
+            &base.clone().with_scheme(Scheme::SimpleChecking),
+            RunOptions::default(),
+        )
+        .unwrap();
         assert!(
             bs.metrics.client_rx_bits > sc.metrics.client_rx_bits,
             "bs rx {} vs sc rx {}",

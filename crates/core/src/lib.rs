@@ -16,10 +16,10 @@
 //! use mobicache::{run, RunOptions};
 //! use mobicache_model::{Scheme, SimConfig, Workload};
 //!
-//! let mut cfg = SimConfig::paper_default()
+//! let cfg = SimConfig::paper_default()
 //!     .with_scheme(Scheme::Aaw)
-//!     .with_workload(Workload::hotcold());
-//! cfg.sim_time_secs = 5_000.0; // short demo horizon
+//!     .with_workload(Workload::hotcold())
+//!     .with_sim_time(5_000.0); // short demo horizon
 //! let result = run(&cfg, RunOptions::default()).expect("valid config");
 //! println!(
 //!     "answered {} queries, {:.1} validity bits/query",
@@ -38,12 +38,23 @@
 mod engine;
 mod metrics;
 pub mod oracle;
+pub mod probe;
 
 pub use engine::{run, RunOptions, RunResult, Simulation};
 pub use metrics::Metrics;
+pub use probe::{
+    CacheEventKind, IntervalSampler, IntervalSnapshot, NullProbe, Probe, ProbeEvent, ReportKind,
+    RunTotals,
+};
 
 // Re-export the configuration vocabulary so downstream users need only
 // this crate plus `mobicache-model`.
 pub use mobicache_model::{
-    CheckingMode, DownlinkTopology, Pattern, Scheme, SimConfig, Workload,
+    CheckingMode, ConfigError, DownlinkTopology, Pattern, Scheme, SimConfig, Workload,
 };
+// Adaptive decisions surface in probe events; re-export so observers
+// can match on them without depending on `mobicache-server`.
+pub use mobicache_server::AdaptiveDecision;
+// Probe callbacks are timestamped in simulated time; re-export so
+// implementors need not depend on `mobicache-sim`.
+pub use mobicache_sim::SimTime;

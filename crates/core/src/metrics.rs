@@ -9,10 +9,9 @@
 
 use mobicache_client::ClientCounters;
 use mobicache_server::ServerCounters;
-use serde::{Deserialize, Serialize};
 
 /// Aggregated results of one simulation run.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Metrics {
     // ---- the paper's headline metrics ----
     /// Queries fully answered within the horizon (Figures 5, 7, 9, 11,
@@ -85,7 +84,7 @@ pub struct Metrics {
 }
 
 /// Serializable mirror of [`ServerCounters`].
-#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ServerStats {
     /// Plain window reports broadcast.
     pub window_reports: u64,
@@ -124,7 +123,7 @@ impl From<ServerCounters> for ServerStats {
 }
 
 /// Serializable sum of [`ClientCounters`] over all clients.
-#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ClientStats {
     /// `Tlb` messages sent.
     pub tlbs_sent: u64,

@@ -8,10 +8,13 @@
 //! repro --smoke fig05       run at 1/20 horizon (quick sanity pass)
 //! repro --scale 0.2 fig05   custom horizon scale
 //! repro --out results fig05 CSV output directory (default: results)
+//! repro --progress fig05    live per-job progress lines on stderr
+//! repro --trace-dir results/trace fig05
+//!                           write per-job interval-snapshot JSONL traces
 //! ```
 
 use mobicache_experiments::figures;
-use mobicache_experiments::{chart, csvout, run_figure, RunScale};
+use mobicache_experiments::{chart, csvout, run_figure_with, Progress, RunReporting, RunScale};
 use mobicache_model::{Scheme, SimConfig, Workload};
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -27,6 +30,8 @@ fn main() -> ExitCode {
     let mut out_dir = PathBuf::from("results");
     let mut ids: Vec<String> = Vec::new();
     let mut run_all = false;
+    let mut progress = false;
+    let mut trace_dir: Option<PathBuf> = None;
 
     let mut i = 0;
     while i < args.len() {
@@ -79,6 +84,15 @@ fn main() -> ExitCode {
                 };
                 out_dir = PathBuf::from(v);
             }
+            "--progress" => progress = true,
+            "--trace-dir" => {
+                i += 1;
+                let Some(v) = args.get(i) else {
+                    eprintln!("--trace-dir needs a directory");
+                    return ExitCode::FAILURE;
+                };
+                trace_dir = Some(PathBuf::from(v));
+            }
             "--help" | "-h" => {
                 print_usage();
                 return ExitCode::SUCCESS;
@@ -113,6 +127,22 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
+    let show_progress = |p: Progress| {
+        let eta = if p.eta_secs >= 60.0 {
+            format!(
+                "{:.0}m{:02.0}s",
+                (p.eta_secs / 60.0).floor(),
+                p.eta_secs % 60.0
+            )
+        } else {
+            format!("{:.0}s", p.eta_secs)
+        };
+        eprintln!(
+            "   [{:>3}/{:<3}] {:?} x={} done in {:.1}s (elapsed {:.1}s, eta {eta})",
+            p.done, p.total, p.scheme, p.x, p.job_wall_secs, p.elapsed_secs
+        );
+    };
+
     for spec in specs {
         eprintln!(
             ">> running {} [{} schemes x {} points, horizon x{}]",
@@ -121,7 +151,18 @@ fn main() -> ExitCode {
             spec.points.len(),
             scale.time_factor
         );
-        let result = run_figure(&spec, scale);
+        let reporting = RunReporting {
+            on_progress: progress.then_some(&show_progress as &(dyn Fn(Progress) + Sync)),
+            trace_dir: trace_dir.as_deref(),
+            ..RunReporting::default()
+        };
+        let result = match run_figure_with(&spec, scale, reporting) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error: {}: invalid configuration: {e}", spec.id);
+                return ExitCode::FAILURE;
+            }
+        };
         println!("{}", chart::render(&result));
         println!("{}", chart::render_table(&result));
         println!("expected shape: {}\n", spec.expected_shape);
@@ -141,7 +182,7 @@ fn main() -> ExitCode {
 fn print_usage() {
     eprintln!(
         "usage: repro [--smoke|--scale F] [--reps N] [--threads N] [--out DIR] \
-         (--all | --list | --tables | IDS...)"
+         [--progress] [--trace-dir DIR] (--all | --list | --tables | IDS...)"
     );
 }
 
@@ -151,23 +192,50 @@ fn print_tables() {
     println!("Table 1. System Parameter Settings (SimConfig::paper_default)");
     println!("  {:<38} {} seconds", "Simulation Time", cfg.sim_time_secs);
     println!("  {:<38} {}", "Number of Clients", cfg.num_clients);
-    println!("  {:<38} 1000 to 80000 data items (default 10000)", "Database Size");
+    println!(
+        "  {:<38} 1000 to 80000 data items (default 10000)",
+        "Database Size"
+    );
     println!("  {:<38} {} bytes", "Data Item Size", cfg.item_bytes);
     println!("  {:<38} 1 % or 2 % of database size", "Client Buffer Size");
-    println!("  {:<38} {} seconds", "Broadcast Period", cfg.broadcast_period_secs);
-    println!("  {:<38} {} bits per second", "Network Downlink Bandwidth", cfg.downlink_bps);
-    println!("  {:<38} 1 % to 100 % of downlink", "Network Uplink Bandwidth");
-    println!("  {:<38} {} bytes", "Control Message Size", cfg.control_bytes);
-    println!("  {:<38} {} seconds", "Mean Think Time", cfg.mean_think_secs);
+    println!(
+        "  {:<38} {} seconds",
+        "Broadcast Period", cfg.broadcast_period_secs
+    );
+    println!(
+        "  {:<38} {} bits per second",
+        "Network Downlink Bandwidth", cfg.downlink_bps
+    );
+    println!(
+        "  {:<38} 1 % to 100 % of downlink",
+        "Network Uplink Bandwidth"
+    );
+    println!(
+        "  {:<38} {} bytes",
+        "Control Message Size", cfg.control_bytes
+    );
+    println!(
+        "  {:<38} {} seconds",
+        "Mean Think Time", cfg.mean_think_secs
+    );
     println!(
         "  {:<38} {} (Table 1 lists 10; see DESIGN.md on the Section 5 reconciliation)",
         "Mean Data Items Ref. by a Query", cfg.items_per_query_mean
     );
-    println!("  {:<38} {}", "Mean Data Items Updated by a Txn", cfg.items_per_update_mean);
-    println!("  {:<38} {} seconds", "Mean Update Arrival Time", cfg.mean_update_interarrival_secs);
+    println!(
+        "  {:<38} {}",
+        "Mean Data Items Updated by a Txn", cfg.items_per_update_mean
+    );
+    println!(
+        "  {:<38} {} seconds",
+        "Mean Update Arrival Time", cfg.mean_update_interarrival_secs
+    );
     println!("  {:<38} 200 to 8000 seconds", "Mean Disconnect Time");
     println!("  {:<38} 0.1 to 0.8", "Prob. of Client Disc. per Interval");
-    println!("  {:<38} {} intervals", "Window for Broadcast Invalidation", cfg.window_intervals);
+    println!(
+        "  {:<38} {} intervals",
+        "Window for Broadcast Invalidation", cfg.window_intervals
+    );
     println!();
     println!("Table 2. Query/Update Pattern (Workload::uniform / Workload::hotcold)");
     let u = Workload::uniform();

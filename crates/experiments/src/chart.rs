@@ -141,6 +141,7 @@ mod tests {
             y,
             y_stderr: 0.0,
             replications: 1,
+            wall_secs: 0.0,
             metrics: Metrics::default(),
         };
         FigureResult {

@@ -78,6 +78,7 @@ mod tests {
                     y: 4.0,
                     y_stderr: 0.5,
                     replications: 2,
+                    wall_secs: 0.0,
                     metrics: Metrics {
                         queries_answered: 7,
                         ..Metrics::default()

@@ -39,7 +39,12 @@ pub fn window_sweep() -> FigureSpec {
         title: "Window-size ablation: throughput vs w (UNIFORM, N=10^4, p=0.3, disc 400 s)",
         x_label: "Broadcast window w (intervals)",
         metric: MetricKind::QueriesAnswered,
-        schemes: vec![Scheme::TsNoCheck, Scheme::SimpleChecking, Scheme::Afw, Scheme::Aaw],
+        schemes: vec![
+            Scheme::TsNoCheck,
+            Scheme::SimpleChecking,
+            Scheme::Afw,
+            Scheme::Aaw,
+        ],
         points,
         expected_shape: "TS no-checking gains the most from larger windows (fewer full \
                          drops); the adaptive schemes are nearly window-insensitive — \
@@ -158,7 +163,8 @@ mod tests {
     fn all_ablations_validate() {
         for spec in all() {
             for (_, cfg) in &spec.points {
-                cfg.validate().unwrap_or_else(|e| panic!("{}: {e}", spec.id));
+                cfg.validate()
+                    .unwrap_or_else(|e| panic!("{}: {e}", spec.id));
             }
             assert!(spec.id.starts_with("abl-") || spec.id == "sched-scan");
         }

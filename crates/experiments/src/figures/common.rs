@@ -18,8 +18,7 @@ pub const DISC_PROBS: [f64; 8] = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8];
 pub const DISC_TIMES_SHORT: [f64; 7] = [200.0, 500.0, 800.0, 1_100.0, 1_400.0, 1_700.0, 2_000.0];
 
 /// Mean disconnection times for Figure 10 (x axis up to 8000 s).
-pub const DISC_TIMES_LONG: [f64; 7] =
-    [500.0, 1_000.0, 2_000.0, 3_000.0, 4_000.0, 6_000.0, 8_000.0];
+pub const DISC_TIMES_LONG: [f64; 7] = [500.0, 1_000.0, 2_000.0, 3_000.0, 4_000.0, 6_000.0, 8_000.0];
 
 /// Uplink bandwidths for the asymmetric-environment Figures 15/16
 /// (100–1000 bits/second).
@@ -40,8 +39,9 @@ pub fn uniform_dbsweep_base() -> SimConfig {
 /// Base config for the Figure 7/8 sweep: UNIFORM, N = 10⁴, mean
 /// disconnection 400 s, 2 % buffers.
 pub fn uniform_probsweep_base() -> SimConfig {
-    let mut cfg = SimConfig::paper_default().with_workload(Workload::uniform());
-    cfg.db_size = 10_000;
+    let mut cfg = SimConfig::paper_default()
+        .with_workload(Workload::uniform())
+        .with_db_size(10_000);
     cfg.mean_disconnect_secs = 400.0;
     cfg.cache_fraction = 0.02;
     cfg
@@ -50,8 +50,9 @@ pub fn uniform_probsweep_base() -> SimConfig {
 /// Base config for the Figure 9/10 sweep: UNIFORM, N = 10⁴, p = 0.1,
 /// 1 % buffers.
 pub fn uniform_discsweep_base() -> SimConfig {
-    let mut cfg = SimConfig::paper_default().with_workload(Workload::uniform());
-    cfg.db_size = 10_000;
+    let mut cfg = SimConfig::paper_default()
+        .with_workload(Workload::uniform())
+        .with_db_size(10_000);
     cfg.p_disconnect = 0.1;
     cfg.cache_fraction = 0.01;
     cfg
@@ -70,8 +71,9 @@ pub fn hotcold_dbsweep_base() -> SimConfig {
 /// Base config for the Figure 13/14 sweep: HOTCOLD, N = 10⁴, mean
 /// disconnection 400 s, 2 % buffers.
 pub fn hotcold_probsweep_base() -> SimConfig {
-    let mut cfg = SimConfig::paper_default().with_workload(Workload::hotcold());
-    cfg.db_size = 10_000;
+    let mut cfg = SimConfig::paper_default()
+        .with_workload(Workload::hotcold())
+        .with_db_size(10_000);
     cfg.mean_disconnect_secs = 400.0;
     cfg.cache_fraction = 0.02;
     cfg
@@ -81,8 +83,9 @@ pub fn hotcold_probsweep_base() -> SimConfig {
 /// 4000 s, p = 0.1, 2 % buffers; the uplink bandwidth is the swept
 /// variable.
 pub fn asymmetric_base(workload: Workload) -> SimConfig {
-    let mut cfg = SimConfig::paper_default().with_workload(workload);
-    cfg.db_size = 5_000;
+    let mut cfg = SimConfig::paper_default()
+        .with_workload(workload)
+        .with_db_size(5_000);
     cfg.mean_disconnect_secs = 4_000.0;
     cfg.p_disconnect = 0.1;
     cfg.cache_fraction = 0.02;
@@ -93,11 +96,7 @@ pub fn asymmetric_base(workload: Workload) -> SimConfig {
 pub fn db_points(base: SimConfig) -> Vec<(f64, SimConfig)> {
     DB_SIZES
         .iter()
-        .map(|&n| {
-            let mut cfg = base.clone();
-            cfg.db_size = n;
-            (n as f64, cfg)
-        })
+        .map(|&n| (n as f64, base.clone().with_db_size(n)))
         .collect()
 }
 
@@ -155,7 +154,10 @@ mod tests {
     fn sweeps_produce_expected_counts() {
         assert_eq!(db_points(uniform_dbsweep_base()).len(), 7);
         assert_eq!(prob_points(uniform_probsweep_base()).len(), 8);
-        assert_eq!(uplink_points(asymmetric_base(Workload::hotcold())).len(), 10);
+        assert_eq!(
+            uplink_points(asymmetric_base(Workload::hotcold())).len(),
+            10
+        );
         assert_eq!(
             disc_points(uniform_discsweep_base(), &DISC_TIMES_SHORT).len(),
             7

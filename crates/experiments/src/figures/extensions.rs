@@ -18,8 +18,7 @@ pub fn snoop() -> FigureSpec {
     let points = [false, true]
         .iter()
         .map(|&on| {
-            let mut cfg = stress_base();
-            cfg.db_size = 5_000;
+            let mut cfg = stress_base().with_db_size(5_000);
             cfg.snoop_broadcasts = on;
             (on as u8 as f64, cfg)
         })
@@ -86,12 +85,13 @@ pub fn energy() -> FigureSpec {
 /// Sweeps the broadcast share for the BS scheme at a size where Figure 5
 /// showed it collapsing on a shared channel.
 pub fn multichannel() -> FigureSpec {
-    let mut base = common::uniform_dbsweep_base();
-    base.db_size = 40_000;
+    let base = common::uniform_dbsweep_base().with_db_size(40_000);
     let mut points = vec![(0.0, base.clone())]; // 0 = shared (the paper)
     for &share in &[0.1, 0.2, 0.3, 0.4, 0.5] {
         let mut cfg = base.clone();
-        cfg.downlink_topology = DownlinkTopology::Dedicated { broadcast_share: share };
+        cfg.downlink_topology = DownlinkTopology::Dedicated {
+            broadcast_share: share,
+        };
         points.push((share, cfg));
     }
     FigureSpec {
@@ -129,7 +129,12 @@ pub fn gcore() -> FigureSpec {
                 per query (HOTCOLD, N=10^4, disc 400 s, 64 groups)",
         x_label: "Probability of Disconnection in an Interval",
         metric: MetricKind::ValidityBitsPerQuery,
-        schemes: vec![Scheme::SimpleChecking, Scheme::Gcore, Scheme::Aaw, Scheme::Afw],
+        schemes: vec![
+            Scheme::SimpleChecking,
+            Scheme::Gcore,
+            Scheme::Aaw,
+            Scheme::Afw,
+        ],
         points,
         expected_shape: "Grouping cuts the checking uplink well below per-item checks \
                          (one record per cached group instead of per cached item), but \
@@ -174,7 +179,8 @@ mod tests {
         for spec in all() {
             assert!(spec.id.starts_with("ext-"));
             for (_, cfg) in &spec.points {
-                cfg.validate().unwrap_or_else(|e| panic!("{}: {e}", spec.id));
+                cfg.validate()
+                    .unwrap_or_else(|e| panic!("{}: {e}", spec.id));
             }
         }
     }

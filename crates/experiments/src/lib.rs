@@ -22,5 +22,5 @@ pub mod figures;
 pub mod runner;
 pub mod spec;
 
-pub use runner::{run_figure, RunScale};
+pub use runner::{run_figure, run_figure_with, Progress, RunReporting, RunScale};
 pub use spec::{FigureResult, FigureSpec, MetricKind, PointResult, SeriesResult};

@@ -1,16 +1,23 @@
 //! Sweep execution.
 //!
 //! Runs every `(scheme, point)` job of a figure, fanning out over the
-//! available cores with scoped threads and a crossbeam work queue. Each
-//! job is an independent simulation (common random numbers: the same
-//! master seed, so streams match across schemes), so the fan-out is
-//! embarrassingly parallel; results are reassembled in spec order.
+//! available cores with scoped threads pulling from an atomic job
+//! counter. Each job is an independent simulation (common random
+//! numbers: the same master seed, so streams match across schemes), so
+//! the fan-out is embarrassingly parallel; results are reassembled in
+//! spec order.
+//!
+//! [`RunReporting`] adds live progress (jobs done/total, per-job wall
+//! time, ETA) and per-job interval-snapshot traces written as JSONL —
+//! the `repro` binary's `--progress` and `--trace-dir` flags.
 
 use crate::spec::{FigureResult, FigureSpec, PointResult, SeriesResult};
-use crossbeam::channel;
-use mobicache::{run, RunOptions};
-use parking_lot::Mutex;
+use mobicache::{run, IntervalSampler, RunOptions};
+use mobicache_model::{ConfigError, Scheme};
 use std::num::NonZeroUsize;
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 
 /// Scales a spec for quick smoke runs and benches.
@@ -54,12 +61,79 @@ impl RunScale {
     }
 }
 
+/// A finished job, as reported to the progress callback.
+#[derive(Clone, Copy, Debug)]
+pub struct Progress {
+    /// Jobs finished so far (including this one).
+    pub done: usize,
+    /// Total jobs in the figure.
+    pub total: usize,
+    /// The finished job's scheme.
+    pub scheme: Scheme,
+    /// The finished job's X value.
+    pub x: f64,
+    /// Wall-clock seconds the job took (all replications).
+    pub job_wall_secs: f64,
+    /// Wall-clock seconds since the figure started.
+    pub elapsed_secs: f64,
+    /// Estimated seconds remaining, from the mean job rate so far.
+    pub eta_secs: f64,
+}
+
+/// Observation options for a figure run: live progress and JSONL
+/// interval-snapshot traces.
+#[derive(Clone, Copy)]
+pub struct RunReporting<'a> {
+    /// Called after every finished job. Invoked from worker threads, so
+    /// it must be `Sync`; calls are serialized by the runner.
+    pub on_progress: Option<&'a (dyn Fn(Progress) + Sync)>,
+    /// Directory receiving one `<figure>-<scheme>-p<point>.jsonl` trace
+    /// per job (interval snapshots of the first replication). Created if
+    /// missing; write failures are reported to stderr, not fatal.
+    pub trace_dir: Option<&'a Path>,
+    /// Snapshot stride for traces, in broadcast periods.
+    pub trace_every: u32,
+}
+
+impl Default for RunReporting<'_> {
+    fn default() -> Self {
+        RunReporting {
+            on_progress: None,
+            trace_dir: None,
+            trace_every: 10,
+        }
+    }
+}
+
+impl std::fmt::Debug for RunReporting<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunReporting")
+            .field("on_progress", &self.on_progress.is_some())
+            .field("trace_dir", &self.trace_dir)
+            .field("trace_every", &self.trace_every)
+            .finish()
+    }
+}
+
 /// Executes every point of `spec` and reassembles the curves.
 ///
-/// # Panics
-/// Panics if any underlying simulation rejects its configuration — specs
-/// are constructed from validated bases, so that is a programming error.
-pub fn run_figure(spec: &FigureSpec, scale: RunScale) -> FigureResult {
+/// # Errors
+/// Returns the typed validation error if any job's configuration is
+/// inconsistent (checked up front, before any simulation runs).
+pub fn run_figure(spec: &FigureSpec, scale: RunScale) -> Result<FigureResult, ConfigError> {
+    run_figure_with(spec, scale, RunReporting::default())
+}
+
+/// [`run_figure`] with live progress and trace output.
+///
+/// # Errors
+/// Returns the typed validation error if any job's configuration is
+/// inconsistent (checked up front, before any simulation runs).
+pub fn run_figure_with(
+    spec: &FigureSpec,
+    scale: RunScale,
+    reporting: RunReporting<'_>,
+) -> Result<FigureResult, ConfigError> {
     let started = Instant::now();
     // Job list: (series index, point index, config).
     let mut jobs = Vec::new();
@@ -70,7 +144,15 @@ pub fn run_figure(spec: &FigureSpec, scale: RunScale) -> FigureResult {
                 // Never shrink below a few broadcast periods.
                 10.0 * cfg.broadcast_period_secs,
             );
+            cfg.validate()?; // fail fast, before spawning workers
             jobs.push((si, pi, cfg));
+        }
+    }
+    let total = jobs.len();
+
+    if let Some(dir) = reporting.trace_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("warning: cannot create trace dir {}: {e}", dir.display());
         }
     }
 
@@ -81,38 +163,64 @@ pub fn run_figure(spec: &FigureSpec, scale: RunScale) -> FigureResult {
                 .map(NonZeroUsize::get)
                 .unwrap_or(1)
         })
-        .clamp(1, jobs.len().max(1));
+        .clamp(1, total.max(1));
 
-    let results: Mutex<Vec<(usize, usize, PointResult)>> =
-        Mutex::new(Vec::with_capacity(jobs.len()));
-    let (tx, rx) = channel::unbounded();
-    for job in jobs {
-        tx.send(job).expect("queue open");
-    }
-    drop(tx);
+    let results: Mutex<Vec<(usize, usize, PointResult)>> = Mutex::new(Vec::with_capacity(total));
+    let next_job = AtomicUsize::new(0);
+    let done = AtomicUsize::new(0);
+    // Serializes progress callbacks so lines never interleave.
+    let progress_gate = Mutex::new(());
 
     std::thread::scope(|scope| {
         for _ in 0..threads {
-            let rx = rx.clone();
+            let jobs = &jobs;
+            let next_job = &next_job;
+            let done = &done;
+            let progress_gate = &progress_gate;
             let results = &results;
             let spec = &spec;
+            let reporting = &reporting;
             scope.spawn(move || {
-                while let Ok((si, pi, cfg)) = rx.recv() {
+                loop {
+                    let idx = next_job.fetch_add(1, Ordering::Relaxed);
+                    let Some(&(si, pi, ref cfg)) = jobs.get(idx) else {
+                        break;
+                    };
+                    let job_started = Instant::now();
                     // Replications vary the seed only; everything else is
                     // common random numbers across schemes and points.
                     let mut ys = mobicache_sim::OnlineStats::new();
                     let mut first_metrics = None;
+                    // Snapshot trace of the first replication only (the
+                    // probe does not perturb it — see `mobicache::probe`).
+                    let mut sampler = reporting
+                        .trace_dir
+                        .map(|_| IntervalSampler::every(reporting.trace_every.max(1)));
                     for rep in 0..scale.replications {
                         let rep_cfg = cfg
                             .clone()
                             .with_seed(cfg.seed.wrapping_add(rep as u64 * 0x9E37_79B9));
-                        let outcome = run(&rep_cfg, RunOptions::default())
+                        let opts = match (rep, sampler.as_mut()) {
+                            (0, Some(s)) => RunOptions::new().probe(s),
+                            _ => RunOptions::default(),
+                        };
+                        // Validated above; a rejection here is a bug.
+                        let outcome = run(&rep_cfg, opts)
                             .unwrap_or_else(|e| panic!("{}: invalid config: {e}", spec.id));
                         ys.record(spec.metric.extract(&outcome.metrics));
                         if first_metrics.is_none() {
                             first_metrics = Some(outcome.metrics);
                         }
                     }
+                    let scheme = spec.schemes[si];
+                    if let (Some(dir), Some(s)) = (reporting.trace_dir, sampler.as_ref()) {
+                        let name = format!("{}-{:?}-p{pi}.jsonl", spec.id, scheme).to_lowercase();
+                        let path = dir.join(name);
+                        if let Err(e) = std::fs::write(&path, s.to_jsonl()) {
+                            eprintln!("warning: cannot write trace {}: {e}", path.display());
+                        }
+                    }
+                    let job_wall_secs = job_started.elapsed().as_secs_f64();
                     let n = ys.count() as f64;
                     let stderr = if n > 1.0 {
                         // Sample std dev over sqrt(n).
@@ -121,7 +229,7 @@ pub fn run_figure(spec: &FigureSpec, scale: RunScale) -> FigureResult {
                         0.0
                     };
                     let x = spec.points[pi].0;
-                    results.lock().push((
+                    results.lock().unwrap().push((
                         si,
                         pi,
                         PointResult {
@@ -129,15 +237,32 @@ pub fn run_figure(spec: &FigureSpec, scale: RunScale) -> FigureResult {
                             y: ys.mean(),
                             y_stderr: stderr,
                             replications: scale.replications,
+                            wall_secs: job_wall_secs,
                             metrics: first_metrics.expect("at least one replication"),
                         },
                     ));
+                    let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+                    if let Some(cb) = reporting.on_progress {
+                        let elapsed_secs = started.elapsed().as_secs_f64();
+                        let remaining = total.saturating_sub(finished) as f64;
+                        let eta_secs = elapsed_secs / finished as f64 * remaining;
+                        let _gate = progress_gate.lock().unwrap();
+                        cb(Progress {
+                            done: finished,
+                            total,
+                            scheme,
+                            x,
+                            job_wall_secs,
+                            elapsed_secs,
+                            eta_secs,
+                        });
+                    }
                 }
             });
         }
     });
 
-    let mut collected = results.into_inner();
+    let mut collected = results.into_inner().expect("no worker panicked");
     collected.sort_by_key(|&(si, pi, _)| (si, pi));
     let mut series: Vec<SeriesResult> = spec
         .schemes
@@ -151,7 +276,7 @@ pub fn run_figure(spec: &FigureSpec, scale: RunScale) -> FigureResult {
         series[si].points.push(point);
     }
 
-    FigureResult {
+    Ok(FigureResult {
         id: spec.id.to_string(),
         paper_ref: spec.paper_ref.to_string(),
         title: spec.title.to_string(),
@@ -159,20 +284,21 @@ pub fn run_figure(spec: &FigureSpec, scale: RunScale) -> FigureResult {
         y_label: spec.metric.label().to_string(),
         series,
         wall_secs: started.elapsed().as_secs_f64(),
-    }
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::spec::MetricKind;
-    use mobicache_model::{Scheme, SimConfig};
+    use mobicache_model::{ConfigError, Scheme, SimConfig};
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     fn tiny_spec() -> FigureSpec {
-        let mut base = SimConfig::paper_default();
-        base.sim_time_secs = 2_000.0;
-        base.db_size = 500;
-        base.num_clients = 10;
+        let base = SimConfig::paper_default()
+            .with_sim_time(2_000.0)
+            .with_db_size(500)
+            .with_num_clients(10);
         FigureSpec {
             id: "test",
             paper_ref: "none",
@@ -187,7 +313,7 @@ mod tests {
 
     #[test]
     fn runner_preserves_order_and_shape() {
-        let result = run_figure(&tiny_spec(), RunScale::default());
+        let result = run_figure(&tiny_spec(), RunScale::default()).expect("valid spec");
         assert_eq!(result.series.len(), 2);
         assert_eq!(result.series[0].scheme, Scheme::Bs);
         assert_eq!(result.series[1].scheme, Scheme::Aaw);
@@ -196,8 +322,71 @@ mod tests {
             assert_eq!(s.points[0].x, 1.0);
             assert_eq!(s.points[1].x, 2.0);
             assert!(s.points.iter().all(|p| p.y > 0.0));
+            assert!(s.points.iter().all(|p| p.wall_secs > 0.0));
         }
         assert!(result.wall_secs > 0.0);
+    }
+
+    #[test]
+    fn invalid_point_config_is_a_typed_error() {
+        let mut spec = tiny_spec();
+        spec.points[1].1.db_size = 0;
+        match run_figure(&spec, RunScale::default()) {
+            Err(ConfigError::ZeroCount { field }) => assert_eq!(field, "db_size"),
+            other => panic!("expected ZeroCount, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn progress_callback_sees_every_job() {
+        let spec = tiny_spec();
+        let calls = AtomicUsize::new(0);
+        let max_done = AtomicUsize::new(0);
+        let reporting = RunReporting {
+            on_progress: Some(&|p: Progress| {
+                calls.fetch_add(1, Ordering::Relaxed);
+                max_done.fetch_max(p.done, Ordering::Relaxed);
+                assert_eq!(p.total, 4);
+                assert!(p.done >= 1 && p.done <= 4);
+                assert!(p.job_wall_secs > 0.0);
+                assert!(p.eta_secs >= 0.0);
+            }),
+            ..RunReporting::default()
+        };
+        run_figure_with(&spec, RunScale::default(), reporting).expect("valid spec");
+        assert_eq!(calls.load(Ordering::Relaxed), 4);
+        assert_eq!(max_done.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn trace_dir_receives_one_jsonl_per_job() {
+        let spec = tiny_spec();
+        let dir = std::env::temp_dir().join(format!("mobicache-trace-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let reporting = RunReporting {
+            trace_dir: Some(&dir),
+            trace_every: 5,
+            ..RunReporting::default()
+        };
+        run_figure_with(&spec, RunScale::default(), reporting).expect("valid spec");
+        let mut names: Vec<String> = std::fs::read_dir(&dir)
+            .expect("trace dir created")
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .collect();
+        names.sort();
+        assert_eq!(
+            names,
+            vec![
+                "test-aaw-p0.jsonl",
+                "test-aaw-p1.jsonl",
+                "test-bs-p0.jsonl",
+                "test-bs-p1.jsonl"
+            ]
+        );
+        let body = std::fs::read_to_string(dir.join("test-bs-p0.jsonl")).unwrap();
+        assert!(body.lines().count() > 2, "expected a snapshot series");
+        assert!(body.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
@@ -206,21 +395,35 @@ mod tests {
         let one = Some(1);
         let full = run_figure(
             &spec,
-            RunScale { time_factor: 1.0, max_threads: one, replications: 1 },
-        );
+            RunScale {
+                time_factor: 1.0,
+                max_threads: one,
+                replications: 1,
+            },
+        )
+        .expect("valid spec");
         let small = run_figure(
             &spec,
-            RunScale { time_factor: 0.1, max_threads: one, replications: 1 },
-        );
+            RunScale {
+                time_factor: 0.1,
+                max_threads: one,
+                replications: 1,
+            },
+        )
+        .expect("valid spec");
         let yf = full.curve(Scheme::Bs)[0];
         let ys = small.curve(Scheme::Bs)[0];
-        assert!(ys < yf, "shorter horizon answers fewer queries ({ys} !< {yf})");
+        assert!(
+            ys < yf,
+            "shorter horizon answers fewer queries ({ys} !< {yf})"
+        );
     }
 
     #[test]
     fn replications_produce_error_bars() {
         let spec = tiny_spec();
-        let result = run_figure(&spec, RunScale::default().with_replications(3));
+        let result =
+            run_figure(&spec, RunScale::default().with_replications(3)).expect("valid spec");
         for s in &result.series {
             for p in &s.points {
                 assert_eq!(p.replications, 3);
@@ -236,7 +439,7 @@ mod tests {
     #[test]
     fn single_replication_has_zero_stderr() {
         let spec = tiny_spec();
-        let result = run_figure(&spec, RunScale::default());
+        let result = run_figure(&spec, RunScale::default()).expect("valid spec");
         assert!(result
             .series
             .iter()

@@ -2,10 +2,9 @@
 
 use mobicache::Metrics;
 use mobicache_model::{Scheme, SimConfig};
-use serde::{Deserialize, Serialize};
 
 /// Which metric a figure plots on its Y axis.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum MetricKind {
     /// "No. of Queries Answered" (Figures 5, 7, 9, 11, 13, 15, 16).
     QueriesAnswered,
@@ -40,9 +39,7 @@ impl MetricKind {
     pub fn label(self) -> &'static str {
         match self {
             MetricKind::QueriesAnswered => "No. of Queries Answered",
-            MetricKind::ValidityBitsPerQuery => {
-                "Uplink Communication Cost Per Query (bits/query)"
-            }
+            MetricKind::ValidityBitsPerQuery => "Uplink Communication Cost Per Query (bits/query)",
             MetricKind::HitRatio => "Cache Hit Ratio",
             MetricKind::MeanLatencySecs => "Mean Query Latency (s)",
             MetricKind::ReportDownlinkBits => "Invalidation Report Downlink (bits)",
@@ -76,7 +73,7 @@ pub struct FigureSpec {
 }
 
 /// One simulated point of one series.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct PointResult {
     /// X value.
     pub x: f64,
@@ -87,12 +84,14 @@ pub struct PointResult {
     pub y_stderr: f64,
     /// Number of replications aggregated.
     pub replications: u32,
+    /// Wall-clock seconds this job took (all replications).
+    pub wall_secs: f64,
     /// The full metrics of the first replication.
     pub metrics: Metrics,
 }
 
 /// One scheme's curve.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct SeriesResult {
     /// The scheme.
     pub scheme: Scheme,
@@ -101,7 +100,7 @@ pub struct SeriesResult {
 }
 
 /// A fully executed figure.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct FigureResult {
     /// Spec id.
     pub id: String,
@@ -156,7 +155,12 @@ mod tests {
 
     #[test]
     fn labels_match_paper_axes() {
-        assert_eq!(MetricKind::QueriesAnswered.label(), "No. of Queries Answered");
-        assert!(MetricKind::ValidityBitsPerQuery.label().contains("bits/query"));
+        assert_eq!(
+            MetricKind::QueriesAnswered.label(),
+            "No. of Queries Answered"
+        );
+        assert!(MetricKind::ValidityBitsPerQuery
+            .label()
+            .contains("bits/query"));
     }
 }

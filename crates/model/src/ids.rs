@@ -6,13 +6,10 @@
 //! structures small (see the type-size guidance in the Rust perf book) while
 //! preventing accidental cross-use.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a database item, `0 .. N`.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct ItemId(pub u32);
 
 impl ItemId {
@@ -43,9 +40,7 @@ impl fmt::Display for ItemId {
 }
 
 /// Identifier of a mobile client, `0 .. num_clients`.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct ClientId(pub u16);
 
 impl ClientId {

@@ -2,6 +2,7 @@
 //!
 //! Core vocabulary shared by every crate in the workspace:
 //!
+//! * [`error`] — typed configuration errors ([`ConfigError`]).
 //! * [`ids`] — strongly typed item and client identifiers.
 //! * [`params`] — the simulation parameter set, encoding the paper's
 //!   Table 1 defaults, plus the [`params::Scheme`] enumeration of
@@ -11,11 +12,13 @@
 //!   formulas live next to the message definitions).
 //! * [`units`] — small helpers for bits/bytes/bandwidth conversions.
 
+pub mod error;
 pub mod ids;
 pub mod msg;
 pub mod params;
 pub mod units;
 
+pub use error::ConfigError;
 pub use ids::{ClientId, ItemId};
 pub use msg::{DownlinkKind, SizeParams, UplinkKind};
 pub use params::{CheckingMode, DownlinkTopology, Pattern, Scheme, SimConfig, Workload};

@@ -13,7 +13,6 @@
 
 use crate::ids::ItemId;
 use crate::units::{bits_of_bytes, bits_per_id, Bits};
-use serde::{Deserialize, Serialize};
 
 /// Priority class of invalidation reports.
 pub const CLASS_REPORT: usize = 0;
@@ -25,7 +24,7 @@ pub const CLASS_DATA: usize = 2;
 pub const NUM_CLASSES: usize = 3;
 
 /// Parameters entering message-size formulas.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct SizeParams {
     /// Database size `N` (determines id width `log₂N`).
     pub db_size: u64,
@@ -191,9 +190,7 @@ impl DownlinkKind {
     pub fn class(&self) -> usize {
         match self {
             DownlinkKind::InvalidationReport { .. } => CLASS_REPORT,
-            DownlinkKind::ValidityReport { .. } | DownlinkKind::GroupValidity { .. } => {
-                CLASS_CHECK
-            }
+            DownlinkKind::ValidityReport { .. } | DownlinkKind::GroupValidity { .. } => CLASS_CHECK,
             DownlinkKind::DataItem { .. } => CLASS_DATA,
         }
     }
@@ -261,7 +258,9 @@ mod tests {
     #[test]
     fn report_priority_is_highest() {
         let p = params();
-        let m = DownlinkKind::InvalidationReport { content_bits: 1000.0 };
+        let m = DownlinkKind::InvalidationReport {
+            content_bits: 1000.0,
+        };
         assert_eq!(m.size_bits(&p), 1064.0);
         assert_eq!(m.class(), CLASS_REPORT);
     }

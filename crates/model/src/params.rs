@@ -17,12 +17,12 @@
 //!   `p_disconnect` of a disconnection gap instead of a think gap), the
 //!   only reading of §4 consistent with the reported magnitudes.
 
+use crate::error::ConfigError;
 use crate::units::Bits;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The cache invalidation strategy run by server and clients.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Scheme {
     /// Broadcasting timestamps without reconnection checking (§2.1, the
     /// `TS` scheme of Barbara & Imielinski): a client disconnected for more
@@ -65,7 +65,8 @@ pub enum Scheme {
 
 impl Scheme {
     /// The four schemes compared in the paper's simulation study (§5).
-    pub const PAPER_SET: [Scheme; 4] = [Scheme::Aaw, Scheme::Afw, Scheme::SimpleChecking, Scheme::Bs];
+    pub const PAPER_SET: [Scheme; 4] =
+        [Scheme::Aaw, Scheme::Afw, Scheme::SimpleChecking, Scheme::Bs];
 
     /// All implemented schemes.
     pub const ALL: [Scheme; 8] = [
@@ -117,7 +118,7 @@ impl fmt::Display for Scheme {
 /// What the simple-checking client sends uplink after a long disconnection
 /// (see DESIGN.md §3: §2.2 of the paper is ambiguous about the message
 /// contents, so both readings are implemented).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum CheckingMode {
     /// "the ids of all the cached data items and their corresponding
     /// timestamps" (§2.2 verbatim) — large, grows with cache size.
@@ -128,7 +129,7 @@ pub enum CheckingMode {
 }
 
 /// An access pattern over the database (Table 2).
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub enum Pattern {
     /// Every access uniform over the whole database.
     Uniform,
@@ -164,7 +165,7 @@ impl Pattern {
 }
 
 /// Query and update patterns for a run (one row of Table 2).
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Workload {
     /// Pattern used by client queries.
     pub query: Pattern,
@@ -193,23 +194,22 @@ impl Workload {
 
 /// Full configuration of one simulation run.
 ///
-/// Construct with [`SimConfig::paper_default`] and adjust fields; call
-/// [`SimConfig::validate`] (the simulator does this on entry) to catch
-/// inconsistent combinations early.
+/// Construct with [`SimConfig::paper_default`] and adjust via the
+/// `with_*` builders; call [`SimConfig::validate`] (the simulator does
+/// this on entry) to catch inconsistent combinations early.
 ///
 /// ```
 /// use mobicache_model::{Scheme, SimConfig, Workload};
 ///
-/// let mut cfg = SimConfig::paper_default()      // Table 1
+/// let cfg = SimConfig::paper_default()          // Table 1
 ///     .with_scheme(Scheme::Aaw)
-///     .with_workload(Workload::hotcold());      // Table 2
-/// cfg.db_size = 20_000;
-/// cfg.p_disconnect = 0.3;
+///     .with_workload(Workload::hotcold())       // Table 2
+///     .with_db_size(20_000);
 /// assert!(cfg.validate().is_ok());
 /// assert_eq!(cfg.cache_capacity_items(), 400);  // 2 % of N
 /// assert_eq!(cfg.window_secs(), 200.0);         // w·L
 /// ```
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct SimConfig {
     /// Invalidation scheme under test.
     pub scheme: Scheme,
@@ -289,7 +289,7 @@ pub struct SimConfig {
 }
 
 /// Downlink channel organisation.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub enum DownlinkTopology {
     /// One shared channel for reports, validity reports and data (the
     /// paper's model; reports preempt).
@@ -359,6 +359,24 @@ impl SimConfig {
         self
     }
 
+    /// Builder-style simulated-horizon override (seconds).
+    pub fn with_sim_time(mut self, sim_time_secs: f64) -> Self {
+        self.sim_time_secs = sim_time_secs;
+        self
+    }
+
+    /// Builder-style database-size override (items).
+    pub fn with_db_size(mut self, db_size: u32) -> Self {
+        self.db_size = db_size;
+        self
+    }
+
+    /// Builder-style client-population override.
+    pub fn with_num_clients(mut self, num_clients: u16) -> Self {
+        self.num_clients = num_clients;
+        self
+    }
+
     /// Client cache capacity in items (at least 1).
     pub fn cache_capacity_items(&self) -> u32 {
         (((self.db_size as f64) * self.cache_fraction).round() as u32).max(1)
@@ -377,14 +395,21 @@ impl SimConfig {
     /// Checks parameter consistency.
     ///
     /// # Errors
-    /// Returns a human-readable description of the first violated
-    /// constraint.
-    pub fn validate(&self) -> Result<(), String> {
-        fn pos(name: &str, v: f64) -> Result<(), String> {
-            if v.is_finite() && v > 0.0 {
+    /// Returns the first violated constraint as a [`ConfigError`]; its
+    /// `Display` names the field, the rejected value, and the bound.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        fn pos(field: &'static str, value: f64) -> Result<(), ConfigError> {
+            if value.is_finite() && value > 0.0 {
                 Ok(())
             } else {
-                Err(format!("{name} must be positive and finite, got {v}"))
+                Err(ConfigError::NotPositive { field, value })
+            }
+        }
+        fn count(field: &'static str, value: u64) -> Result<(), ConfigError> {
+            if value > 0 {
+                Ok(())
+            } else {
+                Err(ConfigError::ZeroCount { field })
             }
         }
         pos("sim_time_secs", self.sim_time_secs)?;
@@ -394,67 +419,94 @@ impl SimConfig {
         pos("mean_think_secs", self.mean_think_secs)?;
         pos("items_per_query_mean", self.items_per_query_mean)?;
         pos("items_per_update_mean", self.items_per_update_mean)?;
-        pos("mean_update_interarrival_secs", self.mean_update_interarrival_secs)?;
+        pos(
+            "mean_update_interarrival_secs",
+            self.mean_update_interarrival_secs,
+        )?;
         pos("mean_disconnect_secs", self.mean_disconnect_secs)?;
         pos("timestamp_bits", self.timestamp_bits)?;
         if self.header_bits < 0.0 || !self.header_bits.is_finite() {
-            return Err(format!("header_bits must be non-negative, got {}", self.header_bits));
+            return Err(ConfigError::Negative {
+                field: "header_bits",
+                value: self.header_bits,
+            });
         }
-        if self.num_clients == 0 {
-            return Err("num_clients must be at least 1".into());
-        }
-        if self.db_size == 0 {
-            return Err("db_size must be at least 1".into());
-        }
-        if self.item_bytes == 0 {
-            return Err("item_bytes must be at least 1".into());
-        }
+        count("num_clients", self.num_clients as u64)?;
+        count("db_size", self.db_size as u64)?;
+        count("item_bytes", self.item_bytes)?;
         if !(0.0..=1.0).contains(&self.p_disconnect) {
-            return Err(format!("p_disconnect out of [0,1]: {}", self.p_disconnect));
+            return Err(ConfigError::OutOfRange {
+                field: "p_disconnect",
+                value: self.p_disconnect,
+                bounds: "[0, 1]",
+            });
         }
         if !(self.cache_fraction > 0.0 && self.cache_fraction <= 1.0) {
-            return Err(format!("cache_fraction out of (0,1]: {}", self.cache_fraction));
+            return Err(ConfigError::OutOfRange {
+                field: "cache_fraction",
+                value: self.cache_fraction,
+                bounds: "(0, 1]",
+            });
         }
-        if self.window_intervals == 0 {
-            return Err("window_intervals must be at least 1".into());
-        }
+        count("window_intervals", self.window_intervals as u64)?;
         if !(0.0..=1.0).contains(&self.p_report_loss) {
-            return Err(format!("p_report_loss out of [0,1]: {}", self.p_report_loss));
+            return Err(ConfigError::OutOfRange {
+                field: "p_report_loss",
+                value: self.p_report_loss,
+                bounds: "[0, 1]",
+            });
         }
         if let DownlinkTopology::Dedicated { broadcast_share } = self.downlink_topology {
             if !(broadcast_share > 0.0 && broadcast_share < 1.0) {
-                return Err(format!(
-                    "broadcast_share must be in (0,1), got {broadcast_share}"
-                ));
+                return Err(ConfigError::OutOfRange {
+                    field: "broadcast_share",
+                    value: broadcast_share,
+                    bounds: "(0, 1)",
+                });
             }
         }
-        if self.energy_tx_per_bit < 0.0 || self.energy_rx_per_bit < 0.0 {
-            return Err("energy costs must be non-negative".into());
+        if self.energy_tx_per_bit < 0.0 {
+            return Err(ConfigError::Negative {
+                field: "energy_tx_per_bit",
+                value: self.energy_tx_per_bit,
+            });
         }
-        if self.gcore_groups == 0 {
-            return Err("gcore_groups must be at least 1".into());
+        if self.energy_rx_per_bit < 0.0 {
+            return Err(ConfigError::Negative {
+                field: "energy_rx_per_bit",
+                value: self.energy_rx_per_bit,
+            });
         }
-        if self.gcore_retention_intervals == 0 {
-            return Err("gcore_retention_intervals must be at least 1".into());
-        }
-        if let Pattern::HotCold { hot_lo, hot_hi, hot_prob } = self.workload.query {
+        count("gcore_groups", self.gcore_groups as u64)?;
+        count(
+            "gcore_retention_intervals",
+            self.gcore_retention_intervals as u64,
+        )?;
+        if let Pattern::HotCold {
+            hot_lo,
+            hot_hi,
+            hot_prob,
+        } = self.workload.query
+        {
             if hot_lo > hot_hi {
-                return Err(format!("hot region empty: [{hot_lo}, {hot_hi}]"));
+                return Err(ConfigError::EmptyHotRegion { hot_lo, hot_hi });
             }
             if hot_hi >= self.db_size {
-                return Err(format!(
-                    "hot region end {hot_hi} outside database of {} items",
-                    self.db_size
-                ));
+                return Err(ConfigError::HotRegionOutOfBounds {
+                    hot_hi,
+                    db_size: self.db_size,
+                });
             }
             if !(0.0..=1.0).contains(&hot_prob) {
-                return Err(format!("hot_prob out of [0,1]: {hot_prob}"));
+                return Err(ConfigError::OutOfRange {
+                    field: "hot_prob",
+                    value: hot_prob,
+                    bounds: "[0, 1]",
+                });
             }
         }
         if let Pattern::Zipf { theta } = self.workload.query {
-            if !(theta.is_finite() && theta > 0.0) {
-                return Err(format!("zipf theta must be positive, got {theta}"));
-            }
+            pos("zipf theta", theta)?;
         }
         Ok(())
     }
@@ -480,16 +532,58 @@ mod tests {
         let cfg = SimConfig::paper_default()
             .with_scheme(Scheme::Bs)
             .with_workload(Workload::hotcold())
-            .with_seed(7);
+            .with_seed(7)
+            .with_sim_time(5_000.0)
+            .with_db_size(2_000)
+            .with_num_clients(25);
         assert_eq!(cfg.scheme, Scheme::Bs);
         assert_eq!(cfg.seed, 7);
         assert_eq!(cfg.workload.query, Pattern::paper_hotcold());
+        assert_eq!(cfg.sim_time_secs, 5_000.0);
+        assert_eq!(cfg.db_size, 2_000);
+        assert_eq!(cfg.num_clients, 25);
+    }
+
+    #[test]
+    fn validation_errors_are_typed() {
+        let mut c = SimConfig::paper_default();
+        c.p_disconnect = 1.5;
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::OutOfRange {
+                field: "p_disconnect",
+                value: 1.5,
+                bounds: "[0, 1]",
+            })
+        );
+
+        let mut c = SimConfig::paper_default();
+        c.db_size = 0;
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::ZeroCount { field: "db_size" })
+        );
+
+        let c = SimConfig::paper_default()
+            .with_db_size(50)
+            .with_workload(Workload::hotcold());
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::HotRegionOutOfBounds {
+                hot_hi: 99,
+                db_size: 50
+            })
+        );
     }
 
     #[test]
     fn hotcold_pattern_matches_paper() {
         match Pattern::paper_hotcold() {
-            Pattern::HotCold { hot_lo, hot_hi, hot_prob } => {
+            Pattern::HotCold {
+                hot_lo,
+                hot_hi,
+                hot_prob,
+            } => {
                 assert_eq!((hot_lo, hot_hi), (0, 99));
                 assert_eq!(hot_prob, 0.8);
             }
@@ -517,7 +611,11 @@ mod tests {
         assert!(c.validate().is_err());
 
         let mut c = base();
-        c.workload.query = Pattern::HotCold { hot_lo: 50, hot_hi: 10, hot_prob: 0.8 };
+        c.workload.query = Pattern::HotCold {
+            hot_lo: 50,
+            hot_hi: 10,
+            hot_prob: 0.8,
+        };
         assert!(c.validate().is_err());
 
         let mut c = base();
@@ -525,11 +623,15 @@ mod tests {
         assert!(c.validate().is_err());
 
         let mut c = base();
-        c.downlink_topology = DownlinkTopology::Dedicated { broadcast_share: 1.0 };
+        c.downlink_topology = DownlinkTopology::Dedicated {
+            broadcast_share: 1.0,
+        };
         assert!(c.validate().is_err());
 
         let mut c = base();
-        c.downlink_topology = DownlinkTopology::Dedicated { broadcast_share: 0.2 };
+        c.downlink_topology = DownlinkTopology::Dedicated {
+            broadcast_share: 0.2,
+        };
         assert!(c.validate().is_ok());
 
         let mut c = base();

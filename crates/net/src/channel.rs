@@ -106,7 +106,11 @@ impl<M> Channel<M> {
             .payloads
             .remove(&job.tag)
             .expect("completed job without payload");
-        Some(Delivered { msg, bits: job.bits, next })
+        Some(Delivered {
+            msg,
+            bits: job.bits,
+            next,
+        })
     }
 
     /// Number of messages waiting (not in service).
@@ -147,7 +151,9 @@ mod tests {
     #[test]
     fn send_and_deliver_roundtrip() {
         let mut ch: Channel<&str> = Channel::new(1000.0);
-        let c = ch.send(t(0.0), 500.0, CLASS_DATA, "hello").expect("idle start");
+        let c = ch
+            .send(t(0.0), 500.0, CLASS_DATA, "hello")
+            .expect("idle start");
         let d = ch.complete(c.at, c.token).expect("valid completion");
         assert_eq!(d.msg, "hello");
         assert_eq!(d.bits, 500.0);
@@ -164,7 +170,9 @@ mod tests {
         };
         let c_data = ch.send(t(0.0), 65_536.0, CLASS_DATA, data).unwrap();
         let ir = DownlinkMsg {
-            kind: DownlinkKind::InvalidationReport { content_bits: 1000.0 },
+            kind: DownlinkKind::InvalidationReport {
+                content_bits: 1000.0,
+            },
             dest: Dest::Broadcast,
         };
         // Broadcast tick at t=2 preempts the 6.55 s data transmission.

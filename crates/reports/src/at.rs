@@ -97,10 +97,7 @@ mod tests {
     #[test]
     fn one_missed_report_means_drop() {
         let r = report();
-        assert_eq!(
-            r.decide(t(79.9), vec![ItemId(1)]),
-            AtDecision::NotCovered
-        );
+        assert_eq!(r.decide(t(79.9), vec![ItemId(1)]), AtDecision::NotCovered);
     }
 
     #[test]

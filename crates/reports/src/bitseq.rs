@@ -27,7 +27,6 @@
 //!       invalidate every item marked in B_j
 //! ```
 
-use bytes::{BufMut, BytesMut};
 use mobicache_model::msg::SizeParams;
 use mobicache_model::units::{bits_per_id, Bits};
 use mobicache_model::ItemId;
@@ -178,7 +177,10 @@ impl BitSequences {
                 } else {
                     None
                 };
-                Level { prefix_len: len, cut }
+                Level {
+                    prefix_len: len,
+                    cut,
+                }
             })
             .collect();
 
@@ -258,10 +260,10 @@ impl BitSequences {
     /// `TS(B_0)`. Used by tests to validate the size formulas and the
     /// hierarchy's self-consistency; the simulator itself only charges
     /// sizes.
-    pub fn encode_wire(&self) -> BytesMut {
-        let mut out = BytesMut::new();
-        let encode_ts = |out: &mut BytesMut, ts: Option<SimTime>| {
-            out.put_f64(ts.map_or(f64::NEG_INFINITY, SimTime::as_secs));
+    pub fn encode_wire(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        let encode_ts = |out: &mut Vec<u8>, ts: Option<SimTime>| {
+            out.extend_from_slice(&ts.map_or(f64::NEG_INFINITY, SimTime::as_secs).to_be_bytes());
         };
         // Current members, ordered by item id, of the level above;
         // starts as the whole database for B_n.
@@ -286,7 +288,7 @@ impl BitSequences {
                 byte = (byte << 1) | bit as u8;
                 nbits += 1;
                 if nbits == 8 {
-                    out.put_u8(byte);
+                    out.push(byte);
                     byte = 0;
                     nbits = 0;
                 }
@@ -295,7 +297,7 @@ impl BitSequences {
                 }
             }
             if nbits > 0 {
-                out.put_u8(byte << (8 - nbits));
+                out.push(byte << (8 - nbits));
             }
             above = next_above;
         }
@@ -330,7 +332,10 @@ mod tests {
     #[test]
     fn level_geometry_general() {
         assert_eq!(BitSequences::level_lengths(10), vec![1, 2, 4, 5]);
-        assert_eq!(BitSequences::level_lengths(1000), vec![1, 2, 4, 8, 16, 32, 64, 128, 256, 500]);
+        assert_eq!(
+            BitSequences::level_lengths(1000),
+            vec![1, 2, 4, 8, 16, 32, 64, 128, 256, 500]
+        );
     }
 
     #[test]

@@ -53,7 +53,11 @@ impl Signer {
             (1..=64).contains(&sig_bits),
             "sig_bits must be in 1..=64, got {sig_bits}"
         );
-        Signer { num_sigs, sig_bits, seed }
+        Signer {
+            num_sigs,
+            sig_bits,
+            seed,
+        }
     }
 
     #[inline]
@@ -127,12 +131,7 @@ impl SigReport {
     /// Group-testing decode: given the client's stored combined
     /// signatures (from time `Tlb`) and its cached items, flags the items
     /// to invalidate.
-    pub fn decide<I>(
-        &self,
-        signer: &Signer,
-        baseline: Option<&[u64]>,
-        cached: I,
-    ) -> SigDecision
+    pub fn decide<I>(&self, signer: &Signer, baseline: Option<&[u64]>, cached: I) -> SigDecision
     where
         I: IntoIterator<Item = ItemId>,
     {
@@ -193,9 +192,7 @@ mod tests {
     #[test]
     fn membership_is_roughly_half() {
         let s = signer();
-        let members = (0..1000)
-            .filter(|&i| s.is_member(0, ItemId(i)))
-            .count();
+        let members = (0..1000).filter(|&i| s.is_member(0, ItemId(i))).count();
         assert!((400..600).contains(&members), "members {members}");
     }
 
@@ -204,7 +201,10 @@ mod tests {
         let s = signer();
         let v = versions(100);
         let base = s.combine(&v);
-        let report = SigReport { broadcast_at: t(10.0), combined: s.combine(&v) };
+        let report = SigReport {
+            broadcast_at: t(10.0),
+            combined: s.combine(&v),
+        };
         match report.decide(&s, Some(&base), (0..100).map(ItemId)) {
             SigDecision::Invalidate(stale) => assert!(stale.is_empty()),
             other => panic!("{other:?}"),
@@ -217,7 +217,10 @@ mod tests {
         let mut v = versions(200);
         let base = s.combine(&v);
         v[17] = t(5.0);
-        let report = SigReport { broadcast_at: t(10.0), combined: s.combine(&v) };
+        let report = SigReport {
+            broadcast_at: t(10.0),
+            combined: s.combine(&v),
+        };
         match report.decide(&s, Some(&base), (0..200).map(ItemId)) {
             SigDecision::Invalidate(stale) => {
                 assert!(stale.contains(&ItemId(17)), "no false negative");
@@ -235,7 +238,10 @@ mod tests {
         for &i in &[3usize, 99, 250] {
             v[i] = t(7.0);
         }
-        let report = SigReport { broadcast_at: t(10.0), combined: s.combine(&v) };
+        let report = SigReport {
+            broadcast_at: t(10.0),
+            combined: s.combine(&v),
+        };
         match report.decide(&s, Some(&base), (0..n as u32).map(ItemId)) {
             SigDecision::Invalidate(stale) => {
                 for &i in &[3u32, 99, 250] {
@@ -266,7 +272,10 @@ mod tests {
         for item in v.iter_mut().take(n / 2) {
             *item = t(9.0);
         }
-        let report = SigReport { broadcast_at: t(10.0), combined: s.combine(&v) };
+        let report = SigReport {
+            broadcast_at: t(10.0),
+            combined: s.combine(&v),
+        };
         match report.decide(&s, Some(&base), (0..n as u32).map(ItemId)) {
             SigDecision::Invalidate(stale) => {
                 assert!(stale.len() > n / 2, "most of the cache is flagged");
@@ -278,8 +287,14 @@ mod tests {
     #[test]
     fn no_baseline_means_no_verdict() {
         let s = signer();
-        let report = SigReport { broadcast_at: t(10.0), combined: s.combine(&versions(10)) };
-        assert_eq!(report.decide(&s, None, vec![ItemId(1)]), SigDecision::NoBaseline);
+        let report = SigReport {
+            broadcast_at: t(10.0),
+            combined: s.combine(&versions(10)),
+        };
+        assert_eq!(
+            report.decide(&s, None, vec![ItemId(1)]),
+            SigDecision::NoBaseline
+        );
     }
 
     #[test]
@@ -293,7 +308,10 @@ mod tests {
             control_bytes: 512,
             item_bytes: 8192,
         };
-        let report = SigReport { broadcast_at: t(10.0), combined: vec![0; 32] };
+        let report = SigReport {
+            broadcast_at: t(10.0),
+            combined: vec![0; 32],
+        };
         assert_eq!(report.size_bits(&s, &p), 48.0 + 32.0 * 32.0);
     }
 }

@@ -76,10 +76,8 @@ fn window_report(history: &[(f64, u32)], window_start: f64) -> WindowReport {
 /// `HORIZON`.
 fn bs_report(history: &[(f64, u32)], db: u32) -> BitSequences {
     let last = last_updates(history);
-    let mut recency: Vec<(ItemId, SimTime)> = last
-        .iter()
-        .map(|(&i, &ts)| (ItemId(i), t(ts)))
-        .collect();
+    let mut recency: Vec<(ItemId, SimTime)> =
+        last.iter().map(|(&i, &ts)| (ItemId(i), t(ts))).collect();
     recency.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
     BitSequences::from_recency(t(HORIZON), db, recency)
 }

@@ -22,4 +22,4 @@ pub mod log;
 pub mod server;
 
 pub use log::UpdateLog;
-pub use server::{GroupVerdict, Server, ServerCounters, ValidityVerdict};
+pub use server::{AdaptiveDecision, GroupVerdict, Server, ServerCounters, ValidityVerdict};

@@ -29,6 +29,47 @@ pub struct ServerCounters {
     pub updates_applied: u64,
 }
 
+/// The adaptive schemes' per-period report choice (§3, Figures 3 and 4),
+/// surfaced so observers can trace *why* a period broadcast what it did.
+///
+/// `None` periods (no pending eligible `Tlb`, or a non-adaptive scheme)
+/// produce no decision record.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum AdaptiveDecision {
+    /// AFW (Figure 3): an eligible `Tlb` forced an `IR(BS)` broadcast
+    /// this period instead of the usual `IR(w)`.
+    AfwBsTrigger {
+        /// Number of eligible `Tlb`s pending at the broadcast.
+        eligible: usize,
+        /// The oldest eligible `Tlb`, seconds.
+        oldest_tlb_secs: f64,
+        /// Size of the BS report body actually broadcast, bits.
+        bs_bits: f64,
+        /// Size the plain window report would have had, bits.
+        window_bits: f64,
+    },
+    /// AAW (Figure 4): the window was enlarged back to the oldest
+    /// eligible `Tlb` because that was cheaper than BS.
+    AawEnlarge {
+        /// The `Tlb` the enlarged window reaches back to, seconds.
+        tlb_secs: f64,
+        /// Size of the enlarged-window report (the chosen one), bits.
+        enlarged_bits: f64,
+        /// Size a BS report would have had, bits.
+        bs_bits: f64,
+    },
+    /// AAW (Figure 4): BS was broadcast because the enlarged window
+    /// would have been bigger.
+    AawBsFallback {
+        /// The oldest eligible `Tlb` that demanded the deep history.
+        tlb_secs: f64,
+        /// Size the enlarged-window report would have had, bits.
+        enlarged_bits: f64,
+        /// Size of the BS report actually broadcast, bits.
+        bs_bits: f64,
+    },
+}
+
 /// Answer to a validity-check request.
 #[derive(Clone, Debug, PartialEq)]
 pub struct ValidityVerdict {
@@ -75,9 +116,8 @@ impl Server {
     /// invalidation window `w · L` in seconds.
     pub fn new(scheme: Scheme, db_size: u32, window_secs: f64, params: SizeParams) -> Self {
         let signer = Signer::new(32, 32, 0x5161_5161);
-        let combined = (scheme == Scheme::Sig).then(|| {
-            signer.combine(&vec![SimTime::ZERO; db_size as usize])
-        });
+        let combined =
+            (scheme == Scheme::Sig).then(|| signer.combine(&vec![SimTime::ZERO; db_size as usize]));
         Server {
             scheme,
             params,
@@ -110,11 +150,7 @@ impl Server {
     /// the items of that group updated since the `Tlb` — unless any
     /// `Tlb` predates the retention window, in which case the verdict is
     /// uncovered and the client drops its cache.
-    pub fn process_group_check(
-        &mut self,
-        now: SimTime,
-        groups: &[(u32, SimTime)],
-    ) -> GroupVerdict {
+    pub fn process_group_check(&mut self, now: SimTime, groups: &[(u32, SimTime)]) -> GroupVerdict {
         self.counters.checks_processed += 1;
         let (group_count, retention_secs) = self.gcore;
         let horizon = SimTime::from_secs(now.as_secs() - retention_secs);
@@ -172,8 +208,8 @@ impl Server {
             if let Some(combined) = &mut self.combined {
                 // Incremental signature maintenance: swap the item's old
                 // signature for the new one in every subset containing it.
-                let delta = self.signer.item_signature(item, prev)
-                    ^ self.signer.item_signature(item, now);
+                let delta =
+                    self.signer.item_signature(item, prev) ^ self.signer.item_signature(item, now);
                 for (j, sig) in combined.iter_mut().enumerate() {
                     if self.signer.is_member(j as u32, item) {
                         *sig ^= delta;
@@ -197,7 +233,11 @@ impl Server {
 
     /// Answers a simple-checking validity request: which of the client's
     /// `(item, version)` pairs are still current.
-    pub fn process_check(&mut self, now: SimTime, entries: &[(ItemId, SimTime)]) -> ValidityVerdict {
+    pub fn process_check(
+        &mut self,
+        now: SimTime,
+        entries: &[(ItemId, SimTime)],
+    ) -> ValidityVerdict {
         self.counters.checks_processed += 1;
         ValidityVerdict {
             asof: now,
@@ -217,7 +257,12 @@ impl Server {
         SimTime::from_secs(now.as_secs() - self.window_secs)
     }
 
-    fn build_window(&self, now: SimTime, history_since: SimTime, dummy: Option<SimTime>) -> WindowReport {
+    fn build_window(
+        &self,
+        now: SimTime,
+        history_since: SimTime,
+        dummy: Option<SimTime>,
+    ) -> WindowReport {
         WindowReport {
             broadcast_at: now,
             window_start: self.window_start(now),
@@ -247,6 +292,17 @@ impl Server {
     /// Builds the invalidation report for the broadcast at `now`,
     /// consuming the period's pending `Tlb`s.
     pub fn build_report(&mut self, now: SimTime) -> ReportPayload {
+        self.build_report_observed(now).0
+    }
+
+    /// Like [`Server::build_report`], but also reports the adaptive
+    /// decision taken this period (AFW BS-trigger, AAW enlargement or
+    /// fallback), if any, for observers.
+    pub fn build_report_observed(
+        &mut self,
+        now: SimTime,
+    ) -> (ReportPayload, Option<AdaptiveDecision>) {
+        let mut decision = None;
         let report = match self.scheme {
             Scheme::TsNoCheck | Scheme::SimpleChecking | Scheme::Gcore => {
                 self.counters.window_reports += 1;
@@ -283,13 +339,24 @@ impl Server {
             Scheme::Afw => {
                 // Figure 3: broadcast BS iff some pending Tlb needs (and
                 // can use) more history than the window provides.
-                let eligible = !self.eligible_tlbs(now).is_empty();
-                if eligible {
-                    self.counters.bs_reports += 1;
-                    ReportPayload::BitSeq(self.build_bs(now))
-                } else {
-                    self.counters.window_reports += 1;
-                    ReportPayload::Window(self.build_window(now, self.window_start(now), None))
+                let eligible = self.eligible_tlbs(now);
+                match eligible.iter().copied().min() {
+                    Some(oldest) => {
+                        self.counters.bs_reports += 1;
+                        let bs = self.build_bs(now);
+                        let window = self.build_window(now, self.window_start(now), None);
+                        decision = Some(AdaptiveDecision::AfwBsTrigger {
+                            eligible: eligible.len(),
+                            oldest_tlb_secs: oldest.as_secs(),
+                            bs_bits: bs.size_bits(&self.params),
+                            window_bits: window.size_bits(&self.params),
+                        });
+                        ReportPayload::BitSeq(bs)
+                    }
+                    None => {
+                        self.counters.window_reports += 1;
+                        ReportPayload::Window(self.build_window(now, self.window_start(now), None))
+                    }
                 }
             }
             Scheme::Aaw => {
@@ -309,9 +376,19 @@ impl Server {
                                 * mobicache_model::units::bits_per_id(self.log.db_size() as u64);
                         if enlarged_bits <= bs_bits {
                             self.counters.enlarged_reports += 1;
+                            decision = Some(AdaptiveDecision::AawEnlarge {
+                                tlb_secs: min_tlb.as_secs(),
+                                enlarged_bits,
+                                bs_bits,
+                            });
                             ReportPayload::Window(self.build_window(now, min_tlb, Some(min_tlb)))
                         } else {
                             self.counters.bs_reports += 1;
+                            decision = Some(AdaptiveDecision::AawBsFallback {
+                                tlb_secs: min_tlb.as_secs(),
+                                enlarged_bits,
+                                bs_bits,
+                            });
                             ReportPayload::BitSeq(self.build_bs(now))
                         }
                     }
@@ -320,7 +397,7 @@ impl Server {
         };
         self.pending_tlbs.clear();
         self.prev_broadcast = now;
-        report
+        (report, decision)
     }
 }
 
@@ -368,7 +445,10 @@ mod tests {
     #[test]
     fn afw_broadcasts_window_without_pending_tlbs() {
         let mut s = server(Scheme::Afw, 100);
-        assert!(matches!(s.build_report(t(1000.0)), ReportPayload::Window(_)));
+        assert!(matches!(
+            s.build_report(t(1000.0)),
+            ReportPayload::Window(_)
+        ));
     }
 
     #[test]
@@ -380,7 +460,10 @@ mod tests {
         let r = s.build_report(t(1000.0));
         assert!(r.is_bitseq(), "eligible Tlb must trigger BS, got {r:?}");
         // The pending Tlb is consumed: next period reverts to the window.
-        assert!(matches!(s.build_report(t(1020.0)), ReportPayload::Window(_)));
+        assert!(matches!(
+            s.build_report(t(1020.0)),
+            ReportPayload::Window(_)
+        ));
         assert_eq!(s.counters().bs_reports, 1);
         assert_eq!(s.counters().window_reports, 1);
     }
@@ -389,7 +472,10 @@ mod tests {
     fn afw_ignores_tlb_within_window() {
         let mut s = server(Scheme::Afw, 100);
         s.receive_tlb(t(900.0)); // inside [800, 1000]
-        assert!(matches!(s.build_report(t(1000.0)), ReportPayload::Window(_)));
+        assert!(matches!(
+            s.build_report(t(1000.0)),
+            ReportPayload::Window(_)
+        ));
     }
 
     #[test]
@@ -401,7 +487,10 @@ mod tests {
             s.apply_txn(t(500.0 + i as f64), &[ItemId(i)]);
         }
         s.receive_tlb(t(100.0));
-        assert!(matches!(s.build_report(t(1000.0)), ReportPayload::Window(_)));
+        assert!(matches!(
+            s.build_report(t(1000.0)),
+            ReportPayload::Window(_)
+        ));
     }
 
     #[test]
@@ -441,9 +530,14 @@ mod tests {
         s.apply_txn(t(500.0), &[ItemId(7)]);
         s.receive_tlb(t(300.0));
         let r = s.build_report(t(1000.0));
-        let ReportPayload::Window(w) = r else { panic!("expected window") };
+        let ReportPayload::Window(w) = r else {
+            panic!("expected window")
+        };
         // A client at Tlb=300 caching item 7 (version 0) and item 9.
-        match w.decide(t(300.0), vec![(ItemId(7), SimTime::ZERO), (ItemId(9), SimTime::ZERO)]) {
+        match w.decide(
+            t(300.0),
+            vec![(ItemId(7), SimTime::ZERO), (ItemId(9), SimTime::ZERO)],
+        ) {
             mobicache_reports::WindowDecision::Invalidate(stale) => {
                 assert_eq!(stale, vec![ItemId(7)]);
             }
@@ -452,11 +546,84 @@ mod tests {
     }
 
     #[test]
+    fn observed_report_surfaces_adaptive_decisions() {
+        // Plain window period under AFW: no decision to report.
+        let mut s = server(Scheme::Afw, 100);
+        let (r, d) = s.build_report_observed(t(1000.0));
+        assert!(matches!(r, ReportPayload::Window(_)));
+        assert_eq!(d, None);
+
+        // Eligible Tlb under AFW: the BS trigger records the candidate
+        // sizes it weighed.
+        s.apply_txn(t(1100.0), &[ItemId(1)]);
+        s.receive_tlb(t(1050.0));
+        let (r, d) = s.build_report_observed(t(2000.0));
+        assert!(r.is_bitseq());
+        match d {
+            Some(AdaptiveDecision::AfwBsTrigger {
+                eligible,
+                oldest_tlb_secs,
+                bs_bits,
+                window_bits,
+            }) => {
+                assert_eq!(eligible, 1);
+                assert_eq!(oldest_tlb_secs, 1050.0);
+                assert_eq!(bs_bits, r.size_bits(&s.params));
+                assert!(window_bits > 0.0);
+            }
+            other => panic!("{other:?}"),
+        }
+
+        // AAW enlargement: the chosen window really was the smaller option.
+        let mut s = server(Scheme::Aaw, 10_000);
+        s.apply_txn(t(500.0), &[ItemId(1)]);
+        s.receive_tlb(t(300.0));
+        let (r, d) = s.build_report_observed(t(1000.0));
+        match d {
+            Some(AdaptiveDecision::AawEnlarge {
+                tlb_secs,
+                enlarged_bits,
+                bs_bits,
+            }) => {
+                assert_eq!(tlb_secs, 300.0);
+                assert!(enlarged_bits <= bs_bits);
+                assert!(matches!(r, ReportPayload::Window(_)));
+            }
+            other => panic!("{other:?}"),
+        }
+
+        // AAW fallback: enlarged window priced out, BS chosen instead.
+        let mut s = server(Scheme::Aaw, 16);
+        for i in 0..8u32 {
+            s.apply_txn(t(500.0 + f64::from(i)), &[ItemId(i)]);
+        }
+        s.receive_tlb(t(100.0));
+        let (r, d) = s.build_report_observed(t(1000.0));
+        assert!(r.is_bitseq());
+        match d {
+            Some(AdaptiveDecision::AawBsFallback {
+                enlarged_bits,
+                bs_bits,
+                ..
+            }) => assert!(enlarged_bits > bs_bits),
+            other => panic!("{other:?}"),
+        }
+
+        // Non-adaptive schemes never report a decision.
+        let mut s = server(Scheme::Bs, 64);
+        s.receive_tlb(t(5.0));
+        let (_, d) = s.build_report_observed(t(20.0));
+        assert_eq!(d, None);
+    }
+
+    #[test]
     fn bs_scheme_always_broadcasts_bs() {
         let mut s = server(Scheme::Bs, 64);
         s.apply_txn(t(10.0), &[ItemId(3)]);
         let r = s.build_report(t(20.0));
-        let ReportPayload::BitSeq(bs) = r else { panic!("expected BS") };
+        let ReportPayload::BitSeq(bs) = r else {
+            panic!("expected BS")
+        };
         assert_eq!(bs.decide(t(10.0), vec![ItemId(3)]), BsDecision::Clean);
         match bs.decide(t(5.0), vec![ItemId(3)]) {
             BsDecision::Invalidate(stale) => assert_eq!(stale, vec![ItemId(3)]),
@@ -471,7 +638,9 @@ mod tests {
         s.build_report(t(20.0));
         s.apply_txn(t(25.0), &[ItemId(2)]);
         let r = s.build_report(t(40.0));
-        let ReportPayload::At(at) = r else { panic!("expected AT") };
+        let ReportPayload::At(at) = r else {
+            panic!("expected AT")
+        };
         assert_eq!(at.items, vec![ItemId(2)]);
         assert_eq!(at.prev_broadcast, t(20.0));
     }
@@ -526,13 +695,20 @@ mod tests {
         s.apply_txn(t(500.0), &[ItemId(7)]);
         s.apply_txn(t(600.0), &[ItemId(7)]);
         let verdict = s.process_group_check(t(1000.0), &[(7, t(100.0))]);
-        assert_eq!(verdict.stale, vec![ItemId(7)], "one entry despite two updates");
+        assert_eq!(
+            verdict.stale,
+            vec![ItemId(7)],
+            "one entry despite two updates"
+        );
     }
 
     #[test]
     fn gcore_scheme_broadcasts_plain_windows() {
         let mut s = server(Scheme::Gcore, 100);
-        assert!(matches!(s.build_report(t(1000.0)), ReportPayload::Window(_)));
+        assert!(matches!(
+            s.build_report(t(1000.0)),
+            ReportPayload::Window(_)
+        ));
     }
 
     #[test]
@@ -541,7 +717,9 @@ mod tests {
         s.apply_txn(t(5.0), &[ItemId(1), ItemId(30)]);
         s.apply_txn(t(9.0), &[ItemId(1)]);
         let r = s.build_report(t(20.0));
-        let ReportPayload::Sig(sig, signer) = r else { panic!("expected SIG") };
+        let ReportPayload::Sig(sig, signer) = r else {
+            panic!("expected SIG")
+        };
         let mut versions = vec![SimTime::ZERO; 50];
         versions[1] = t(9.0);
         versions[30] = t(5.0);

@@ -48,6 +48,7 @@ pub struct Scheduler<E> {
     now: SimTime,
     seq: u64,
     popped: u64,
+    high_water: usize,
 }
 
 impl<E> Default for Scheduler<E> {
@@ -64,6 +65,7 @@ impl<E> Scheduler<E> {
             now: SimTime::ZERO,
             seq: 0,
             popped: 0,
+            high_water: 0,
         }
     }
 
@@ -91,6 +93,20 @@ impl<E> Scheduler<E> {
         self.popped
     }
 
+    /// Total number of events ever scheduled (delivered or still pending).
+    #[inline]
+    pub fn events_scheduled(&self) -> u64 {
+        self.seq
+    }
+
+    /// Largest number of simultaneously pending events seen so far — a
+    /// cheap proxy for the model's fan-out that observers fold into
+    /// interval snapshots.
+    #[inline]
+    pub fn queue_high_water(&self) -> usize {
+        self.high_water
+    }
+
     /// Schedules `event` at absolute time `at`.
     ///
     /// # Panics
@@ -104,6 +120,7 @@ impl<E> Scheduler<E> {
         let seq = self.seq;
         self.seq += 1;
         self.heap.push(Entry { at, seq, event });
+        self.high_water = self.high_water.max(self.heap.len());
     }
 
     /// Schedules `event` after a relative delay in seconds.
@@ -191,5 +208,24 @@ mod tests {
         s.pop();
         assert_eq!(s.events_delivered(), 1);
         assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn instrumentation_counters_track_scheduling() {
+        let mut s: Scheduler<u8> = Scheduler::new();
+        assert_eq!(s.events_scheduled(), 0);
+        assert_eq!(s.queue_high_water(), 0);
+        s.schedule_in(1.0, 0);
+        s.schedule_in(2.0, 1);
+        s.schedule_in(3.0, 2);
+        assert_eq!(s.events_scheduled(), 3);
+        assert_eq!(s.queue_high_water(), 3);
+        s.pop();
+        s.pop();
+        // High water is a max, not the current depth.
+        assert_eq!(s.queue_high_water(), 3);
+        s.schedule_in(1.0, 3);
+        assert_eq!(s.events_scheduled(), 4);
+        assert_eq!(s.queue_high_water(), 3);
     }
 }

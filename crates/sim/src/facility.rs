@@ -234,13 +234,17 @@ impl Facility {
             "job must have positive size, got {} bits",
             job.bits
         );
-        assert!(job.class < self.cfg.classes, "class {} out of range", job.class);
+        assert!(
+            job.class < self.cfg.classes,
+            "class {} out of range",
+            job.class
+        );
 
         match &self.current {
             None => Some(self.start(now, job, job.bits)),
             Some(active) => {
-                let preempts = job.class < self.cfg.preemptive_classes
-                    && job.class < active.job.class;
+                let preempts =
+                    job.class < self.cfg.preemptive_classes && job.class < active.job.class;
                 if preempts {
                     // Suspend the in-service job: bank the work done so far
                     // and put it at the *front* of its class queue so it
@@ -284,10 +288,7 @@ impl Facility {
 
         // Start the next job: highest-priority non-empty queue, front first
         // (suspended jobs were pushed to the front of their queue).
-        let next = self
-            .queues
-            .iter_mut()
-            .find_map(|q| q.pop_front());
+        let next = self.queues.iter_mut().find_map(|q| q.pop_front());
         let completion = next.map(|s| {
             let resumed = s.remaining_bits.max(f64::MIN_POSITIVE);
             self.start(now, s.job, resumed)
@@ -319,7 +320,14 @@ mod tests {
     fn single_job_service_time() {
         let mut f = fac(1000.0);
         let c = f
-            .submit(t(0.0), Job { bits: 500.0, class: 2, tag: 1 })
+            .submit(
+                t(0.0),
+                Job {
+                    bits: 500.0,
+                    class: 2,
+                    tag: 1,
+                },
+            )
             .expect("idle facility starts immediately");
         assert_eq!(c.at, t(0.5));
         let (job, next) = f.on_complete(t(0.5), c.token).expect("valid token");
@@ -332,9 +340,36 @@ mod tests {
     #[test]
     fn fifo_within_class() {
         let mut f = fac(1000.0);
-        let c1 = f.submit(t(0.0), Job { bits: 1000.0, class: 2, tag: 1 }).unwrap();
-        assert!(f.submit(t(0.1), Job { bits: 1000.0, class: 2, tag: 2 }).is_none());
-        assert!(f.submit(t(0.2), Job { bits: 1000.0, class: 2, tag: 3 }).is_none());
+        let c1 = f
+            .submit(
+                t(0.0),
+                Job {
+                    bits: 1000.0,
+                    class: 2,
+                    tag: 1,
+                },
+            )
+            .unwrap();
+        assert!(f
+            .submit(
+                t(0.1),
+                Job {
+                    bits: 1000.0,
+                    class: 2,
+                    tag: 2
+                }
+            )
+            .is_none());
+        assert!(f
+            .submit(
+                t(0.2),
+                Job {
+                    bits: 1000.0,
+                    class: 2,
+                    tag: 3
+                }
+            )
+            .is_none());
         let (j1, c2) = f.on_complete(t(1.0), c1.token).unwrap();
         assert_eq!(j1.tag, 1);
         let c2 = c2.unwrap();
@@ -349,15 +384,40 @@ mod tests {
     #[test]
     fn priority_order_across_classes() {
         let mut f = fac(1000.0);
-        let c = f.submit(t(0.0), Job { bits: 1000.0, class: 2, tag: 1 }).unwrap();
+        let c = f
+            .submit(
+                t(0.0),
+                Job {
+                    bits: 1000.0,
+                    class: 2,
+                    tag: 1,
+                },
+            )
+            .unwrap();
         // Queue a low-priority and then a mid-priority job; mid goes first.
-        f.submit(t(0.1), Job { bits: 100.0, class: 2, tag: 2 });
-        f.submit(t(0.2), Job { bits: 100.0, class: 1, tag: 3 });
+        f.submit(
+            t(0.1),
+            Job {
+                bits: 100.0,
+                class: 2,
+                tag: 2,
+            },
+        );
+        f.submit(
+            t(0.2),
+            Job {
+                bits: 100.0,
+                class: 1,
+                tag: 3,
+            },
+        );
         let (_, next) = f.on_complete(t(1.0), c.token).unwrap();
         let next = next.unwrap();
         let (mid, next2) = f.on_complete(next.at, next.token).unwrap();
         assert_eq!(mid.tag, 3, "class 1 beats class 2");
-        let (low, _) = f.on_complete(next2.unwrap().at, next2.unwrap().token).unwrap();
+        let (low, _) = f
+            .on_complete(next2.unwrap().at, next2.unwrap().token)
+            .unwrap();
         assert_eq!(low.tag, 2);
     }
 
@@ -365,11 +425,27 @@ mod tests {
     fn class0_preempts_and_resumes() {
         let mut f = fac(1000.0);
         // 10 s data transmission starts at t=0.
-        let c_data = f.submit(t(0.0), Job { bits: 10_000.0, class: 2, tag: 7 }).unwrap();
+        let c_data = f
+            .submit(
+                t(0.0),
+                Job {
+                    bits: 10_000.0,
+                    class: 2,
+                    tag: 7,
+                },
+            )
+            .unwrap();
         assert_eq!(c_data.at, t(10.0));
         // Report (class 0) arrives at t=4: preempts, serves 1 s.
         let c_ir = f
-            .submit(t(4.0), Job { bits: 1000.0, class: 0, tag: 8 })
+            .submit(
+                t(4.0),
+                Job {
+                    bits: 1000.0,
+                    class: 0,
+                    tag: 8,
+                },
+            )
             .expect("preemption returns a fresh completion");
         assert_eq!(c_ir.at, t(5.0));
         assert_eq!(f.preemptions(), 1);
@@ -388,9 +464,34 @@ mod tests {
     #[test]
     fn suspended_job_resumes_before_queued_peers() {
         let mut f = fac(1000.0);
-        let _c = f.submit(t(0.0), Job { bits: 10_000.0, class: 2, tag: 1 }).unwrap();
-        f.submit(t(1.0), Job { bits: 100.0, class: 2, tag: 2 });
-        let c_ir = f.submit(t(2.0), Job { bits: 100.0, class: 0, tag: 3 }).unwrap();
+        let _c = f
+            .submit(
+                t(0.0),
+                Job {
+                    bits: 10_000.0,
+                    class: 2,
+                    tag: 1,
+                },
+            )
+            .unwrap();
+        f.submit(
+            t(1.0),
+            Job {
+                bits: 100.0,
+                class: 2,
+                tag: 2,
+            },
+        );
+        let c_ir = f
+            .submit(
+                t(2.0),
+                Job {
+                    bits: 100.0,
+                    class: 0,
+                    tag: 3,
+                },
+            )
+            .unwrap();
         let (_, next) = f.on_complete(c_ir.at, c_ir.token).unwrap();
         // The preempted tag-1 job resumes ahead of the queued tag-2 job.
         let next = next.unwrap();
@@ -401,8 +502,26 @@ mod tests {
     #[test]
     fn class1_does_not_preempt_when_not_configured() {
         let mut f = fac(1000.0); // preemptive_classes = 1, so class 1 queues
-        let c = f.submit(t(0.0), Job { bits: 5000.0, class: 2, tag: 1 }).unwrap();
-        assert!(f.submit(t(1.0), Job { bits: 100.0, class: 1, tag: 2 }).is_none());
+        let c = f
+            .submit(
+                t(0.0),
+                Job {
+                    bits: 5000.0,
+                    class: 2,
+                    tag: 1,
+                },
+            )
+            .unwrap();
+        assert!(f
+            .submit(
+                t(1.0),
+                Job {
+                    bits: 100.0,
+                    class: 1,
+                    tag: 2
+                }
+            )
+            .is_none());
         assert_eq!(f.preemptions(), 0);
         let (first, _) = f.on_complete(c.at, c.token).unwrap();
         assert_eq!(first.tag, 1);
@@ -411,16 +530,43 @@ mod tests {
     #[test]
     fn class0_does_not_preempt_class0() {
         let mut f = fac(1000.0);
-        let _c = f.submit(t(0.0), Job { bits: 5000.0, class: 0, tag: 1 }).unwrap();
+        let _c = f
+            .submit(
+                t(0.0),
+                Job {
+                    bits: 5000.0,
+                    class: 0,
+                    tag: 1,
+                },
+            )
+            .unwrap();
         // Another report while one is in flight queues behind it.
-        assert!(f.submit(t(1.0), Job { bits: 100.0, class: 0, tag: 2 }).is_none());
+        assert!(f
+            .submit(
+                t(1.0),
+                Job {
+                    bits: 100.0,
+                    class: 0,
+                    tag: 2
+                }
+            )
+            .is_none());
         assert_eq!(f.preemptions(), 0);
     }
 
     #[test]
     fn utilization_accounting() {
         let mut f = fac(1000.0);
-        let c = f.submit(t(0.0), Job { bits: 2000.0, class: 2, tag: 1 }).unwrap();
+        let c = f
+            .submit(
+                t(0.0),
+                Job {
+                    bits: 2000.0,
+                    class: 2,
+                    tag: 1,
+                },
+            )
+            .unwrap();
         f.on_complete(c.at, c.token).unwrap();
         // Busy 2 s out of 8 s.
         assert!((f.utilization(t(8.0)) - 0.25).abs() < 1e-12);
@@ -430,14 +576,29 @@ mod tests {
     #[test]
     fn utilization_mid_service() {
         let mut f = fac(1000.0);
-        f.submit(t(0.0), Job { bits: 4000.0, class: 2, tag: 1 }).unwrap();
+        f.submit(
+            t(0.0),
+            Job {
+                bits: 4000.0,
+                class: 2,
+                tag: 1,
+            },
+        )
+        .unwrap();
         assert!((f.utilization(t(2.0)) - 1.0).abs() < 1e-12);
     }
 
     #[test]
     #[should_panic(expected = "positive size")]
     fn zero_bits_rejected() {
-        fac(1.0).submit(t(0.0), Job { bits: 0.0, class: 0, tag: 0 });
+        fac(1.0).submit(
+            t(0.0),
+            Job {
+                bits: 0.0,
+                class: 0,
+                tag: 0,
+            },
+        );
     }
 
     #[test]
@@ -448,11 +609,38 @@ mod tests {
             preemptive_classes: 1,
         });
         // Long class-2 job, preempted twice by class-0 jobs.
-        let _ = f.submit(t(0.0), Job { bits: 1000.0, class: 2, tag: 1 }).unwrap();
-        let ir1 = f.submit(t(1.0), Job { bits: 100.0, class: 0, tag: 2 }).unwrap();
+        let _ = f
+            .submit(
+                t(0.0),
+                Job {
+                    bits: 1000.0,
+                    class: 2,
+                    tag: 1,
+                },
+            )
+            .unwrap();
+        let ir1 = f
+            .submit(
+                t(1.0),
+                Job {
+                    bits: 100.0,
+                    class: 0,
+                    tag: 2,
+                },
+            )
+            .unwrap();
         let (_, r1) = f.on_complete(ir1.at, ir1.token).unwrap();
         let r1 = r1.unwrap();
-        let ir2 = f.submit(t(3.0), Job { bits: 100.0, class: 0, tag: 3 }).unwrap();
+        let ir2 = f
+            .submit(
+                t(3.0),
+                Job {
+                    bits: 100.0,
+                    class: 0,
+                    tag: 3,
+                },
+            )
+            .unwrap();
         assert!(f.on_complete(r1.at, r1.token).is_none(), "stale resume");
         let (_, r2) = f.on_complete(ir2.at, ir2.token).unwrap();
         let r2 = r2.unwrap();

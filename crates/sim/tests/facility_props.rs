@@ -63,10 +63,7 @@ fn drive(rate: f64, preemptive: usize, arrivals: &[(f64, f64, usize)]) -> (Facil
 }
 
 fn arrival_strategy() -> impl Strategy<Value = Vec<(f64, f64, usize)>> {
-    prop::collection::vec(
-        (0.0f64..1000.0, 1.0f64..10_000.0, 0usize..3),
-        1..60,
-    )
+    prop::collection::vec((0.0f64..1000.0, 1.0f64..10_000.0, 0usize..3), 1..60)
 }
 
 proptest! {

@@ -39,14 +39,20 @@ impl ItemSampler {
             Pattern::Uniform => {
                 ItemSampler::Uniform(UniformRange::new_inclusive(0, db_size as u64 - 1))
             }
-            Pattern::HotCold { hot_lo, hot_hi, hot_prob } => {
-                assert!(hot_lo <= hot_hi && hot_hi < db_size, "hot region out of range");
-                let hot_len = hot_hi - hot_lo + 1;
-                let cold_len = db_size - hot_len;
+            Pattern::HotCold {
+                hot_lo,
+                hot_hi,
+                hot_prob,
+            } => {
                 assert!(
-                    cold_len > 0 || hot_prob >= 1.0,
-                    "cold region empty but cold accesses possible"
+                    hot_lo <= hot_hi && hot_hi < db_size,
+                    "hot region out of range"
                 );
+                let hot_len = hot_hi - hot_lo + 1;
+                // A hot region spanning the whole database leaves no cold
+                // items; every access is then hot regardless of `hot_prob`
+                // (`sample` short-circuits on `cold_len == 0`).
+                let cold_len = db_size - hot_len;
                 ItemSampler::HotCold {
                     hot_prob,
                     hot: UniformRange::new_inclusive(hot_lo as u64, hot_hi as u64),
@@ -63,7 +69,13 @@ impl ItemSampler {
     pub fn sample(&self, rng: &mut SimRng) -> ItemId {
         match self {
             ItemSampler::Uniform(u) => ItemId(u.sample(rng) as u32),
-            ItemSampler::HotCold { hot_prob, hot, hot_lo, hot_len, cold_len } => {
+            ItemSampler::HotCold {
+                hot_prob,
+                hot,
+                hot_lo,
+                hot_len,
+                cold_len,
+            } => {
                 if *cold_len == 0 || rng.coin(*hot_prob) {
                     ItemId(hot.sample(rng) as u32)
                 } else {
@@ -135,15 +147,16 @@ mod tests {
     #[test]
     fn hotcold_respects_probability() {
         let s = ItemSampler::new(
-            Pattern::HotCold { hot_lo: 0, hot_hi: 99, hot_prob: 0.8 },
+            Pattern::HotCold {
+                hot_lo: 0,
+                hot_hi: 99,
+                hot_prob: 0.8,
+            },
             10_000,
         );
         let mut r = rng();
         let n = 100_000;
-        let hot = (0..n)
-            .filter(|_| s.sample(&mut r).0 < 100)
-            .count() as f64
-            / n as f64;
+        let hot = (0..n).filter(|_| s.sample(&mut r).0 < 100).count() as f64 / n as f64;
         assert!((hot - 0.8).abs() < 0.01, "hot fraction {hot}");
     }
 
@@ -151,7 +164,11 @@ mod tests {
     fn hotcold_cold_region_skips_hot_block() {
         // Hot region in the middle: cold samples must never land in it.
         let s = ItemSampler::new(
-            Pattern::HotCold { hot_lo: 4, hot_hi: 6, hot_prob: 0.0 },
+            Pattern::HotCold {
+                hot_lo: 4,
+                hot_hi: 6,
+                hot_prob: 0.0,
+            },
             10,
         );
         let mut r = rng();
@@ -173,7 +190,11 @@ mod tests {
     #[test]
     fn hotcold_all_hot() {
         let s = ItemSampler::new(
-            Pattern::HotCold { hot_lo: 0, hot_hi: 9, hot_prob: 1.0 },
+            Pattern::HotCold {
+                hot_lo: 0,
+                hot_hi: 9,
+                hot_prob: 1.0,
+            },
             10,
         );
         let mut r = rng();
@@ -220,7 +241,11 @@ mod tests {
         // hot_prob 1.0 with a 2-item hot region: rejection alone could
         // spin; the fallback sweep must complete the request.
         let s = ItemSampler::new(
-            Pattern::HotCold { hot_lo: 0, hot_hi: 1, hot_prob: 1.0 },
+            Pattern::HotCold {
+                hot_lo: 0,
+                hot_hi: 1,
+                hot_prob: 1.0,
+            },
             100,
         );
         let mut r = rng();

@@ -107,7 +107,10 @@ mod tests {
         let g = UpdateGen::new(Pattern::Uniform, 1000, 100.0, 5.0);
         let mut r = rng();
         let n = 20_000;
-        let mean: f64 = (0..n).map(|_| g.next_txn_items(&mut r).len()).sum::<usize>() as f64 / n as f64;
+        let mean: f64 = (0..n)
+            .map(|_| g.next_txn_items(&mut r).len())
+            .sum::<usize>() as f64
+            / n as f64;
         // Poisson(5) clamped at 1 has mean slightly above 5.
         assert!((mean - 5.0).abs() < 0.15, "mean {mean}");
     }
@@ -141,7 +144,10 @@ mod tests {
         let g = QueryGen::new(Pattern::Uniform, 10_000, 10.0);
         let mut r = rng();
         let n = 10_000;
-        let mean: f64 = (0..n).map(|_| g.next_query_items(&mut r).len()).sum::<usize>() as f64 / n as f64;
+        let mean: f64 = (0..n)
+            .map(|_| g.next_query_items(&mut r).len())
+            .sum::<usize>() as f64
+            / n as f64;
         assert!((mean - 10.0).abs() < 0.3, "mean {mean}");
     }
 

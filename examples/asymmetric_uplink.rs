@@ -10,10 +10,11 @@
 use mobicache::{run, RunOptions, Scheme, SimConfig, Workload};
 
 fn main() {
-    let mut base = SimConfig::paper_default().with_workload(Workload::uniform());
-    base.db_size = 5_000;
+    let mut base = SimConfig::paper_default()
+        .with_workload(Workload::uniform())
+        .with_db_size(5_000)
+        .with_sim_time(30_000.0);
     base.mean_disconnect_secs = 4_000.0;
-    base.sim_time_secs = 30_000.0;
 
     println!(
         "{:>10} {:>12} {:>12} {:>14} {:>12}",
@@ -22,15 +23,12 @@ fn main() {
     let mut crossover: Option<f64> = None;
     for bw in [100.0, 150.0, 200.0, 300.0, 500.0, 700.0, 1_000.0, 10_000.0] {
         let mut row = Vec::new();
-        for scheme in [
-            Scheme::Aaw,
-            Scheme::Afw,
-            Scheme::SimpleChecking,
-            Scheme::Bs,
-        ] {
+        for scheme in [Scheme::Aaw, Scheme::Afw, Scheme::SimpleChecking, Scheme::Bs] {
             let mut cfg = base.clone().with_scheme(scheme);
             cfg.uplink_bps = bw;
-            let m = run(&cfg, RunOptions::default()).expect("valid config").metrics;
+            let m = run(&cfg, RunOptions::default())
+                .expect("valid config")
+                .metrics;
             row.push(m.queries_answered);
         }
         println!(

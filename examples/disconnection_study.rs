@@ -12,10 +12,11 @@ fn main() {
     // Aggressive disconnection regime: 30 % of gaps are disconnections of
     // 2000 s mean (10x the broadcast window), hot/cold locality so the
     // cache is worth salvaging.
-    let mut base = SimConfig::paper_default().with_workload(Workload::hotcold());
+    let mut base = SimConfig::paper_default()
+        .with_workload(Workload::hotcold())
+        .with_sim_time(40_000.0);
     base.p_disconnect = 0.3;
     base.mean_disconnect_secs = 2_000.0;
-    base.sim_time_secs = 40_000.0;
 
     println!(
         "{:<22} {:>9} {:>10} {:>10} {:>10} {:>10} {:>10} {:>9}",
@@ -30,7 +31,9 @@ fn main() {
         Scheme::Aaw,
     ] {
         let cfg = base.clone().with_scheme(scheme);
-        let m = run(&cfg, RunOptions::default()).expect("valid config").metrics;
+        let m = run(&cfg, RunOptions::default())
+            .expect("valid config")
+            .metrics;
         println!(
             "{:<22} {:>9} {:>10} {:>10} {:>10} {:>10} {:>10} {:>8.1}%",
             scheme.short(),
@@ -53,9 +56,12 @@ fn main() {
         "\nServer view (AAW): re-run with that scheme to see the report mix \
          (window vs enlarged vs BS) in Metrics::server."
     );
-    let aaw = run(&base.clone().with_scheme(Scheme::Aaw), RunOptions::default())
-        .expect("valid config")
-        .metrics;
+    let aaw = run(
+        &base.clone().with_scheme(Scheme::Aaw),
+        RunOptions::default(),
+    )
+    .expect("valid config")
+    .metrics;
     println!(
         "AAW server broadcast {} plain windows, {} enlarged windows, {} bit-sequence reports.",
         aaw.server.window_reports, aaw.server.enlarged_reports, aaw.server.bs_reports

@@ -19,8 +19,8 @@ fn main() {
         RunScale::default()
     };
 
-    let throughput = run_figure(&fig11::spec(), scale);
-    let uplink = run_figure(&fig12::spec(), scale);
+    let throughput = run_figure(&fig11::spec(), scale).expect("valid spec");
+    let uplink = run_figure(&fig12::spec(), scale).expect("valid spec");
 
     println!("{}", chart::render(&throughput));
     println!("{}", chart::render_table(&throughput));

@@ -16,13 +16,15 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(40_000);
 
-    let mut base = SimConfig::paper_default()
+    let base = SimConfig::paper_default()
         .with_scheme(Scheme::Bs)
-        .with_workload(Workload::uniform());
-    base.db_size = db_size;
-    base.sim_time_secs = 30_000.0;
+        .with_workload(Workload::uniform())
+        .with_db_size(db_size)
+        .with_sim_time(30_000.0);
 
-    let shared = run(&base, RunOptions::default()).expect("valid config").metrics;
+    let shared = run(&base, RunOptions::default())
+        .expect("valid config")
+        .metrics;
     println!(
         "N = {db_size}: shared channel (the paper's model) answers {} queries \
          ({}% downlink busy, {} report preemptions)",
@@ -31,13 +33,20 @@ fn main() {
         shared.downlink_preemptions
     );
     println!();
-    println!("{:>16} {:>12} {:>12}", "broadcast share", "answered", "vs shared");
+    println!(
+        "{:>16} {:>12} {:>12}",
+        "broadcast share", "answered", "vs shared"
+    );
 
     let mut best: Option<(f64, u64)> = None;
     for share in [0.05, 0.1, 0.15, 0.2, 0.3, 0.4, 0.5] {
         let mut cfg = base.clone();
-        cfg.downlink_topology = DownlinkTopology::Dedicated { broadcast_share: share };
-        let m = run(&cfg, RunOptions::default()).expect("valid config").metrics;
+        cfg.downlink_topology = DownlinkTopology::Dedicated {
+            broadcast_share: share,
+        };
+        let m = run(&cfg, RunOptions::default())
+            .expect("valid config")
+            .metrics;
         println!(
             "{:>16} {:>12} {:>11.0}%",
             share,

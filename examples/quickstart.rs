@@ -9,9 +9,10 @@ use mobicache::{run, RunOptions, Scheme, SimConfig, Workload};
 
 fn main() {
     // Table 1 defaults, HOTCOLD workload, shortened horizon for a demo.
-    let mut base = SimConfig::paper_default().with_workload(Workload::hotcold());
-    base.sim_time_secs = 20_000.0;
-    base.db_size = 10_000;
+    let base = SimConfig::paper_default()
+        .with_workload(Workload::hotcold())
+        .with_sim_time(20_000.0)
+        .with_db_size(10_000);
 
     println!(
         "{:<34} {:>10} {:>12} {:>10} {:>12}",

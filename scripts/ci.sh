@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Local CI gate: formatting, lints, and the tier-1 build + test suite.
+#
+#   ./scripts/ci.sh
+#
+# Runs entirely offline (the workspace vendors its dev-dependency stubs),
+# so this is exactly what a fresh checkout must pass.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> tier-1: cargo build --release"
+cargo build --release
+
+echo "==> tier-1: cargo test -q"
+cargo test -q
+
+echo "CI OK"

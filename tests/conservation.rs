@@ -8,7 +8,9 @@ fn metrics(scheme: Scheme, f: impl FnOnce(&mut SimConfig)) -> Metrics {
     cfg.db_size = 2_000;
     cfg.num_clients = 40;
     f(&mut cfg);
-    run(&cfg, RunOptions::default()).expect("valid config").metrics
+    run(&cfg, RunOptions::default())
+        .expect("valid config")
+        .metrics
 }
 
 #[test]
@@ -26,7 +28,11 @@ fn item_accounting_matches_queries() {
     // With one item per query, items resolved == queries answered.
     for scheme in [Scheme::Aaw, Scheme::Bs, Scheme::SimpleChecking] {
         let m = metrics(scheme, |_| {});
-        assert_eq!(m.item_hits + m.item_misses, m.queries_answered, "{scheme:?}");
+        assert_eq!(
+            m.item_hits + m.item_misses,
+            m.queries_answered,
+            "{scheme:?}"
+        );
     }
 }
 
@@ -73,7 +79,10 @@ fn validity_bits_are_a_subset_of_total_uplink() {
     for scheme in [Scheme::SimpleChecking, Scheme::Afw, Scheme::Aaw] {
         let m = metrics(scheme, |cfg| cfg.p_disconnect = 0.3);
         assert!(m.uplink_validity_bits <= m.uplink_total_bits, "{scheme:?}");
-        assert!(m.uplink_validity_bits > 0.0, "{scheme:?} sent no validity traffic");
+        assert!(
+            m.uplink_validity_bits > 0.0,
+            "{scheme:?} sent no validity traffic"
+        );
     }
 }
 

@@ -16,7 +16,7 @@ fn base(scheme: Scheme) -> SimConfig {
 fn all_schemes_uphold_consistency_under_uniform() {
     for scheme in Scheme::ALL {
         let cfg = base(scheme);
-        let result = run(&cfg, RunOptions { check_consistency: true })
+        let result = run(&cfg, RunOptions::new().check_consistency(true))
             .unwrap_or_else(|e| panic!("{scheme:?}: {e}"));
         assert!(result.metrics.queries_answered > 0, "{scheme:?}");
     }
@@ -26,7 +26,7 @@ fn all_schemes_uphold_consistency_under_uniform() {
 fn all_schemes_uphold_consistency_under_hotcold() {
     for scheme in Scheme::ALL {
         let cfg = base(scheme).with_workload(Workload::hotcold());
-        run(&cfg, RunOptions { check_consistency: true })
+        run(&cfg, RunOptions::new().check_consistency(true))
             .unwrap_or_else(|e| panic!("{scheme:?}: {e}"));
     }
 }
@@ -39,7 +39,7 @@ fn consistency_holds_under_heavy_disconnection() {
         let mut cfg = base(scheme).with_workload(Workload::hotcold());
         cfg.p_disconnect = 0.7;
         cfg.mean_disconnect_secs = 3_000.0;
-        run(&cfg, RunOptions { check_consistency: true })
+        run(&cfg, RunOptions::new().check_consistency(true))
             .unwrap_or_else(|e| panic!("{scheme:?}: {e}"));
     }
 }
@@ -50,7 +50,7 @@ fn consistency_holds_with_lazy_checking() {
     cfg.checking_mode = mobicache::CheckingMode::QueriedItems;
     cfg.p_disconnect = 0.5;
     cfg.mean_disconnect_secs = 2_000.0;
-    run(&cfg, RunOptions { check_consistency: true }).expect("valid config");
+    run(&cfg, RunOptions::new().check_consistency(true)).expect("valid config");
 }
 
 #[test]
@@ -60,7 +60,7 @@ fn consistency_holds_with_fast_updates() {
     for scheme in [Scheme::Bs, Scheme::Aaw, Scheme::SimpleChecking] {
         let mut cfg = base(scheme);
         cfg.mean_update_interarrival_secs = 10.0;
-        run(&cfg, RunOptions { check_consistency: true })
+        run(&cfg, RunOptions::new().check_consistency(true))
             .unwrap_or_else(|e| panic!("{scheme:?}: {e}"));
     }
 }
@@ -70,7 +70,7 @@ fn consistency_holds_with_multi_item_queries() {
     for scheme in [Scheme::Aaw, Scheme::SimpleChecking] {
         let mut cfg = base(scheme);
         cfg.items_per_query_mean = 5.0;
-        run(&cfg, RunOptions { check_consistency: true })
+        run(&cfg, RunOptions::new().check_consistency(true))
             .unwrap_or_else(|e| panic!("{scheme:?}: {e}"));
     }
 }
@@ -85,7 +85,7 @@ fn consistency_holds_on_tiny_database() {
         cfg.cache_fraction = 0.2;
         // Hot region must fit the tiny DB.
         cfg.workload = Workload::uniform();
-        run(&cfg, RunOptions { check_consistency: true })
+        run(&cfg, RunOptions::new().check_consistency(true))
             .unwrap_or_else(|e| panic!("{scheme:?}: {e}"));
     }
 }
@@ -94,15 +94,22 @@ fn consistency_holds_on_tiny_database() {
 fn consistency_holds_under_combined_extensions() {
     // Everything at once: report loss, snooping, a dedicated broadcast
     // channel, heavy disconnection — the oracle must stay silent.
-    for scheme in [Scheme::Aaw, Scheme::Afw, Scheme::SimpleChecking, Scheme::Bs, Scheme::Gcore] {
+    for scheme in [
+        Scheme::Aaw,
+        Scheme::Afw,
+        Scheme::SimpleChecking,
+        Scheme::Bs,
+        Scheme::Gcore,
+    ] {
         let mut cfg = base(scheme).with_workload(Workload::hotcold());
         cfg.p_disconnect = 0.5;
         cfg.mean_disconnect_secs = 1_500.0;
         cfg.p_report_loss = 0.15;
         cfg.snoop_broadcasts = true;
-        cfg.downlink_topology =
-            mobicache::DownlinkTopology::Dedicated { broadcast_share: 0.3 };
-        run(&cfg, RunOptions { check_consistency: true })
+        cfg.downlink_topology = mobicache::DownlinkTopology::Dedicated {
+            broadcast_share: 0.3,
+        };
+        run(&cfg, RunOptions::new().check_consistency(true))
             .unwrap_or_else(|e| panic!("{scheme:?}: {e}"));
     }
 }
@@ -116,7 +123,7 @@ fn consistency_holds_for_gcore_beyond_retention() {
     cfg.gcore_retention_intervals = 5; // only 100 s of history
     cfg.p_disconnect = 0.5;
     cfg.mean_disconnect_secs = 2_000.0;
-    let result = run(&cfg, RunOptions { check_consistency: true }).expect("valid config");
+    let result = run(&cfg, RunOptions::new().check_consistency(true)).expect("valid config");
     assert!(
         result.metrics.clients.full_drops > 0,
         "expected retention-exceeded drops"
@@ -130,7 +137,7 @@ fn consistency_holds_under_starved_uplink() {
     for scheme in [Scheme::SimpleChecking, Scheme::Afw, Scheme::Aaw] {
         let mut cfg = base(scheme);
         cfg.uplink_bps = 100.0;
-        run(&cfg, RunOptions { check_consistency: true })
+        run(&cfg, RunOptions::new().check_consistency(true))
             .unwrap_or_else(|e| panic!("{scheme:?}: {e}"));
     }
 }

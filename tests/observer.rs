@@ -1,0 +1,264 @@
+//! The run-observer subsystem, end to end: event ordering, interval
+//! snapshot conservation, and the bit-identical-run guarantee.
+
+use mobicache::{
+    run, AdaptiveDecision, IntervalSampler, IntervalSnapshot, Probe, ProbeEvent, RunOptions,
+    Scheme, SimConfig, SimTime, Workload,
+};
+
+fn short_cfg(scheme: Scheme) -> SimConfig {
+    SimConfig::paper_default()
+        .with_scheme(scheme)
+        .with_sim_time(4_000.0)
+        .with_db_size(1_000)
+        .with_num_clients(20)
+}
+
+/// Records every event, asserting the stream is in simulation-time
+/// order, and tallies the kinds seen.
+#[derive(Default)]
+struct OrderProbe {
+    last_secs: f64,
+    reports: u64,
+    decisions: u64,
+    disconnects: u64,
+    reconnects: u64,
+    salvages: u64,
+    cache_events: u64,
+    queries: u64,
+}
+
+impl Probe for OrderProbe {
+    fn on_event(&mut self, now: SimTime, event: &ProbeEvent) {
+        let t = now.as_secs();
+        assert!(
+            t >= self.last_secs,
+            "event stream went backwards: {t} after {}",
+            self.last_secs
+        );
+        self.last_secs = t;
+        match event {
+            ProbeEvent::ReportBroadcast { bits, .. } => {
+                assert!(*bits > 0.0, "report with no bits on the wire");
+                self.reports += 1;
+            }
+            ProbeEvent::AdaptiveDecision(d) => {
+                match d {
+                    AdaptiveDecision::AfwBsTrigger { eligible, .. } => assert!(*eligible > 0),
+                    AdaptiveDecision::AawEnlarge {
+                        enlarged_bits,
+                        bs_bits,
+                        ..
+                    } => {
+                        assert!(enlarged_bits <= bs_bits, "enlarge chosen but bigger");
+                    }
+                    AdaptiveDecision::AawBsFallback {
+                        enlarged_bits,
+                        bs_bits,
+                        ..
+                    } => {
+                        assert!(
+                            enlarged_bits > bs_bits,
+                            "fallback chosen but enlarge smaller"
+                        );
+                    }
+                }
+                self.decisions += 1;
+            }
+            ProbeEvent::Disconnect { for_secs, .. } => {
+                assert!(*for_secs > 0.0);
+                self.disconnects += 1;
+            }
+            ProbeEvent::Reconnect { offline_secs, .. } => {
+                assert!(*offline_secs > 0.0);
+                self.reconnects += 1;
+            }
+            ProbeEvent::LimboSalvage {
+                salvaged, dropped, ..
+            } => {
+                assert!(salvaged + dropped > 0);
+                self.salvages += 1;
+            }
+            ProbeEvent::CacheEvent { .. } => self.cache_events += 1,
+            ProbeEvent::QueryResolved {
+                latency_secs,
+                hits,
+                misses,
+                ..
+            } => {
+                assert!(*latency_secs >= 0.0);
+                assert!(hits + misses > 0);
+                self.queries += 1;
+            }
+        }
+    }
+}
+
+#[test]
+fn events_arrive_in_time_order_and_cover_the_decision_points() {
+    for scheme in [Scheme::Afw, Scheme::Aaw] {
+        let mut probe = OrderProbe::default();
+        let m = run(&short_cfg(scheme), RunOptions::new().probe(&mut probe))
+            .expect("valid config")
+            .metrics;
+        assert!(probe.reports > 0, "{scheme:?}: no report broadcasts seen");
+        assert!(
+            probe.decisions > 0,
+            "{scheme:?}: no adaptive decisions seen"
+        );
+        assert!(probe.queries > 0, "{scheme:?}: no resolved queries seen");
+        assert!(probe.disconnects > 0, "{scheme:?}: no disconnections seen");
+        // Every observed completion is one the metrics counted too.
+        assert_eq!(probe.queries, m.queries_answered, "{scheme:?}");
+        assert_eq!(probe.disconnects, m.disconnections, "{scheme:?}");
+        // A reconnection follows every disconnection except any still
+        // dozing at the horizon.
+        assert!(probe.reconnects <= probe.disconnects, "{scheme:?}");
+        assert!(probe.disconnects - probe.reconnects <= 20, "{scheme:?}");
+    }
+}
+
+#[test]
+fn limbo_salvage_events_match_client_counters() {
+    let mut probe = OrderProbe::default();
+    let mut cfg = short_cfg(Scheme::Aaw).with_workload(Workload::hotcold());
+    cfg.p_disconnect = 0.4;
+    let m = run(&cfg, RunOptions::new().probe(&mut probe))
+        .expect("valid config")
+        .metrics;
+    assert!(m.clients.limbo_episodes > 0, "config must exercise limbo");
+    assert!(
+        probe.salvages > 0,
+        "limbo resolutions must surface as events"
+    );
+}
+
+#[test]
+fn interval_snapshot_deltas_sum_to_final_metrics() {
+    for scheme in [Scheme::Afw, Scheme::SimpleChecking] {
+        let mut sampler = IntervalSampler::every(5);
+        let m = run(&short_cfg(scheme), RunOptions::new().probe(&mut sampler))
+            .expect("valid config")
+            .metrics;
+        let snaps = sampler.snapshots();
+        assert!(snaps.len() > 2, "{scheme:?}: expected a time series");
+        // Boundaries are contiguous and ordered.
+        let mut prev_end = 0.0;
+        for (i, s) in snaps.iter().enumerate() {
+            assert_eq!(s.index as usize, i);
+            assert_eq!(s.start_secs, prev_end, "{scheme:?}: gap between intervals");
+            assert!(s.end_secs >= s.start_secs);
+            prev_end = s.end_secs;
+        }
+        assert_eq!(
+            prev_end, m.sim_time_secs,
+            "{scheme:?}: last interval ends at horizon"
+        );
+        // Integer counters telescope exactly to the run totals.
+        let sum = sampler.summed_totals();
+        assert_eq!(sum.queries_issued, m.queries_issued, "{scheme:?}");
+        assert_eq!(sum.queries_answered, m.queries_answered, "{scheme:?}");
+        assert_eq!(sum.item_hits, m.item_hits, "{scheme:?}");
+        assert_eq!(sum.item_misses, m.item_misses, "{scheme:?}");
+        assert_eq!(sum.cache_evictions, m.cache_evictions, "{scheme:?}");
+        assert_eq!(sum.disconnections, m.disconnections, "{scheme:?}");
+        assert_eq!(sum.reports_lost, m.reports_lost, "{scheme:?}");
+        assert_eq!(sum.events_delivered, m.events_processed, "{scheme:?}");
+        let server_reports = m.server.window_reports
+            + m.server.enlarged_reports
+            + m.server.bs_reports
+            + m.server.at_reports
+            + m.server.sig_reports;
+        assert_eq!(sum.reports_broadcast, server_reports, "{scheme:?}");
+        assert_eq!(sum.tlbs_received, m.server.tlbs_received, "{scheme:?}");
+        assert_eq!(
+            sum.checks_processed, m.server.checks_processed,
+            "{scheme:?}"
+        );
+        // Float accumulators telescope up to rounding.
+        assert!((sum.client_tx_bits - m.client_tx_bits).abs() < 1e-6 * (1.0 + m.client_tx_bits));
+        assert!((sum.client_rx_bits - m.client_rx_bits).abs() < 1e-6 * (1.0 + m.client_rx_bits));
+    }
+}
+
+#[test]
+fn snapshot_jsonl_round_trips_the_series() {
+    let mut sampler = IntervalSampler::every(10);
+    run(
+        &short_cfg(Scheme::Aaw),
+        RunOptions::new().probe(&mut sampler),
+    )
+    .expect("valid config");
+    let jsonl = sampler.to_jsonl();
+    let lines: Vec<&str> = jsonl.trim_end().split('\n').collect();
+    assert_eq!(lines.len(), sampler.snapshots().len());
+    for (line, snap) in lines.iter().zip(sampler.snapshots()) {
+        assert_eq!(*line, snap.to_json());
+        assert!(line.contains(&format!("\"interval\":{}", snap.index)));
+    }
+}
+
+#[test]
+fn attaching_a_probe_leaves_same_seed_metrics_bit_identical() {
+    for scheme in [Scheme::Afw, Scheme::Aaw, Scheme::SimpleChecking, Scheme::Bs] {
+        let cfg = short_cfg(scheme).with_workload(Workload::hotcold());
+        let plain = run(&cfg, RunOptions::default())
+            .expect("valid config")
+            .metrics;
+        let mut order = OrderProbe::default();
+        let mut sampler = IntervalSampler::every(3);
+        let mut pair = (&mut order, &mut sampler);
+        let probed = run(&cfg, RunOptions::new().probe(&mut pair))
+            .expect("valid config")
+            .metrics;
+        assert_eq!(plain.queries_issued, probed.queries_issued, "{scheme:?}");
+        assert_eq!(
+            plain.queries_answered, probed.queries_answered,
+            "{scheme:?}"
+        );
+        assert_eq!(plain.item_hits, probed.item_hits, "{scheme:?}");
+        assert_eq!(plain.item_misses, probed.item_misses, "{scheme:?}");
+        assert_eq!(
+            plain.events_processed, probed.events_processed,
+            "{scheme:?}"
+        );
+        assert_eq!(plain.disconnections, probed.disconnections, "{scheme:?}");
+        // f64 accumulators must match to the bit, not approximately.
+        assert_eq!(
+            plain.client_tx_bits.to_bits(),
+            probed.client_tx_bits.to_bits(),
+            "{scheme:?}"
+        );
+        assert_eq!(
+            plain.client_rx_bits.to_bits(),
+            probed.client_rx_bits.to_bits(),
+            "{scheme:?}"
+        );
+        assert_eq!(
+            plain.uplink_validity_bits.to_bits(),
+            probed.uplink_validity_bits.to_bits(),
+            "{scheme:?}"
+        );
+        assert_eq!(
+            plain.mean_query_latency_secs.to_bits(),
+            probed.mean_query_latency_secs.to_bits(),
+            "{scheme:?}"
+        );
+    }
+}
+
+#[test]
+fn sampler_final_interval_is_partial_when_horizon_misses_the_stride() {
+    // 4000 s at L = 20 s is 200 broadcasts; stride 7 leaves a remainder,
+    // so the horizon closes a short final interval.
+    let mut sampler = IntervalSampler::every(7);
+    run(
+        &short_cfg(Scheme::Bs),
+        RunOptions::new().probe(&mut sampler),
+    )
+    .expect("valid config");
+    let snaps: &[IntervalSnapshot] = sampler.snapshots();
+    let last = snaps.last().expect("non-empty series");
+    let body_span = snaps[1].end_secs - snaps[1].start_secs;
+    assert!(last.end_secs - last.start_secs < body_span);
+}

@@ -5,7 +5,9 @@
 use mobicache::{run, Metrics, RunOptions, Scheme, SimConfig, Workload};
 
 fn sim(cfg: &SimConfig) -> Metrics {
-    run(cfg, RunOptions::default()).expect("valid config").metrics
+    run(cfg, RunOptions::default())
+        .expect("valid config")
+        .metrics
 }
 
 fn fig5_base() -> SimConfig {
@@ -165,7 +167,10 @@ fn aaw_broadcasts_less_report_traffic_than_afw() {
     base.sim_time_secs = 20_000.0;
     let aaw = sim(&base.clone().with_scheme(Scheme::Aaw));
     let afw = sim(&base.clone().with_scheme(Scheme::Afw));
-    assert!(aaw.server.enlarged_reports > 0, "AAW must use enlarged windows");
+    assert!(
+        aaw.server.enlarged_reports > 0,
+        "AAW must use enlarged windows"
+    );
     assert!(
         aaw.server.bs_reports < afw.server.bs_reports,
         "AAW should need fewer BS broadcasts: {} vs {}",
