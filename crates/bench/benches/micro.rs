@@ -91,6 +91,61 @@ fn bench_window(c: &mut Criterion) {
     group.finish();
 }
 
+/// The tick fan-out: ONE report applied by MANY clients. The legacy path
+/// rescans the record list per cached item per client; the shared-index
+/// path builds the sorted index once and gives every client an
+/// `O(|cache| · log |records|)` allocation-free pass.
+fn bench_fanout(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fanout");
+    group.warm_up_time(Duration::from_millis(300));
+    let db = 10_000u32;
+    for &records in &[1_000usize, 4_000] {
+        let report = WindowReport {
+            broadcast_at: t(1_000.0),
+            window_start: t(800.0),
+            records: (0..records)
+                .map(|k| (ItemId(k as u32), t(810.0 + k as f64 * 0.01)))
+                .collect(),
+            dummy: None,
+        };
+        // 200 clients, 200 cached items each, caches pairwise distinct.
+        let caches: Vec<Vec<(ItemId, SimTime)>> = (0..200u32)
+            .map(|cl| {
+                (0..200u32)
+                    .map(|i| (ItemId((cl * 97 + i * 31) % db), t(805.0)))
+                    .collect()
+            })
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new("window_linear_200c", records),
+            &records,
+            |b, _| {
+                b.iter(|| {
+                    for cache in &caches {
+                        black_box(report.decide_linear(t(900.0), cache.iter().copied()));
+                    }
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("window_shared_index_200c", records),
+            &records,
+            |b, _| {
+                let mut stale = Vec::new();
+                b.iter(|| {
+                    let idx = report.index();
+                    for cache in &caches {
+                        stale.clear();
+                        idx.stale_into(cache.iter().copied(), &mut stale);
+                        black_box(stale.len());
+                    }
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
 fn bench_sig(c: &mut Criterion) {
     let mut group = c.benchmark_group("sig");
     group.warm_up_time(Duration::from_millis(300));
@@ -213,6 +268,7 @@ criterion_group!(
     benches,
     bench_bitseq,
     bench_window,
+    bench_fanout,
     bench_sig,
     bench_cache,
     bench_facility,

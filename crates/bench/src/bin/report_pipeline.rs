@@ -1,0 +1,297 @@
+//! End-to-end report-pipeline benchmark: the numbers behind
+//! `BENCH_report_pipeline.json`.
+//!
+//! Three sections:
+//!
+//! * **e2e** — the `fig05` sweep (one scheme per run, single worker
+//!   thread, smoke horizon) for BS, AAW and simple checking: wall
+//!   seconds and simulator events/second per scheme, best of several
+//!   repetitions.
+//! * **stress** — one heavy configuration per scheme (large database,
+//!   200 clients, fast updates) where report construction and fan-out
+//!   dominate wall time; this is where pipeline regressions are loudest.
+//! * **fanout** — the tick fan-out micro-benchmark: one window report ×
+//!   many clients, comparing the legacy per-item linear scan against the
+//!   shared sorted index built once per broadcast.
+//!
+//! Run via `scripts/bench.sh`, which writes the JSON to the repo root.
+//! `--quick` shrinks every section for the CI smoke step; `--out PATH`
+//! writes the JSON file (otherwise it goes to stdout).
+
+use mobicache::{run, RunOptions};
+use mobicache_experiments::figures::fig05;
+use mobicache_experiments::{run_figure_with, RunReporting, RunScale};
+use mobicache_model::{ItemId, Scheme, SimConfig};
+use mobicache_reports::WindowReport;
+use mobicache_sim::SimTime;
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Wall numbers measured at the commit *before* the shared-index /
+/// report-cache refactor landed, same machine, non-quick settings.
+/// Kept in the JSON so a single file shows before vs after.
+const BASELINE_BEFORE: &str = r#"  "baseline_before": {
+    "note": "pre-refactor (per-client linear scans, report rebuilt every tick)",
+    "e2e": [
+      { "scheme": "Bs", "wall_secs": 0.033, "events": 17640, "events_per_sec": 537612 },
+      { "scheme": "Aaw", "wall_secs": 0.049, "events": 22467, "events_per_sec": 461185 },
+      { "scheme": "SimpleChecking", "wall_secs": 0.041, "events": 22721, "events_per_sec": 552418 }
+    ],
+    "stress": [
+      { "scheme": "Bs", "wall_secs": 0.049, "events": 5304, "events_per_sec": 108823 },
+      { "scheme": "Aaw", "wall_secs": 0.173, "events": 6472, "events_per_sec": 37412 },
+      { "scheme": "SimpleChecking", "wall_secs": 0.134, "events": 6638, "events_per_sec": 49701 }
+    ]
+  },
+"#;
+
+struct E2eRow {
+    scheme: Scheme,
+    points: usize,
+    wall_secs: f64,
+    events: u64,
+    events_per_sec: f64,
+}
+
+/// Best-of-`reps` wall time for one scheme's `fig05` sweep.
+fn bench_e2e(quick: bool) -> Vec<E2eRow> {
+    let schemes = [Scheme::Bs, Scheme::Aaw, Scheme::SimpleChecking];
+    let reps = if quick { 1 } else { 3 };
+    let scale = RunScale {
+        time_factor: if quick { 0.01 } else { 0.05 },
+        max_threads: Some(1),
+        replications: 1,
+    };
+    let mut rows = Vec::new();
+    for scheme in schemes {
+        let mut spec = fig05::spec();
+        spec.schemes = vec![scheme];
+        if quick {
+            spec.points.truncate(2);
+        }
+        let mut best_wall = f64::INFINITY;
+        let mut events = 0u64;
+        let mut points = 0usize;
+        for _ in 0..reps {
+            let started = Instant::now();
+            let result = run_figure_with(&spec, scale, RunReporting::default())
+                .expect("fig05 spec validates");
+            let wall = started.elapsed().as_secs_f64();
+            best_wall = best_wall.min(wall);
+            events = result
+                .series
+                .iter()
+                .flat_map(|s| &s.points)
+                .map(|p| p.metrics.events_processed)
+                .sum();
+            points = result.series.iter().map(|s| s.points.len()).sum();
+        }
+        eprintln!(
+            "e2e {scheme:?}: {points} points, {best_wall:.3}s wall (best of {reps}), \
+             {events} events ({:.0} ev/s)",
+            events as f64 / best_wall
+        );
+        rows.push(E2eRow {
+            scheme,
+            points,
+            wall_secs: best_wall,
+            events,
+            events_per_sec: events as f64 / best_wall,
+        });
+    }
+    rows
+}
+
+/// One heavy point per scheme: big database (large caches and BS
+/// reports), 200 clients (wide fan-out), updates every 5 s (full
+/// windows). Report building and application dominate here.
+fn stress_cfg(scheme: Scheme, quick: bool) -> SimConfig {
+    let mut cfg = SimConfig::paper_default().with_scheme(scheme);
+    cfg.sim_time_secs = if quick { 1_000.0 } else { 8_000.0 };
+    cfg.db_size = 40_000;
+    cfg.num_clients = 200;
+    cfg.mean_update_interarrival_secs = 5.0;
+    cfg
+}
+
+fn bench_stress(quick: bool) -> Vec<E2eRow> {
+    let schemes = [Scheme::Bs, Scheme::Aaw, Scheme::SimpleChecking];
+    let reps = if quick { 1 } else { 3 };
+    let mut rows = Vec::new();
+    for scheme in schemes {
+        let cfg = stress_cfg(scheme, quick);
+        let mut best_wall = f64::INFINITY;
+        let mut events = 0u64;
+        for _ in 0..reps {
+            let started = Instant::now();
+            let result = run(&cfg, RunOptions::default()).expect("stress config validates");
+            let wall = started.elapsed().as_secs_f64();
+            best_wall = best_wall.min(wall);
+            events = result.metrics.events_processed;
+        }
+        eprintln!(
+            "stress {scheme:?}: {best_wall:.3}s wall (best of {reps}), \
+             {events} events ({:.0} ev/s)",
+            events as f64 / best_wall
+        );
+        rows.push(E2eRow {
+            scheme,
+            points: 1,
+            wall_secs: best_wall,
+            events,
+            events_per_sec: events as f64 / best_wall,
+        });
+    }
+    rows
+}
+
+struct FanoutRow {
+    records: usize,
+    clients: usize,
+    linear_ns: f64,
+    indexed_ns: f64,
+    speedup: f64,
+}
+
+/// The tick fan-out in isolation: one window report applied by many
+/// clients. `linear_ns` rescans the record list per cached item per
+/// client (the pre-refactor path); `indexed_ns` builds the shared
+/// sorted index once and runs each client's allocation-free
+/// `stale_into` pass. Times are the best full fan-out pass observed.
+fn bench_fanout(quick: bool) -> Vec<FanoutRow> {
+    let clients = 200usize;
+    let cache_len = 200u32;
+    let db = 10_000u32;
+    let reps = if quick { 5 } else { 30 };
+    let record_counts: &[usize] = if quick { &[1_000] } else { &[1_000, 4_000] };
+    let mut rows = Vec::new();
+    for &records in record_counts {
+        let report = WindowReport {
+            broadcast_at: SimTime::from_secs(1_000.0),
+            window_start: SimTime::from_secs(800.0),
+            records: (0..records)
+                .map(|k| {
+                    (
+                        ItemId(k as u32),
+                        SimTime::from_secs(810.0 + k as f64 * 0.01),
+                    )
+                })
+                .collect(),
+            dummy: None,
+        };
+        let tlb = SimTime::from_secs(900.0);
+        let caches: Vec<Vec<(ItemId, SimTime)>> = (0..clients as u32)
+            .map(|cl| {
+                (0..cache_len)
+                    .map(|i| (ItemId((cl * 97 + i * 31) % db), SimTime::from_secs(805.0)))
+                    .collect()
+            })
+            .collect();
+
+        let mut linear_ns = f64::INFINITY;
+        for _ in 0..reps {
+            let started = Instant::now();
+            for cache in &caches {
+                black_box(report.decide_linear(tlb, cache.iter().copied()));
+            }
+            linear_ns = linear_ns.min(started.elapsed().as_nanos() as f64);
+        }
+
+        let mut indexed_ns = f64::INFINITY;
+        let mut stale = Vec::new();
+        for _ in 0..reps {
+            let started = Instant::now();
+            let idx = report.index();
+            for cache in &caches {
+                stale.clear();
+                idx.stale_into(cache.iter().copied(), &mut stale);
+                black_box(stale.len());
+            }
+            indexed_ns = indexed_ns.min(started.elapsed().as_nanos() as f64);
+        }
+
+        let speedup = linear_ns / indexed_ns;
+        eprintln!(
+            "fanout {clients}c x {records}r: linear {:.1}us, indexed {:.1}us ({speedup:.1}x)",
+            linear_ns / 1_000.0,
+            indexed_ns / 1_000.0
+        );
+        rows.push(FanoutRow {
+            records,
+            clients,
+            linear_ns,
+            indexed_ns,
+            speedup,
+        });
+    }
+    rows
+}
+
+fn write_rows(out: &mut String, rows: &[E2eRow]) {
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{ \"scheme\": \"{:?}\", \"points\": {}, \"wall_secs\": {:.3}, \
+             \"events\": {}, \"events_per_sec\": {:.0} }}",
+            r.scheme, r.points, r.wall_secs, r.events, r.events_per_sec
+        );
+        out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+}
+
+fn json(e2e: &[E2eRow], stress: &[E2eRow], fanout: &[FanoutRow], quick: bool) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"bench\": \"report_pipeline\",");
+    let _ = writeln!(out, "  \"quick\": {quick},");
+    let _ = writeln!(
+        out,
+        "  \"scale\": {{ \"figure\": \"fig05\", \"time_factor\": {}, \"threads\": 1 }},",
+        if quick { 0.01 } else { 0.05 }
+    );
+    out.push_str(BASELINE_BEFORE);
+    out.push_str("  \"e2e\": [\n");
+    write_rows(&mut out, e2e);
+    out.push_str("  ],\n");
+    out.push_str("  \"stress\": [\n");
+    write_rows(&mut out, stress);
+    out.push_str("  ],\n");
+    out.push_str("  \"fanout\": [\n");
+    for (i, r) in fanout.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{ \"records\": {}, \"clients\": {}, \"linear_us\": {:.1}, \
+             \"indexed_us\": {:.1}, \"speedup\": {:.1} }}",
+            r.records,
+            r.clients,
+            r.linear_ns / 1_000.0,
+            r.indexed_ns / 1_000.0,
+            r.speedup
+        );
+        out.push_str(if i + 1 < fanout.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1));
+
+    let e2e = bench_e2e(quick);
+    let stress = bench_stress(quick);
+    let fanout = bench_fanout(quick);
+    let body = json(&e2e, &stress, &fanout, quick);
+    match out_path {
+        Some(path) => {
+            std::fs::write(path, &body).expect("write bench json");
+            eprintln!("wrote {path}");
+        }
+        None => print!("{body}"),
+    }
+}

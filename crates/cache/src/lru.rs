@@ -259,10 +259,14 @@ impl LruCache {
     /// All entries as `(item, version)` pairs — the view the pure report
     /// algorithms consume.
     pub fn items(&self) -> Vec<(ItemId, SimTime)> {
-        self.map
-            .iter()
-            .map(|(&i, s)| (i, s.entry.version))
-            .collect()
+        self.items_iter().collect()
+    }
+
+    /// Borrowing form of [`LruCache::items`]: the same `(item, version)`
+    /// view without allocating. The per-report client hot path iterates
+    /// this directly against a shared report index.
+    pub fn items_iter(&self) -> impl Iterator<Item = (ItemId, SimTime)> + '_ {
+        self.map.iter().map(|(&i, s)| (i, s.entry.version))
     }
 
     /// Items currently in limbo.

@@ -3,7 +3,7 @@
 use crate::query::{PendingState, QueryOutcome, QueryState};
 use mobicache_cache::{EntryState, LruCache};
 use mobicache_model::{CheckingMode, ClientId, ItemId, Scheme, UplinkKind};
-use mobicache_reports::{AtDecision, BsDecision, ReportPayload, SigDecision};
+use mobicache_reports::{BsSelect, PreparedReport, ReportPayload, SigDecision};
 use mobicache_sim::SimTime;
 use std::collections::HashSet;
 
@@ -86,6 +86,9 @@ pub struct Client {
     query: Option<QueryState>,
     /// Stored combined signatures (SIG scheme).
     sig_baseline: Option<Vec<u64>>,
+    /// Reusable buffer for per-report stale item lists — always drained
+    /// back to empty before a handler returns.
+    stale_scratch: Vec<ItemId>,
     counters: ClientCounters,
 }
 
@@ -103,6 +106,7 @@ impl Client {
             disconnected_at: None,
             query: None,
             sig_baseline: None,
+            stale_scratch: Vec::new(),
             counters: ClientCounters::default(),
         }
     }
@@ -180,25 +184,61 @@ impl Client {
     }
 
     /// Processes a broadcast invalidation report.
+    ///
+    /// Compatibility form of [`Client::on_report_into`]: indexes the
+    /// report for this one client and allocates the action list. The
+    /// simulator threads one [`PreparedReport`] and one action buffer
+    /// through the whole broadcast fan-out instead.
     pub fn on_report(&mut self, now: SimTime, payload: &ReportPayload) -> Vec<ClientAction> {
-        assert!(self.connected, "report delivered to a disconnected client");
         let mut actions = Vec::new();
-        self.apply_report(now, payload, &mut actions);
-        self.tlb = payload.broadcast_at();
-        self.resolve_query(now, &mut actions);
+        self.on_report_into(now, &payload.prepare(), &mut actions);
         actions
+    }
+
+    /// Processes a broadcast invalidation report through a shared
+    /// [`PreparedReport`], appending the resulting actions to `actions`
+    /// (which is *not* cleared).
+    ///
+    /// The fan-out hot path: one report is applied by every connected
+    /// client, so with the index built once this pass is
+    /// `O(|cache| · log |report|)` and allocation-free (stale lists land
+    /// in a buffer owned by the client, actions in the caller's).
+    pub fn on_report_into(
+        &mut self,
+        now: SimTime,
+        prepared: &PreparedReport<'_>,
+        actions: &mut Vec<ClientAction>,
+    ) {
+        assert!(self.connected, "report delivered to a disconnected client");
+        self.apply_report(now, prepared, actions);
+        self.tlb = prepared.payload().broadcast_at();
+        self.resolve_query(now, actions);
     }
 
     /// Processes a downloaded data item (`version` = the update timestamp
     /// the delivered copy reflects).
+    ///
+    /// Compatibility form of [`Client::on_data_into`].
     pub fn on_data(&mut self, now: SimTime, item: ItemId, version: SimTime) -> Vec<ClientAction> {
-        self.cache.insert(item, version, now);
         let mut actions = Vec::new();
+        self.on_data_into(now, item, version, &mut actions);
+        actions
+    }
+
+    /// Processes a downloaded data item, appending the resulting actions
+    /// to `actions` (which is *not* cleared).
+    pub fn on_data_into(
+        &mut self,
+        now: SimTime,
+        item: ItemId,
+        version: SimTime,
+        actions: &mut Vec<ClientAction>,
+    ) {
+        self.cache.insert(item, version, now);
         if let Some(q) = &mut self.query {
             q.resolve(item, PendingState::WaitData, false);
         }
-        self.try_finish(now, &mut actions);
-        actions
+        self.try_finish(now, actions);
     }
 
     /// Opportunistically caches a data item overheard on the broadcast
@@ -221,12 +261,28 @@ impl Client {
 
     /// Processes a validity report (answer to a check request): `valid`
     /// lists the checked items that are still current as of `asof`.
+    ///
+    /// Compatibility form of [`Client::on_validity_into`].
     pub fn on_validity(
         &mut self,
         now: SimTime,
         asof: SimTime,
         valid: &[ItemId],
     ) -> Vec<ClientAction> {
+        let mut actions = Vec::new();
+        self.on_validity_into(now, asof, valid, &mut actions);
+        actions
+    }
+
+    /// Processes a validity report, appending the resulting actions to
+    /// `actions` (which is *not* cleared).
+    pub fn on_validity_into(
+        &mut self,
+        now: SimTime,
+        asof: SimTime,
+        valid: &[ItemId],
+        actions: &mut Vec<ClientAction>,
+    ) {
         let valid_set: HashSet<ItemId> = valid.iter().copied().collect();
         match self.cfg.checking_mode {
             CheckingMode::FullCache => {
@@ -268,7 +324,6 @@ impl Client {
             }
         }
         // Resolve query items that were waiting on this verdict.
-        let mut actions = Vec::new();
         if let Some(q) = &mut self.query {
             let waiting: Vec<ItemId> = q
                 .items
@@ -285,8 +340,7 @@ impl Client {
                 }
             }
         }
-        self.try_finish(now, &mut actions);
-        actions
+        self.try_finish(now, actions);
     }
 
     /// Processes a grouped-checking verdict (answer to a
@@ -294,6 +348,8 @@ impl Client {
     /// groups' items updated since the request's `Tlb`; `covered = false`
     /// means the retention window was exceeded and nothing can be
     /// salvaged.
+    ///
+    /// Compatibility form of [`Client::on_group_validity_into`].
     pub fn on_group_validity(
         &mut self,
         now: SimTime,
@@ -302,6 +358,20 @@ impl Client {
         stale: &[ItemId],
     ) -> Vec<ClientAction> {
         let mut actions = Vec::new();
+        self.on_group_validity_into(now, asof, covered, stale, &mut actions);
+        actions
+    }
+
+    /// Processes a grouped-checking verdict, appending the resulting
+    /// actions to `actions` (which is *not* cleared).
+    pub fn on_group_validity_into(
+        &mut self,
+        now: SimTime,
+        asof: SimTime,
+        covered: bool,
+        stale: &[ItemId],
+        actions: &mut Vec<ClientAction>,
+    ) {
         if !covered {
             if !self.cache.is_empty() {
                 self.counters.full_drops += 1;
@@ -334,8 +404,7 @@ impl Client {
                 }
             }
         }
-        self.try_finish(now, &mut actions);
-        actions
+        self.try_finish(now, actions);
     }
 
     fn enter_gap(&mut self, _now: SimTime) {
@@ -362,10 +431,12 @@ impl Client {
     fn apply_report(
         &mut self,
         now: SimTime,
-        payload: &ReportPayload,
+        prepared: &PreparedReport<'_>,
         actions: &mut Vec<ClientAction>,
     ) {
+        let payload = prepared.payload();
         let etlb = self.effective_tlb();
+        debug_assert!(self.stale_scratch.is_empty(), "scratch not drained");
         // A report vouches for the database state at its *broadcast* time,
         // not its delivery time — updates can land while the report is on
         // the air, so revalidating "as of delivery" would silently cover
@@ -396,8 +467,9 @@ impl Client {
         match payload {
             ReportPayload::Window(w) => {
                 // Provably stale entries always go, covered or not.
-                let stale = w.stale_items(self.cache.items());
-                self.cache.invalidate_many(stale);
+                let idx = prepared.window_index().expect("window report was prepared");
+                idx.stale_into(self.cache.items_iter(), &mut self.stale_scratch);
+                self.cache.invalidate_many(self.stale_scratch.drain(..));
                 if w.covers(etlb) {
                     self.resolve_gap();
                     self.cache.revalidate_all(report_asof);
@@ -406,50 +478,46 @@ impl Client {
                 }
             }
             ReportPayload::BitSeq(bs) => {
-                let cached_ids: Vec<ItemId> =
-                    self.cache.items().into_iter().map(|(i, _)| i).collect();
-                match bs.decide(etlb, cached_ids) {
-                    BsDecision::Clean => {
+                let idx = prepared.bs_index().expect("BS report was prepared");
+                let cached = self.cache.items_iter().map(|(i, _)| i);
+                match bs.decide_with(idx, etlb, cached, &mut self.stale_scratch) {
+                    BsSelect::Clean => {
                         self.resolve_gap();
                         self.cache.revalidate_all(report_asof);
                     }
-                    BsDecision::DropAll => {
+                    BsSelect::DropAll => {
                         self.gap = None;
                         if !self.cache.is_empty() {
                             self.counters.full_drops += 1;
                         }
                         self.cache.clear();
                     }
-                    BsDecision::Invalidate(stale) => {
-                        self.cache.invalidate_many(stale);
+                    BsSelect::Prefix(_) => {
+                        self.cache.invalidate_many(self.stale_scratch.drain(..));
                         self.resolve_gap();
                         self.cache.revalidate_all(report_asof);
                     }
                 }
             }
             ReportPayload::At(at) => {
-                let cached_ids: Vec<ItemId> =
-                    self.cache.items().into_iter().map(|(i, _)| i).collect();
-                match at.decide(etlb, cached_ids) {
-                    AtDecision::Invalidate(stale) => {
-                        self.cache.invalidate_many(stale);
-                        self.resolve_gap();
-                        self.cache.revalidate_all(report_asof);
+                let idx = prepared.at_index().expect("AT report was prepared");
+                let cached = self.cache.items_iter().map(|(i, _)| i);
+                if at.decide_with(idx, etlb, cached, &mut self.stale_scratch) {
+                    self.cache.invalidate_many(self.stale_scratch.drain(..));
+                    self.resolve_gap();
+                    self.cache.revalidate_all(report_asof);
+                } else {
+                    // Amnesic: nothing to salvage, ever.
+                    self.gap = None;
+                    if !self.cache.is_empty() {
+                        self.counters.full_drops += 1;
                     }
-                    AtDecision::NotCovered => {
-                        // Amnesic: nothing to salvage, ever.
-                        self.gap = None;
-                        if !self.cache.is_empty() {
-                            self.counters.full_drops += 1;
-                        }
-                        self.cache.clear();
-                    }
+                    self.cache.clear();
                 }
             }
             ReportPayload::Sig(sig, signer) => {
-                let cached_ids: Vec<ItemId> =
-                    self.cache.items().into_iter().map(|(i, _)| i).collect();
-                match sig.decide(signer, self.sig_baseline.as_deref(), cached_ids) {
+                let cached = self.cache.items_iter().map(|(i, _)| i);
+                match sig.decide(signer, self.sig_baseline.as_deref(), cached) {
                     SigDecision::NoBaseline => {
                         self.gap = None;
                         if !self.cache.is_empty() {

@@ -25,6 +25,7 @@ use mobicache_reports::ReportPayload;
 use mobicache_server::Server;
 use mobicache_sim::{Histogram, OnlineStats, Scheduler, SimRng, SimTime};
 use mobicache_workload::{GapKind, GapProcess, QueryGen, UpdateGen};
+use std::sync::Arc;
 
 /// Options orthogonal to the modelled system, built fluently:
 ///
@@ -106,8 +107,9 @@ enum Ev {
 
 /// Downlink message payloads.
 enum DownPayload {
-    /// Broadcast invalidation report.
-    Report(ReportPayload),
+    /// Broadcast invalidation report, shared with the server's report
+    /// cache (never copied per delivery).
+    Report(Arc<ReportPayload>),
     /// A data item for one client.
     Data { item: ItemId, dest: ClientId },
     /// A validity verdict for one client.
@@ -164,6 +166,9 @@ pub struct Simulation<'p> {
     snap_prev_secs: f64,
     /// Next interval snapshot index.
     snap_index: u32,
+    /// Reusable client-action buffer, threaded through every message
+    /// delivery so the hot paths never allocate an action list.
+    action_scratch: Vec<ClientAction>,
 }
 
 /// Builds and runs a simulation in one call.
@@ -267,6 +272,7 @@ impl<'p> Simulation<'p> {
             snap_prev: RunTotals::default(),
             snap_prev_secs: 0.0,
             snap_index: 0,
+            action_scratch: Vec::new(),
             sched,
             cfg: cfg.clone(),
             opts,
@@ -317,14 +323,14 @@ impl<'p> Simulation<'p> {
     }
 
     fn on_tick(&mut self, now: SimTime) {
-        let (report, decision) = self.server.build_report_observed(now);
+        let (report, decision) = self.server.build_report_shared(now);
         let kind = DownlinkKind::InvalidationReport {
             content_bits: report.size_bits(&self.sp),
         };
         let bits = kind.size_bits(&self.sp);
         if self.opts.probe.is_some() {
             let report_kind = ReportKind::of(&report);
-            let window_start_secs = match &report {
+            let window_start_secs = match &*report {
                 ReportPayload::Window(w) => Some(w.window_start.as_secs()),
                 _ => None,
             };
@@ -438,6 +444,10 @@ impl<'p> Simulation<'p> {
         }
         match delivered.msg {
             DownPayload::Report(report) => {
+                // Index the report once; every client of the fan-out
+                // shares it (the tentpole of the report pipeline).
+                let prepared = report.prepare();
+                let mut actions = std::mem::take(&mut self.action_scratch);
                 for i in 0..self.clients.len() {
                     if !self.clients[i].is_connected() {
                         continue; // dozing clients miss the broadcast
@@ -448,11 +458,12 @@ impl<'p> Simulation<'p> {
                     }
                     self.rx_bits += delivered.bits;
                     let before = self.pre_observe(i);
-                    let actions = self.clients[i].on_report(now, &report);
-                    self.process_actions(now, ClientId(i as u16), actions);
+                    self.clients[i].on_report_into(now, &prepared, &mut actions);
+                    self.process_actions(now, ClientId(i as u16), &mut actions);
                     self.post_observe(now, ClientId(i as u16), before);
                     self.check_consistency(i);
                 }
+                self.action_scratch = actions;
             }
             DownPayload::Data { item, dest } => {
                 // Delivered copies reflect the version current at delivery
@@ -461,8 +472,10 @@ impl<'p> Simulation<'p> {
                 let version = self.server.version(item);
                 self.rx_bits += delivered.bits;
                 let before = self.pre_observe(dest.index());
-                let actions = self.clients[dest.index()].on_data(now, item, version);
-                self.process_actions(now, dest, actions);
+                let mut actions = std::mem::take(&mut self.action_scratch);
+                self.clients[dest.index()].on_data_into(now, item, version, &mut actions);
+                self.process_actions(now, dest, &mut actions);
+                self.action_scratch = actions;
                 self.post_observe(now, dest, before);
                 self.check_consistency(dest.index());
                 // Snooping extension: the downlink is a broadcast medium,
@@ -484,8 +497,10 @@ impl<'p> Simulation<'p> {
                 }
                 self.rx_bits += delivered.bits;
                 let before = self.pre_observe(dest.index());
-                let actions = self.clients[dest.index()].on_validity(now, asof, &valid);
-                self.process_actions(now, dest, actions);
+                let mut actions = std::mem::take(&mut self.action_scratch);
+                self.clients[dest.index()].on_validity_into(now, asof, &valid, &mut actions);
+                self.process_actions(now, dest, &mut actions);
+                self.action_scratch = actions;
                 self.post_observe(now, dest, before);
                 self.check_consistency(dest.index());
             }
@@ -500,9 +515,16 @@ impl<'p> Simulation<'p> {
                 }
                 self.rx_bits += delivered.bits;
                 let before = self.pre_observe(dest.index());
-                let actions =
-                    self.clients[dest.index()].on_group_validity(now, asof, covered, &stale);
-                self.process_actions(now, dest, actions);
+                let mut actions = std::mem::take(&mut self.action_scratch);
+                self.clients[dest.index()].on_group_validity_into(
+                    now,
+                    asof,
+                    covered,
+                    &stale,
+                    &mut actions,
+                );
+                self.process_actions(now, dest, &mut actions);
+                self.action_scratch = actions;
                 self.post_observe(now, dest, before);
                 self.check_consistency(dest.index());
             }
@@ -581,8 +603,10 @@ impl<'p> Simulation<'p> {
         }
     }
 
-    fn process_actions(&mut self, now: SimTime, c: ClientId, actions: Vec<ClientAction>) {
-        for action in actions {
+    /// Applies (and drains) a client's pending actions; `actions` is
+    /// always left empty, ready for the next delivery.
+    fn process_actions(&mut self, now: SimTime, c: ClientId, actions: &mut Vec<ClientAction>) {
+        for action in actions.drain(..) {
             match action {
                 ClientAction::Uplink(kind) => {
                     let bits = kind.size_bits(&self.sp);

@@ -110,6 +110,59 @@ pub enum BsDecision {
     Invalidate(Vec<ItemId>),
 }
 
+/// The cache-independent part of the Figure-2 algorithm: which level (if
+/// any) covers a given `Tlb`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BsSelect {
+    /// No update since `Tlb`; the whole cache is valid.
+    Clean,
+    /// Even `B_n` is too recent; drop everything.
+    DropAll,
+    /// The smallest covering level marks this many most-recent items:
+    /// a cached item is stale iff its recency rank is below this.
+    Prefix(usize),
+}
+
+/// A build-once lookup index over a [`BitSequences`] report: each listed
+/// item's recency rank, sorted by item id. A cached item is stale at a
+/// selected level exactly when its rank is inside the level's prefix, so
+/// the per-client pass is `O(|cache| · log |recency|)` with no
+/// allocation — no per-client `HashSet` of the whole cache.
+#[derive(Clone, Debug)]
+pub struct BsIndex {
+    /// `(item, recency rank)`, sorted by item id.
+    by_id: Vec<(ItemId, u32)>,
+}
+
+impl BsIndex {
+    /// Builds the index: `O(|recency| · log |recency|)`, once per report.
+    pub fn build(report: &BitSequences) -> Self {
+        let mut by_id: Vec<(ItemId, u32)> = report
+            .recency
+            .iter()
+            .enumerate()
+            .map(|(rank, &(id, _))| (id, rank as u32))
+            .collect();
+        by_id.sort_unstable_by_key(|&(id, _)| id);
+        BsIndex { by_id }
+    }
+
+    /// The recency rank of `item` (0 = most recently updated), if listed.
+    #[inline]
+    pub fn rank(&self, item: ItemId) -> Option<u32> {
+        self.by_id
+            .binary_search_by_key(&item, |&(id, _)| id)
+            .ok()
+            .map(|pos| self.by_id[pos].1)
+    }
+
+    /// `true` when `item` is marked at a level of `prefix_len` "1"s.
+    #[inline]
+    pub fn is_marked(&self, item: ItemId, prefix_len: usize) -> bool {
+        self.rank(item).is_some_and(|r| (r as usize) < prefix_len)
+    }
+}
+
 impl BitSequences {
     /// The halving level geometry for a database of `n` items: prefix
     /// lengths `1, 2, …` doubling up to `n/2` (ordered smallest first).
@@ -204,16 +257,11 @@ impl BitSequences {
     where
         I: IntoIterator<Item = ItemId>,
     {
-        match self.latest_update {
-            None => return BsDecision::Clean,
-            Some(latest) if latest <= tlb => return BsDecision::Clean,
-            _ => {}
-        }
-        // Smallest level whose cut reaches back to tlb.
-        let Some(level) = self.levels.iter().find(|l| l.covers(tlb)) else {
-            return BsDecision::DropAll;
+        let prefix = match self.select(tlb) {
+            BsSelect::Clean => return BsDecision::Clean,
+            BsSelect::DropAll => return BsDecision::DropAll,
+            BsSelect::Prefix(p) => p,
         };
-        let prefix = level.prefix_len as usize;
         let marked: &[(ItemId, SimTime)] = &self.recency[..prefix.min(self.recency.len())];
         // O(cache + prefix): membership set over the (possibly large)
         // cache, then one scan of the marked prefix. Keeps the common
@@ -226,6 +274,54 @@ impl BitSequences {
             .filter(|id| cached_set.contains(id))
             .collect();
         BsDecision::Invalidate(stale)
+    }
+
+    /// The cache-independent half of [`BitSequences::decide`]: resolves
+    /// `Tlb` to Clean / DropAll / the smallest covering level's prefix
+    /// length. Shared across the whole fan-out — each client then only
+    /// tests its own cached items against the prefix via [`BsIndex`].
+    pub fn select(&self, tlb: SimTime) -> BsSelect {
+        match self.latest_update {
+            None => return BsSelect::Clean,
+            Some(latest) if latest <= tlb => return BsSelect::Clean,
+            _ => {}
+        }
+        // Smallest level whose cut reaches back to tlb.
+        match self.levels.iter().find(|l| l.covers(tlb)) {
+            Some(level) => BsSelect::Prefix(level.prefix_len as usize),
+            None => BsSelect::DropAll,
+        }
+    }
+
+    /// Builds the shared id→rank index for this report. Build once, apply
+    /// to every client of the broadcast fan-out.
+    pub fn index(&self) -> BsIndex {
+        BsIndex::build(self)
+    }
+
+    /// The fan-out form of [`BitSequences::decide`]: same verdict through
+    /// a prebuilt [`BsIndex`] (`idx` must be built from this report).
+    /// Under `Prefix`, the stale items are appended to `out` (not
+    /// cleared) in `cached` order; otherwise `out` is untouched.
+    pub fn decide_with<I>(
+        &self,
+        idx: &BsIndex,
+        tlb: SimTime,
+        cached: I,
+        out: &mut Vec<ItemId>,
+    ) -> BsSelect
+    where
+        I: IntoIterator<Item = ItemId>,
+    {
+        let sel = self.select(tlb);
+        if let BsSelect::Prefix(prefix) = sel {
+            for item in cached {
+                if idx.is_marked(item, prefix) {
+                    out.push(item);
+                }
+            }
+        }
+        sel
     }
 
     /// Report body size per the paper's formula: `2N + b_T · log₂N` bits
@@ -450,6 +546,30 @@ mod tests {
         let top = bs.levels.last().unwrap();
         assert_eq!(top.prefix_len, 8);
         assert_eq!(top.cut, Some(t(1000.0 - 8.0 * 10.0)));
+    }
+
+    #[test]
+    fn indexed_fanout_matches_decide() {
+        let bs = BitSequences::from_recency(t(2000.0), 16, recency(9));
+        let idx = bs.index();
+        let caches: [&[u32]; 4] = [&[0, 1, 5], &[0, 3, 5], &[4], &[9, 12]];
+        for (tlb, cached) in [(995.0, 0), (975.0, 1), (955.0, 2), (1500.0, 3), (900.0, 0)]
+            .map(|(tlb, ci)| (tlb, caches[ci]))
+        {
+            let items: Vec<ItemId> = cached.iter().map(|&i| ItemId(i)).collect();
+            let mut out = Vec::new();
+            let sel = bs.decide_with(&idx, t(tlb), items.iter().copied(), &mut out);
+            match bs.decide(t(tlb), items) {
+                BsDecision::Clean => assert_eq!(sel, BsSelect::Clean),
+                BsDecision::DropAll => assert_eq!(sel, BsSelect::DropAll),
+                BsDecision::Invalidate(mut stale) => {
+                    assert!(matches!(sel, BsSelect::Prefix(_)));
+                    stale.sort_unstable();
+                    out.sort_unstable();
+                    assert_eq!(out, stale, "tlb {tlb}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -27,8 +27,8 @@ pub mod payload;
 pub mod sig;
 pub mod window;
 
-pub use at::{AtDecision, AtReport};
-pub use bitseq::{BitSequences, BsDecision};
-pub use payload::ReportPayload;
+pub use at::{AtDecision, AtIndex, AtReport};
+pub use bitseq::{BitSequences, BsDecision, BsIndex, BsSelect};
+pub use payload::{PreparedReport, ReportPayload};
 pub use sig::{SigDecision, SigReport, Signer};
-pub use window::{WindowDecision, WindowReport};
+pub use window::{WindowDecision, WindowIndex, WindowReport};

@@ -95,19 +95,47 @@ impl UpdateLog {
     }
 
     /// Every item updated strictly after `since`, as `(item, ts)` pairs
-    /// (unordered).
-    pub fn updates_since(&self, since: SimTime) -> Vec<(ItemId, SimTime)> {
+    /// (ascending timestamp), without allocating: `O(log U + k)` for `k`
+    /// results. The allocation-free spine under [`UpdateLog::updates_since`]
+    /// and the scratch-buffer variant [`UpdateLog::updates_since_into`].
+    pub fn updates_since_iter(
+        &self,
+        since: SimTime,
+    ) -> impl Iterator<Item = (ItemId, SimTime)> + '_ {
         self.recency
             .range((Bound::Excluded((since, ItemId(u32::MAX))), Bound::Unbounded))
             .map(|&(ts, item)| (item, ts))
-            .collect()
     }
 
-    /// Number of items updated strictly after `since`.
+    /// Every item updated strictly after `since`, as `(item, ts)` pairs
+    /// (unordered): `O(log U + k)` plus one allocation for the result.
+    pub fn updates_since(&self, since: SimTime) -> Vec<(ItemId, SimTime)> {
+        self.updates_since_iter(since).collect()
+    }
+
+    /// Appends every item updated strictly after `since` to `out` (which
+    /// is *not* cleared): the scratch-buffer form of
+    /// [`UpdateLog::updates_since`] for callers that extract a window
+    /// every period and want to reuse one allocation.
+    pub fn updates_since_into(&self, since: SimTime, out: &mut Vec<(ItemId, SimTime)>) {
+        out.extend(self.updates_since_iter(since));
+    }
+
+    /// Number of items updated strictly after `since`: `O(log U + k)` —
+    /// the count walks the recency index, so callers that only compare the
+    /// count against a threshold should use
+    /// [`UpdateLog::count_since_capped`] to bound the walk.
     pub fn count_since(&self, since: SimTime) -> usize {
-        self.recency
-            .range((Bound::Excluded((since, ItemId(u32::MAX))), Bound::Unbounded))
-            .count()
+        self.updates_since_iter(since).count()
+    }
+
+    /// `min(count_since(since), cap + 1)`, stopping the index walk after
+    /// `cap + 1` entries: `O(log U + min(k, cap + 1))`. The adaptive
+    /// schemes test "at most `N/2` items updated after `Tlb`" per pending
+    /// `Tlb` every period; the cap keeps that test from scanning the whole
+    /// history when the `Tlb` is ancient.
+    pub fn count_since_capped(&self, since: SimTime, cap: usize) -> usize {
+        self.updates_since_iter(since).take(cap + 1).count()
     }
 
     /// Items ordered most recently updated first.
@@ -179,6 +207,37 @@ mod tests {
         log.apply_update(t(1.0), ItemId(3));
         let order: Vec<ItemId> = log.recency_desc().map(|(i, _)| i).collect();
         assert_eq!(order, vec![ItemId(5), ItemId(3)]);
+    }
+
+    #[test]
+    fn capped_count_matches_contract() {
+        let mut log = UpdateLog::new(100);
+        for i in 0..20u32 {
+            log.apply_update(t(1.0 + f64::from(i)), ItemId(i));
+        }
+        // The contract: count_since_capped(s, cap) == min(count_since(s), cap + 1),
+        // so `capped <= cap` decides `count <= cap` without a full walk.
+        for &(since, cap) in &[(0.0, 5), (0.0, 19), (0.0, 50), (10.0, 3), (25.0, 0)] {
+            let exact = log.count_since(t(since));
+            let capped = log.count_since_capped(t(since), cap);
+            assert_eq!(capped, exact.min(cap + 1), "since={since} cap={cap}");
+            assert_eq!(capped <= cap, exact <= cap, "threshold test must agree");
+        }
+    }
+
+    #[test]
+    fn scratch_extraction_appends_without_clearing() {
+        let mut log = UpdateLog::new(10);
+        log.apply_update(t(1.0), ItemId(1));
+        log.apply_update(t(2.0), ItemId(2));
+        let mut out = vec![(ItemId(9), t(99.0))];
+        log.updates_since_into(t(1.0), &mut out);
+        assert_eq!(out, vec![(ItemId(9), t(99.0)), (ItemId(2), t(2.0))]);
+        out.clear();
+        log.updates_since_into(t(0.0), &mut out);
+        let mut sorted = out.clone();
+        sorted.sort_unstable_by_key(|&(i, _)| i);
+        assert_eq!(sorted, log.updates_since(t(0.0)));
     }
 
     #[test]

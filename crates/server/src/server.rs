@@ -5,6 +5,7 @@ use mobicache_model::msg::SizeParams;
 use mobicache_model::{ItemId, Scheme};
 use mobicache_reports::{AtReport, BitSequences, ReportPayload, SigReport, Signer, WindowReport};
 use mobicache_sim::SimTime;
+use std::sync::Arc;
 
 /// Counters describing the server's behaviour over a run.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -93,6 +94,25 @@ pub struct GroupVerdict {
     pub stale: Vec<ItemId>,
 }
 
+/// A report built on a previous period, kept for reuse.
+///
+/// Between broadcasts with no intervening update the report's *content*
+/// is unchanged — only its timestamps move — so the server rebases the
+/// cached payload instead of re-extracting the window or rebuilding the
+/// bit sequences. Validity is keyed on [`UpdateLog::total_updates`] plus,
+/// for window reports, the history bound the records were extracted from.
+struct CachedReport {
+    payload: Arc<ReportPayload>,
+    /// `UpdateLog::total_updates` when the payload was built.
+    total_updates: u64,
+    /// Window reports: `records == updates_since(history_since)`.
+    history_since: SimTime,
+    /// Window reports: oldest record timestamp (`None` when empty). A
+    /// forward-moving window may only be reused while no cached record
+    /// falls out of it.
+    min_record: Option<SimTime>,
+}
+
 /// The stateless broadcast server.
 pub struct Server {
     scheme: Scheme,
@@ -109,6 +129,12 @@ pub struct Server {
     /// Grouped-checking parameters: `(group count, retention seconds)`.
     gcore: (u32, f64),
     counters: ServerCounters,
+    /// Most recently built report, reused across quiet periods.
+    cached_report: Option<CachedReport>,
+    /// Periods served by rebasing the cached report (observability only —
+    /// deliberately kept out of [`ServerCounters`] and the run metrics so
+    /// the cache cannot perturb result digests).
+    report_cache_hits: u64,
 }
 
 impl Server {
@@ -129,6 +155,8 @@ impl Server {
             combined,
             gcore: (64, 100.0 * window_secs),
             counters: ServerCounters::default(),
+            cached_report: None,
+            report_cache_hits: 0,
         }
     }
 
@@ -163,7 +191,7 @@ impl Server {
         }
         let mut stale = Vec::new();
         for &(group, tlb) in groups {
-            for (item, _) in self.log.updates_since(tlb) {
+            for (item, _) in self.log.updates_since_iter(tlb) {
                 if Self::group_of(item, group_count) == group {
                     stale.push(item);
                 }
@@ -197,6 +225,13 @@ impl Server {
     /// Behaviour counters.
     pub fn counters(&self) -> ServerCounters {
         self.counters
+    }
+
+    /// Broadcast periods served by rebasing the cached report instead of
+    /// rebuilding it. Observability only — not part of
+    /// [`ServerCounters`] or any run metric.
+    pub fn report_cache_hits(&self) -> u64 {
+        self.report_cache_hits
     }
 
     /// Applies one update transaction touching `items` at time `now`.
@@ -257,40 +292,150 @@ impl Server {
         SimTime::from_secs(now.as_secs() - self.window_secs)
     }
 
-    fn build_window(
-        &self,
+    /// A window report for the broadcast at `now`, served from the cache
+    /// when possible.
+    ///
+    /// The cached window is reusable iff no update has been applied since
+    /// it was built, its records were extracted from an equal-or-deeper
+    /// history bound, and none of them falls out of the requested bound —
+    /// then `records == updates_since(history_since)` still holds and only
+    /// the timestamps (and AAW dummy) need rebasing.
+    fn cached_window(
+        &mut self,
         now: SimTime,
         history_since: SimTime,
         dummy: Option<SimTime>,
-    ) -> WindowReport {
-        WindowReport {
-            broadcast_at: now,
-            window_start: self.window_start(now),
-            records: self.log.updates_since(history_since),
-            dummy,
+    ) -> Arc<ReportPayload> {
+        let total = self.log.total_updates();
+        let window_start = self.window_start(now);
+        let reusable = match &self.cached_report {
+            Some(c) if c.total_updates == total && c.history_since <= history_since => {
+                matches!(&*c.payload, ReportPayload::Window(_))
+                    && c.min_record.is_none_or(|ts| ts > history_since)
+            }
+            _ => false,
+        };
+        if reusable {
+            self.report_cache_hits += 1;
+            let cache = self.cached_report.as_mut().expect("reusable cache");
+            let mut payload = Arc::clone(&cache.payload);
+            let ReportPayload::Window(w) = Arc::make_mut(&mut payload) else {
+                unreachable!("reusable cache holds a window report");
+            };
+            w.broadcast_at = now;
+            w.window_start = window_start;
+            w.dummy = dummy;
+            cache.payload = Arc::clone(&payload);
+            cache.history_since = history_since;
+            return payload;
         }
+        let records = self.log.updates_since(history_since);
+        let min_record = records.iter().map(|&(_, ts)| ts).min();
+        let payload = Arc::new(ReportPayload::Window(WindowReport {
+            broadcast_at: now,
+            window_start,
+            records,
+            dummy,
+        }));
+        self.cached_report = Some(CachedReport {
+            payload: Arc::clone(&payload),
+            total_updates: total,
+            history_since,
+            min_record,
+        });
+        payload
     }
 
-    fn build_bs(&self, now: SimTime) -> BitSequences {
-        BitSequences::from_recency(now, self.log.db_size(), self.log.recency_desc())
+    /// A bit-sequences report for the broadcast at `now`, served from the
+    /// cache when possible. The structure depends only on the recency
+    /// index, so with no intervening update only `broadcast_at` moves.
+    fn cached_bs(&mut self, now: SimTime) -> Arc<ReportPayload> {
+        let total = self.log.total_updates();
+        let reusable = matches!(&self.cached_report,
+            Some(c) if c.total_updates == total && c.payload.is_bitseq());
+        if reusable {
+            self.report_cache_hits += 1;
+            let cache = self.cached_report.as_mut().expect("reusable cache");
+            let mut payload = Arc::clone(&cache.payload);
+            let ReportPayload::BitSeq(bs) = Arc::make_mut(&mut payload) else {
+                unreachable!("reusable cache holds a BS report");
+            };
+            bs.broadcast_at = now;
+            cache.payload = Arc::clone(&payload);
+            return payload;
+        }
+        let bs = BitSequences::from_recency(now, self.log.db_size(), self.log.recency_desc());
+        let payload = Arc::new(ReportPayload::BitSeq(bs));
+        self.cached_report = Some(CachedReport {
+            payload: Arc::clone(&payload),
+            total_updates: total,
+            history_since: SimTime::ZERO,
+            min_record: None,
+        });
+        payload
+    }
+
+    /// A signatures report for the broadcast at `now`, served from the
+    /// cache when possible (the combined signatures change only with
+    /// updates).
+    fn cached_sig(&mut self, now: SimTime) -> Arc<ReportPayload> {
+        let total = self.log.total_updates();
+        let reusable = matches!(&self.cached_report,
+            Some(c) if c.total_updates == total && matches!(&*c.payload, ReportPayload::Sig(..)));
+        if reusable {
+            self.report_cache_hits += 1;
+            let cache = self.cached_report.as_mut().expect("reusable cache");
+            let mut payload = Arc::clone(&cache.payload);
+            let ReportPayload::Sig(sig, _) = Arc::make_mut(&mut payload) else {
+                unreachable!("reusable cache holds a SIG report");
+            };
+            sig.broadcast_at = now;
+            cache.payload = Arc::clone(&payload);
+            return payload;
+        }
+        let payload = Arc::new(ReportPayload::Sig(
+            SigReport {
+                broadcast_at: now,
+                combined: self.combined.clone().expect("SIG state maintained"),
+            },
+            self.signer,
+        ));
+        self.cached_report = Some(CachedReport {
+            payload: Arc::clone(&payload),
+            total_updates: total,
+            history_since: SimTime::ZERO,
+            min_record: None,
+        });
+        payload
     }
 
     /// A pending `Tlb` is *eligible* for bit-sequence salvage when it
     /// falls outside the default window but within BS reach
     /// (`TS(B_n) ≤ Tlb ≤ T − w·L`, Figure 3). `TS(B_n) ≤ Tlb` is
-    /// equivalent to "at most `N/2` items updated after `Tlb`".
-    fn eligible_tlbs(&self, now: SimTime) -> Vec<SimTime> {
+    /// equivalent to "at most `N/2` items updated after `Tlb`". Returns
+    /// `(eligible count, oldest eligible Tlb)` without allocating; each
+    /// membership test walks the recency index at most `N/2 + 1` steps.
+    fn eligible_tlb_stats(&self, now: SimTime) -> (usize, Option<SimTime>) {
         let wstart = self.window_start(now);
         let half = (self.log.db_size() / 2) as usize;
-        self.pending_tlbs
-            .iter()
-            .copied()
-            .filter(|&tlb| tlb < wstart && self.log.count_since(tlb) <= half)
-            .collect()
+        let mut count = 0;
+        let mut oldest = None;
+        for &tlb in &self.pending_tlbs {
+            if tlb < wstart && self.log.count_since_capped(tlb, half) <= half {
+                count += 1;
+                if oldest.is_none_or(|o| tlb < o) {
+                    oldest = Some(tlb);
+                }
+            }
+        }
+        (count, oldest)
     }
 
     /// Builds the invalidation report for the broadcast at `now`,
     /// consuming the period's pending `Tlb`s.
+    ///
+    /// Compatibility form of [`Server::build_report_shared`]; it clones
+    /// the payload out of the shared handle.
     pub fn build_report(&mut self, now: SimTime) -> ReportPayload {
         self.build_report_observed(now).0
     }
@@ -302,70 +447,87 @@ impl Server {
         &mut self,
         now: SimTime,
     ) -> (ReportPayload, Option<AdaptiveDecision>) {
+        let (report, decision) = self.build_report_shared(now);
+        ((*report).clone(), decision)
+    }
+
+    /// Builds the invalidation report for the broadcast at `now` behind a
+    /// shared handle, consuming the period's pending `Tlb`s.
+    ///
+    /// This is the simulator's path: the returned [`Arc`] is delivered to
+    /// the whole broadcast fan-out without copying, and across quiet
+    /// periods (no update applied, same report kind and window reach) the
+    /// server rebases the previously built report instead of rebuilding
+    /// it — see [`Server::report_cache_hits`].
+    pub fn build_report_shared(
+        &mut self,
+        now: SimTime,
+    ) -> (Arc<ReportPayload>, Option<AdaptiveDecision>) {
         let mut decision = None;
         let report = match self.scheme {
             Scheme::TsNoCheck | Scheme::SimpleChecking | Scheme::Gcore => {
                 self.counters.window_reports += 1;
-                ReportPayload::Window(self.build_window(now, self.window_start(now), None))
+                self.cached_window(now, self.window_start(now), None)
             }
             Scheme::At => {
+                // Never cached: the covered interval (prev_broadcast, now]
+                // changes every period by construction.
                 self.counters.at_reports += 1;
                 let items = self
                     .log
-                    .updates_since(self.prev_broadcast)
-                    .into_iter()
+                    .updates_since_iter(self.prev_broadcast)
                     .map(|(item, _)| item)
                     .collect();
-                ReportPayload::At(AtReport {
+                Arc::new(ReportPayload::At(AtReport {
                     broadcast_at: now,
                     prev_broadcast: self.prev_broadcast,
                     items,
-                })
+                }))
             }
             Scheme::Bs => {
                 self.counters.bs_reports += 1;
-                ReportPayload::BitSeq(self.build_bs(now))
+                self.cached_bs(now)
             }
             Scheme::Sig => {
                 self.counters.sig_reports += 1;
-                ReportPayload::Sig(
-                    SigReport {
-                        broadcast_at: now,
-                        combined: self.combined.clone().expect("SIG state maintained"),
-                    },
-                    self.signer,
-                )
+                self.cached_sig(now)
             }
             Scheme::Afw => {
                 // Figure 3: broadcast BS iff some pending Tlb needs (and
                 // can use) more history than the window provides.
-                let eligible = self.eligible_tlbs(now);
-                match eligible.iter().copied().min() {
+                let (eligible, oldest) = self.eligible_tlb_stats(now);
+                match oldest {
                     Some(oldest) => {
                         self.counters.bs_reports += 1;
-                        let bs = self.build_bs(now);
-                        let window = self.build_window(now, self.window_start(now), None);
+                        let payload = self.cached_bs(now);
+                        let ReportPayload::BitSeq(bs) = &*payload else {
+                            unreachable!("cached_bs returns a BS report");
+                        };
+                        // The window report is priced without being built:
+                        // its size is a pure function of its record count.
+                        let window_records = self.log.count_since(self.window_start(now)) as f64;
                         decision = Some(AdaptiveDecision::AfwBsTrigger {
-                            eligible: eligible.len(),
+                            eligible,
                             oldest_tlb_secs: oldest.as_secs(),
                             bs_bits: bs.size_bits(&self.params),
-                            window_bits: window.size_bits(&self.params),
+                            window_bits: self.params.timestamp_bits
+                                + window_records * self.params.record_bits(),
                         });
-                        ReportPayload::BitSeq(bs)
+                        payload
                     }
                     None => {
                         self.counters.window_reports += 1;
-                        ReportPayload::Window(self.build_window(now, self.window_start(now), None))
+                        self.cached_window(now, self.window_start(now), None)
                     }
                 }
             }
             Scheme::Aaw => {
                 // Figure 4: between BS and the enlarged window, pick the
                 // smaller report.
-                match self.eligible_tlbs(now).into_iter().min() {
+                match self.eligible_tlb_stats(now).1 {
                     None => {
                         self.counters.window_reports += 1;
-                        ReportPayload::Window(self.build_window(now, self.window_start(now), None))
+                        self.cached_window(now, self.window_start(now), None)
                     }
                     Some(min_tlb) => {
                         let n_enlarged = self.log.count_since(min_tlb) as f64 + 1.0;
@@ -381,7 +543,7 @@ impl Server {
                                 enlarged_bits,
                                 bs_bits,
                             });
-                            ReportPayload::Window(self.build_window(now, min_tlb, Some(min_tlb)))
+                            self.cached_window(now, min_tlb, Some(min_tlb))
                         } else {
                             self.counters.bs_reports += 1;
                             decision = Some(AdaptiveDecision::AawBsFallback {
@@ -389,7 +551,7 @@ impl Server {
                                 enlarged_bits,
                                 bs_bits,
                             });
-                            ReportPayload::BitSeq(self.build_bs(now))
+                            self.cached_bs(now)
                         }
                     }
                 }
@@ -724,6 +886,160 @@ mod tests {
         versions[1] = t(9.0);
         versions[30] = t(5.0);
         assert_eq!(sig.combined, signer.combine(&versions));
+    }
+
+    #[test]
+    fn quiet_period_reuses_cached_window() {
+        let mut s = server(Scheme::SimpleChecking, 100);
+        s.apply_txn(t(900.0), &[ItemId(2)]);
+        let (first, _) = s.build_report_shared(t(1000.0));
+        assert_eq!(s.report_cache_hits(), 0);
+        // No update before the next broadcast and the record stays inside
+        // the window: the report is rebased, not rebuilt.
+        let (second, _) = s.build_report_shared(t(1020.0));
+        assert_eq!(s.report_cache_hits(), 1);
+        let (ReportPayload::Window(a), ReportPayload::Window(b)) = (&*first, &*second) else {
+            panic!("expected windows");
+        };
+        assert_eq!(a.records, b.records, "content must be byte-identical");
+        assert_eq!(b.broadcast_at, t(1020.0));
+        assert_eq!(b.window_start, t(820.0));
+        assert_eq!(
+            s.counters().window_reports,
+            2,
+            "hits still count as broadcasts"
+        );
+    }
+
+    #[test]
+    fn update_between_periods_invalidates_cached_window() {
+        let mut s = server(Scheme::SimpleChecking, 100);
+        s.apply_txn(t(900.0), &[ItemId(2)]);
+        s.build_report_shared(t(1000.0));
+        s.apply_txn(t(1010.0), &[ItemId(5)]);
+        let (r, _) = s.build_report_shared(t(1020.0));
+        assert_eq!(s.report_cache_hits(), 0);
+        let ReportPayload::Window(w) = &*r else {
+            panic!("expected window")
+        };
+        let mut records = w.records.clone();
+        records.sort_unstable();
+        assert_eq!(
+            records,
+            vec![(ItemId(2), t(900.0)), (ItemId(5), t(1010.0))],
+            "fresh update must appear — a cached report may never go stale"
+        );
+    }
+
+    #[test]
+    fn record_falling_out_of_window_rebuilds() {
+        let mut s = server(Scheme::SimpleChecking, 100);
+        s.apply_txn(t(900.0), &[ItemId(2)]);
+        s.build_report_shared(t(1000.0)); // window [800, 1000] holds the record
+        let (r, _) = s.build_report_shared(t(1150.0)); // window [950, 1150] does not
+        assert_eq!(s.report_cache_hits(), 0);
+        let ReportPayload::Window(w) = &*r else {
+            panic!("expected window")
+        };
+        assert!(w.records.is_empty(), "expired record must drop out");
+        // The rebuilt (empty) report is itself cacheable again.
+        let (r, _) = s.build_report_shared(t(1170.0));
+        assert_eq!(s.report_cache_hits(), 1);
+        let ReportPayload::Window(w) = &*r else {
+            panic!("expected window")
+        };
+        assert!(w.records.is_empty());
+        assert_eq!(w.broadcast_at, t(1170.0));
+    }
+
+    #[test]
+    fn quiet_period_reuses_cached_bs() {
+        let mut s = server(Scheme::Bs, 64);
+        s.apply_txn(t(10.0), &[ItemId(3)]);
+        let (first, _) = s.build_report_shared(t(20.0));
+        let (second, _) = s.build_report_shared(t(40.0));
+        assert_eq!(s.report_cache_hits(), 1);
+        let (ReportPayload::BitSeq(a), ReportPayload::BitSeq(b)) = (&*first, &*second) else {
+            panic!("expected BS");
+        };
+        assert_eq!(a.levels, b.levels);
+        assert_eq!(a.recency, b.recency);
+        assert_eq!(b.broadcast_at, t(40.0));
+        // The rebased report still invalidates the stale client.
+        match b.decide(t(5.0), vec![ItemId(3)]) {
+            BsDecision::Invalidate(stale) => assert_eq!(stale, vec![ItemId(3)]),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn adaptive_kind_change_invalidates_cache() {
+        let mut s = server(Scheme::Afw, 100);
+        s.apply_txn(t(500.0), &[ItemId(1)]);
+        s.build_report_shared(t(1000.0)); // plain window, cached
+        s.receive_tlb(t(300.0)); // eligible: next period switches to BS
+        let (r, _) = s.build_report_shared(t(1020.0));
+        assert!(r.is_bitseq());
+        assert_eq!(
+            s.report_cache_hits(),
+            0,
+            "window cache must not serve a BS period"
+        );
+        // And back: the BS cache must not serve the window period either.
+        let (r, _) = s.build_report_shared(t(1040.0));
+        assert!(matches!(&*r, ReportPayload::Window(_)));
+        assert_eq!(s.report_cache_hits(), 0);
+    }
+
+    #[test]
+    fn aaw_enlargement_needs_deeper_history_than_cache() {
+        let mut s = server(Scheme::Aaw, 10_000);
+        s.apply_txn(t(900.0), &[ItemId(1), ItemId(2)]);
+        s.build_report_shared(t(1000.0)); // plain window [800, 1000]
+        s.receive_tlb(t(300.0));
+        let (r, _) = s.build_report_shared(t(1020.0));
+        assert_eq!(
+            s.report_cache_hits(),
+            0,
+            "enlarged window reaches past the cache"
+        );
+        let ReportPayload::Window(w) = &*r else {
+            panic!("expected enlarged window")
+        };
+        assert_eq!(w.dummy, Some(t(300.0)));
+        assert_eq!(w.records.len(), 2, "history back to the Tlb");
+        // The following quiet plain-window period: records at t=900 stay
+        // inside the new window [840, 1040], so the enlarged report is
+        // reused — with the AAW dummy stripped.
+        let (r, _) = s.build_report_shared(t(1040.0));
+        assert_eq!(s.report_cache_hits(), 1);
+        let ReportPayload::Window(w) = &*r else {
+            panic!("expected plain window")
+        };
+        assert_eq!(w.dummy, None, "plain period must not inherit the AAW dummy");
+        assert_eq!(w.records.len(), 2);
+    }
+
+    #[test]
+    fn quiet_period_reuses_cached_sig() {
+        let mut s = server(Scheme::Sig, 50);
+        s.apply_txn(t(5.0), &[ItemId(1)]);
+        let (first, _) = s.build_report_shared(t(20.0));
+        let (second, _) = s.build_report_shared(t(40.0));
+        assert_eq!(s.report_cache_hits(), 1);
+        let (ReportPayload::Sig(a, _), ReportPayload::Sig(b, _)) = (&*first, &*second) else {
+            panic!("expected SIG");
+        };
+        assert_eq!(a.combined, b.combined);
+        assert_eq!(b.broadcast_at, t(40.0));
+        // An update invalidates: the combined signatures must move.
+        s.apply_txn(t(45.0), &[ItemId(1)]);
+        let (third, _) = s.build_report_shared(t(60.0));
+        assert_eq!(s.report_cache_hits(), 1);
+        let ReportPayload::Sig(c, _) = &*third else {
+            panic!("expected SIG")
+        };
+        assert_ne!(b.combined, c.combined);
     }
 
     #[test]

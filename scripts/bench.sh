@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Report-pipeline benchmark: runs the `report_pipeline` bin and writes
+# `BENCH_report_pipeline.json` at the repo root.
+#
+#   ./scripts/bench.sh            # full settings (best-of-3 e2e/stress,
+#                                 # best-of-30 fan-out passes)
+#   ./scripts/bench.sh --quick    # reduced iterations, used by ci.sh
+#
+# The JSON has four sections:
+#   baseline_before — pre-refactor numbers frozen into the binary
+#   e2e             — fig05 sweep per scheme: wall secs, events, events/sec
+#   stress          — heavy single-run config per scheme (40k db, 200 clients)
+#   fanout          — one report x 200 clients: linear vs shared-index, speedup
+#
+# Criterion micro-benchmarks (including the `fanout` group) live
+# separately under `cargo bench -p mobicache-bench --bench micro`.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="BENCH_report_pipeline.json"
+
+echo "==> cargo build --release -p mobicache-bench"
+cargo build --release -p mobicache-bench
+
+echo "==> report_pipeline $* --out $OUT"
+./target/release/report_pipeline "$@" --out "$OUT"
+
+echo "wrote $OUT"

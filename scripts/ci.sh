@@ -20,4 +20,9 @@ cargo build --release
 echo "==> tier-1: cargo test -q"
 cargo test -q
 
+echo "==> bench smoke: report_pipeline --quick"
+cargo build --release -p mobicache-bench
+./target/release/report_pipeline --quick --out /tmp/bench_smoke.json
+rm -f /tmp/bench_smoke.json
+
 echo "CI OK"

@@ -1,0 +1,88 @@
+//! Golden-digest determinism pin: every scheme's full `Metrics` must be
+//! bit-identical run-to-run *and* across refactors of the report
+//! pipeline.
+//!
+//! `Metrics` is a plain scalar struct with a derived `Debug`
+//! implementation, so the `Debug` rendering is a faithful, stable
+//! serialization of every counter and statistic a run produces. We hash
+//! that rendering with FNV-1a and compare against digests captured at
+//! the commit that introduced this test. Any change to simulation
+//! behaviour — event ordering, RNG consumption, report contents, cache
+//! decisions — shows up here as a digest mismatch.
+//!
+//! If a digest changes *intentionally* (a new metric field, a modelling
+//! fix), rerun with `--nocapture`, copy the printed table, and justify
+//! the change in the commit message. Perf-only refactors must NOT move
+//! these digests: that is the point of the test.
+
+use mobicache::{run, RunOptions};
+use mobicache_model::{Scheme, SimConfig};
+
+/// FNV-1a, 64-bit: tiny, dependency-free and stable across platforms.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1_0000_01b3);
+    }
+    h
+}
+
+fn short_cfg(scheme: Scheme) -> SimConfig {
+    let mut cfg = SimConfig::paper_default().with_scheme(scheme);
+    cfg.sim_time_secs = 4_000.0;
+    cfg.db_size = 1_000;
+    cfg.num_clients = 20;
+    cfg
+}
+
+fn digest_for(scheme: Scheme) -> u64 {
+    let result = run(&short_cfg(scheme), RunOptions::default()).expect("valid config");
+    fnv1a(format!("{:?}", result.metrics).as_bytes())
+}
+
+/// Digests of `{metrics:?}` per scheme at the pinned config
+/// (seed = paper default, 4 000 s horizon, N = 1 000, 20 clients).
+const GOLDEN: &[(Scheme, u64)] = &[
+    (Scheme::TsNoCheck, 0xf018_ec90_613a_4b2c),
+    (Scheme::SimpleChecking, 0x9069_7022_7c90_e968),
+    (Scheme::Gcore, 0xa20f_2dd2_9208_1c34),
+    (Scheme::At, 0xdf87_7c3f_e68d_664a),
+    (Scheme::Bs, 0xeb8c_88d5_afb8_3795),
+    (Scheme::Sig, 0xc2e5_3299_c959_f0cb),
+    (Scheme::Afw, 0xaee1_0c7b_cbc7_9e9f),
+    (Scheme::Aaw, 0x2043_4e6a_3754_e199),
+];
+
+#[test]
+fn golden_digest_per_scheme() {
+    let mut mismatches = Vec::new();
+    for &(scheme, expected) in GOLDEN {
+        let got = digest_for(scheme);
+        println!("    (Scheme::{scheme:?}, {got:#018x}),");
+        if got != expected {
+            mismatches.push((scheme, expected, got));
+        }
+    }
+    assert!(
+        mismatches.is_empty(),
+        "metrics digests moved (behaviour changed): {mismatches:#x?}"
+    );
+}
+
+#[test]
+fn golden_table_covers_every_scheme() {
+    for scheme in Scheme::ALL {
+        assert!(
+            GOLDEN.iter().any(|&(s, _)| s == scheme),
+            "{scheme:?} missing from GOLDEN"
+        );
+    }
+    assert_eq!(GOLDEN.len(), Scheme::ALL.len());
+}
+
+/// The digest itself must be reproducible: two runs, one digest.
+#[test]
+fn digest_is_stable_across_runs() {
+    assert_eq!(digest_for(Scheme::Aaw), digest_for(Scheme::Aaw));
+}
