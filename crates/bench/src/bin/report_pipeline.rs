@@ -1,7 +1,7 @@
 //! End-to-end report-pipeline benchmark: the numbers behind
 //! `BENCH_report_pipeline.json`.
 //!
-//! Three sections:
+//! Four sections:
 //!
 //! * **e2e** — the `fig05` sweep (one scheme per run, single worker
 //!   thread, smoke horizon) for BS, AAW and simple checking: wall
@@ -13,10 +13,16 @@
 //! * **fanout** — the tick fan-out micro-benchmark: one window report ×
 //!   many clients, comparing the legacy per-item linear scan against the
 //!   shared sorted index built once per broadcast.
+//! * **scaling** — the sharded-engine sweep: clients × worker threads
+//!   for the full simulation, measuring how the deterministic fan-out
+//!   shards scale. `host_cores` is recorded alongside: with a single
+//!   hardware core, threads > 1 exercise concurrency (the determinism
+//!   contract) without parallel speedup.
 //!
 //! Run via `scripts/bench.sh`, which writes the JSON to the repo root.
 //! `--quick` shrinks every section for the CI smoke step; `--out PATH`
-//! writes the JSON file (otherwise it goes to stdout).
+//! writes the JSON file (otherwise it goes to stdout); `--threads N`
+//! runs the e2e/stress sections with `N` engine worker threads.
 
 use mobicache::{run, RunOptions};
 use mobicache_experiments::figures::fig05;
@@ -115,12 +121,12 @@ fn stress_cfg(scheme: Scheme, quick: bool) -> SimConfig {
     cfg
 }
 
-fn bench_stress(quick: bool) -> Vec<E2eRow> {
+fn bench_stress(quick: bool, threads: u32) -> Vec<E2eRow> {
     let schemes = [Scheme::Bs, Scheme::Aaw, Scheme::SimpleChecking];
     let reps = if quick { 1 } else { 3 };
     let mut rows = Vec::new();
     for scheme in schemes {
-        let cfg = stress_cfg(scheme, quick);
+        let cfg = stress_cfg(scheme, quick).with_threads(threads);
         let mut best_wall = f64::INFINITY;
         let mut events = 0u64;
         for _ in 0..reps {
@@ -228,6 +234,69 @@ fn bench_fanout(quick: bool) -> Vec<FanoutRow> {
     rows
 }
 
+struct ScalingRow {
+    clients: u16,
+    threads: u32,
+    wall_secs: f64,
+    events: u64,
+    events_per_sec: f64,
+    speedup_vs_1t: f64,
+}
+
+/// The sharded engine under a fan-out-dominated load (AAW, frequent
+/// updates): every broadcast tick applies a report to every connected
+/// client, which is exactly the phase the worker shards parallelise.
+/// Sweeps the client population × thread count and reports each cell's
+/// speedup against its own threads=1 row.
+fn bench_scaling(quick: bool) -> Vec<ScalingRow> {
+    let client_counts: &[u16] = if quick {
+        &[100, 1_000]
+    } else {
+        &[100, 1_000, 10_000]
+    };
+    let thread_counts: &[u32] = if quick { &[1, 2] } else { &[1, 2, 4, 8] };
+    let mut rows = Vec::new();
+    for &clients in client_counts {
+        let mut base_wall = f64::NAN;
+        for &threads in thread_counts {
+            let mut cfg = SimConfig::paper_default()
+                .with_scheme(Scheme::Aaw)
+                .with_threads(threads);
+            cfg.sim_time_secs = if quick { 250.0 } else { 1_000.0 };
+            cfg.db_size = 10_000;
+            cfg.num_clients = clients;
+            cfg.mean_update_interarrival_secs = 5.0;
+            let reps = if quick { 1 } else { 2 };
+            let mut best_wall = f64::INFINITY;
+            let mut events = 0u64;
+            for _ in 0..reps {
+                let started = Instant::now();
+                let result = run(&cfg, RunOptions::default()).expect("scaling config validates");
+                best_wall = best_wall.min(started.elapsed().as_secs_f64());
+                events = result.metrics.events_processed;
+            }
+            if threads == 1 {
+                base_wall = best_wall;
+            }
+            let speedup = base_wall / best_wall;
+            eprintln!(
+                "scaling {clients}c x {threads}t: {best_wall:.3}s wall, {events} events \
+                 ({:.0} ev/s, {speedup:.2}x vs 1t)",
+                events as f64 / best_wall
+            );
+            rows.push(ScalingRow {
+                clients,
+                threads,
+                wall_secs: best_wall,
+                events,
+                events_per_sec: events as f64 / best_wall,
+                speedup_vs_1t: speedup,
+            });
+        }
+    }
+    rows
+}
+
 fn write_rows(out: &mut String, rows: &[E2eRow]) {
     for (i, r) in rows.iter().enumerate() {
         let _ = write!(
@@ -240,11 +309,21 @@ fn write_rows(out: &mut String, rows: &[E2eRow]) {
     }
 }
 
-fn json(e2e: &[E2eRow], stress: &[E2eRow], fanout: &[FanoutRow], quick: bool) -> String {
+fn json(
+    e2e: &[E2eRow],
+    stress: &[E2eRow],
+    fanout: &[FanoutRow],
+    scaling: &[ScalingRow],
+    quick: bool,
+    engine_threads: u32,
+) -> String {
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut out = String::new();
     out.push_str("{\n");
     let _ = writeln!(out, "  \"bench\": \"report_pipeline\",");
     let _ = writeln!(out, "  \"quick\": {quick},");
+    let _ = writeln!(out, "  \"host_cores\": {host_cores},");
+    let _ = writeln!(out, "  \"engine_threads\": {engine_threads},");
     let _ = writeln!(
         out,
         "  \"scale\": {{ \"figure\": \"fig05\", \"time_factor\": {}, \"threads\": 1 }},",
@@ -271,7 +350,28 @@ fn json(e2e: &[E2eRow], stress: &[E2eRow], fanout: &[FanoutRow], quick: bool) ->
         );
         out.push_str(if i + 1 < fanout.len() { ",\n" } else { "\n" });
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("  ],\n");
+    out.push_str("  \"scaling\": {\n");
+    let _ = writeln!(
+        out,
+        "    \"note\": \"full AAW simulation, clients x engine worker threads; \
+         speedup_vs_1t compares against the same population single-threaded. \
+         With host_cores = 1 the shards interleave on one core, so ~1.0x is \
+         the expected ceiling and the column verifies overhead, not speedup; \
+         values above 1.0x on such hosts are run-ordering warm-up artifacts.\","
+    );
+    let _ = writeln!(out, "    \"scheme\": \"Aaw\",");
+    out.push_str("    \"rows\": [\n");
+    for (i, r) in scaling.iter().enumerate() {
+        let _ = write!(
+            out,
+            "      {{ \"clients\": {}, \"threads\": {}, \"wall_secs\": {:.3}, \
+             \"events\": {}, \"events_per_sec\": {:.0}, \"speedup_vs_1t\": {:.2} }}",
+            r.clients, r.threads, r.wall_secs, r.events, r.events_per_sec, r.speedup_vs_1t
+        );
+        out.push_str(if i + 1 < scaling.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("    ]\n  }\n}\n");
     out
 }
 
@@ -282,11 +382,17 @@ fn main() {
         .iter()
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1));
+    let engine_threads: u32 = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .map_or(1, |v| v.parse().expect("--threads takes a number"));
 
     let e2e = bench_e2e(quick);
-    let stress = bench_stress(quick);
+    let stress = bench_stress(quick, engine_threads);
     let fanout = bench_fanout(quick);
-    let body = json(&e2e, &stress, &fanout, quick);
+    let scaling = bench_scaling(quick);
+    let body = json(&e2e, &stress, &fanout, &scaling, quick, engine_threads);
     match out_path {
         Some(path) => {
             std::fs::write(path, &body).expect("write bench json");

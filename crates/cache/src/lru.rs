@@ -2,7 +2,8 @@
 
 use mobicache_model::ItemId;
 use mobicache_sim::SimTime;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 
 /// Validity of a cached entry.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -26,16 +27,57 @@ pub struct CacheEntry {
     pub state: EntryState,
 }
 
+/// Sentinel slot index for list ends.
+const NIL: u32 = u32::MAX;
+
+/// One resident entry plus its intrusive recency links (slab indices).
 struct Slot {
+    item: ItemId,
     entry: CacheEntry,
-    seq: u64,
+    /// Towards the MRU end (`NIL` at the head).
+    prev: u32,
+    /// Towards the LRU end (`NIL` at the tail).
+    next: u32,
 }
+
+/// Deterministic multiply-mix hasher for the compact item table. Item ids
+/// are dense small integers, so one multiply-xor round spreads them fine;
+/// a fixed hasher also keeps the table's behaviour identical run to run.
+#[derive(Default)]
+pub struct IdHasher(u64);
+
+impl Hasher for IdHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u64(u64::from(b));
+        }
+    }
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.write_u64(u64::from(v));
+    }
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        let mut z = self.0 ^ v;
+        z = z.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        self.0 = z ^ (z >> 29);
+    }
+}
+
+type IdBuildHasher = BuildHasherDefault<IdHasher>;
 
 /// A fixed-capacity LRU cache of data items.
 ///
-/// Recency order is maintained with a sequence counter plus an ordered
-/// index (`O(log n)` per touch), which is plenty for caches of a few
-/// thousand entries and keeps the implementation obviously correct.
+/// Entries live in a dense slab (`Vec<Slot>`, never longer than the
+/// capacity) threaded by an intrusive doubly-linked recency list, with a
+/// compact item table mapping ids to slab positions. Touch, insert,
+/// evict and invalidate are all `O(1)` with zero allocation after the
+/// first fill — the per-report client pass iterates the slab directly.
 ///
 /// ```
 /// use mobicache_cache::LruCache;
@@ -58,9 +100,13 @@ struct Slot {
 /// ```
 pub struct LruCache {
     capacity: usize,
-    map: HashMap<ItemId, Slot>,
-    order: BTreeMap<u64, ItemId>,
-    next_seq: u64,
+    slots: Vec<Slot>,
+    /// Compact item table: id → slab position.
+    index: HashMap<ItemId, u32, IdBuildHasher>,
+    /// Most recently used slot (`NIL` when empty).
+    head: u32,
+    /// Least recently used slot (`NIL` when empty).
+    tail: u32,
     evictions: u64,
 }
 
@@ -73,9 +119,10 @@ impl LruCache {
         assert!(capacity > 0, "cache capacity must be at least 1");
         LruCache {
             capacity,
-            map: HashMap::with_capacity(capacity),
-            order: BTreeMap::new(),
-            next_seq: 0,
+            slots: Vec::with_capacity(capacity),
+            index: HashMap::with_capacity_and_hasher(capacity, IdBuildHasher::default()),
+            head: NIL,
+            tail: NIL,
             evictions: 0,
         }
     }
@@ -87,12 +134,12 @@ impl LruCache {
 
     /// Current number of entries (valid + limbo).
     pub fn len(&self) -> usize {
-        self.map.len()
+        self.slots.len()
     }
 
     /// `true` when the cache holds nothing.
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.slots.is_empty()
     }
 
     /// Number of entries evicted so far by capacity pressure.
@@ -100,13 +147,77 @@ impl LruCache {
         self.evictions
     }
 
-    fn touch(&mut self, item: ItemId) {
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        if let Some(slot) = self.map.get_mut(&item) {
-            self.order.remove(&slot.seq);
-            slot.seq = seq;
-            self.order.insert(seq, item);
+    /// Detaches slot `i` from the recency list (the slot stays in the
+    /// slab).
+    #[inline]
+    fn unlink(&mut self, i: u32) {
+        let (prev, next) = {
+            let s = &self.slots[i as usize];
+            (s.prev, s.next)
+        };
+        if prev != NIL {
+            self.slots[prev as usize].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slots[next as usize].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    /// Links slot `i` at the MRU end.
+    #[inline]
+    fn push_front(&mut self, i: u32) {
+        let old_head = self.head;
+        {
+            let s = &mut self.slots[i as usize];
+            s.prev = NIL;
+            s.next = old_head;
+        }
+        if old_head != NIL {
+            self.slots[old_head as usize].prev = i;
+        } else {
+            self.tail = i;
+        }
+        self.head = i;
+    }
+
+    /// Moves slot `i` to the MRU end — the O(1) touch.
+    #[inline]
+    fn touch(&mut self, i: u32) {
+        if self.head == i {
+            return;
+        }
+        self.unlink(i);
+        self.push_front(i);
+    }
+
+    /// Removes slot `i` entirely: unlink, drop from the item table, and
+    /// keep the slab dense by swapping the last slot into the hole (its
+    /// links and table entry are rewired).
+    fn remove_slot(&mut self, i: u32) {
+        self.unlink(i);
+        self.index.remove(&self.slots[i as usize].item);
+        let last = (self.slots.len() - 1) as u32;
+        self.slots.swap_remove(i as usize);
+        if i != last {
+            let (item, prev, next) = {
+                let s = &self.slots[i as usize];
+                (s.item, s.prev, s.next)
+            };
+            *self.index.get_mut(&item).expect("moved slot indexed") = i;
+            if prev != NIL {
+                self.slots[prev as usize].next = i;
+            } else {
+                self.head = i;
+            }
+            if next != NIL {
+                self.slots[next as usize].prev = i;
+            } else {
+                self.tail = i;
+            }
         }
     }
 
@@ -115,60 +226,58 @@ impl LruCache {
     /// indistinguishable from a miss to the query path — the copy must
     /// not be used).
     pub fn get_valid(&mut self, item: ItemId) -> Option<CacheEntry> {
-        match self.map.get(&item) {
-            Some(slot) if slot.entry.state == EntryState::Valid => {
-                let entry = slot.entry;
-                self.touch(item);
-                Some(entry)
-            }
-            _ => None,
+        let i = *self.index.get(&item)?;
+        let entry = self.slots[i as usize].entry;
+        if entry.state != EntryState::Valid {
+            return None;
         }
+        self.touch(i);
+        Some(entry)
     }
 
     /// Peeks at an entry (any state) without touching recency.
     pub fn peek(&self, item: ItemId) -> Option<&CacheEntry> {
-        self.map.get(&item).map(|s| &s.entry)
+        let i = *self.index.get(&item)?;
+        Some(&self.slots[i as usize].entry)
     }
 
     /// Inserts (or replaces) an item just fetched from the server,
     /// evicting the least recently used entry if the cache is full.
     /// The new entry is `Valid` with the given version.
     pub fn insert(&mut self, item: ItemId, version: SimTime, now: SimTime) {
-        if !self.map.contains_key(&item) && self.map.len() == self.capacity {
-            // Evict the least recently used entry.
-            let (&oldest_seq, &victim) = self
-                .order
-                .iter()
-                .next()
-                .expect("cache full but order empty");
-            self.order.remove(&oldest_seq);
-            self.map.remove(&victim);
+        let entry = CacheEntry {
+            version,
+            validated_at: now,
+            state: EntryState::Valid,
+        };
+        if let Some(&i) = self.index.get(&item) {
+            self.slots[i as usize].entry = entry;
+            self.touch(i);
+            return;
+        }
+        if self.slots.len() == self.capacity {
+            let victim = self.tail;
+            debug_assert_ne!(victim, NIL, "cache full but list empty");
+            self.remove_slot(victim);
             self.evictions += 1;
         }
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        if let Some(old) = self.map.insert(
+        let i = self.slots.len() as u32;
+        self.slots.push(Slot {
             item,
-            Slot {
-                entry: CacheEntry {
-                    version,
-                    validated_at: now,
-                    state: EntryState::Valid,
-                },
-                seq,
-            },
-        ) {
-            self.order.remove(&old.seq);
-        }
-        self.order.insert(seq, item);
+            entry,
+            prev: NIL,
+            next: NIL,
+        });
+        self.push_front(i);
+        self.index.insert(item, i);
     }
 
     /// Drops a single entry (invalidation). Returns `true` if it was
     /// present.
     pub fn invalidate(&mut self, item: ItemId) -> bool {
-        match self.map.remove(&item) {
-            Some(slot) => {
-                self.order.remove(&slot.seq);
+        match self.index.get(&item) {
+            Some(&i) => {
+                self.remove_slot(i);
                 true
             }
             None => false,
@@ -186,13 +295,15 @@ impl LruCache {
     /// Drops the entire cache (the `TS` no-checking path after a long
     /// disconnection).
     pub fn clear(&mut self) {
-        self.map.clear();
-        self.order.clear();
+        self.slots.clear();
+        self.index.clear();
+        self.head = NIL;
+        self.tail = NIL;
     }
 
     /// Marks every entry limbo (validity unknown after reconnection).
     pub fn mark_all_limbo(&mut self) {
-        for slot in self.map.values_mut() {
+        for slot in &mut self.slots {
             slot.entry.state = EntryState::Limbo;
         }
     }
@@ -201,7 +312,7 @@ impl LruCache {
     /// ones were dropped by a covering report) — the `tc_j ← T_i` step of
     /// the Figure-1 client algorithm. Limbo entries become valid again.
     pub fn revalidate_all(&mut self, now: SimTime) {
-        for slot in self.map.values_mut() {
+        for slot in &mut self.slots {
             slot.entry.state = EntryState::Valid;
             slot.entry.validated_at = now;
         }
@@ -209,29 +320,31 @@ impl LruCache {
 
     /// Salvages limbo entries given a validity verdict per item: entries
     /// for which `is_valid` returns `false` are dropped, the rest become
-    /// valid as of `now`. Valid entries are untouched. Returns
-    /// `(salvaged, dropped)` counts.
+    /// valid as of `now`. Valid entries are untouched. Allocation-free:
+    /// a single forward walk over the slab (removals swap the unvisited
+    /// last slot into the hole). Returns `(salvaged, dropped)` counts.
     pub fn salvage_limbo<F>(&mut self, now: SimTime, mut is_valid: F) -> (usize, usize)
     where
         F: FnMut(ItemId) -> bool,
     {
-        let limbo: Vec<ItemId> = self
-            .map
-            .iter()
-            .filter(|(_, s)| s.entry.state == EntryState::Limbo)
-            .map(|(&i, _)| i)
-            .collect();
         let mut salvaged = 0;
         let mut dropped = 0;
-        for item in limbo {
-            if is_valid(item) {
-                let slot = self.map.get_mut(&item).expect("just listed");
+        let mut i = 0;
+        while i < self.slots.len() {
+            let slot = &mut self.slots[i];
+            if slot.entry.state != EntryState::Limbo {
+                i += 1;
+                continue;
+            }
+            if is_valid(slot.item) {
                 slot.entry.state = EntryState::Valid;
                 slot.entry.validated_at = now;
                 salvaged += 1;
+                i += 1;
             } else {
-                self.invalidate(item);
+                self.remove_slot(i as u32);
                 dropped += 1;
+                // The swapped-in slot (if any) is unvisited; stay at `i`.
             }
         }
         (salvaged, dropped)
@@ -242,57 +355,94 @@ impl LruCache {
     /// verified. Valid entries and absent items are untouched. Returns
     /// `true` if the entry was limbo and got processed.
     pub fn salvage_item(&mut self, item: ItemId, valid: bool, now: SimTime) -> bool {
-        match self.map.get_mut(&item) {
-            Some(slot) if slot.entry.state == EntryState::Limbo => {
-                if valid {
-                    slot.entry.state = EntryState::Valid;
-                    slot.entry.validated_at = now;
-                } else {
-                    self.invalidate(item);
-                }
-                true
-            }
-            _ => false,
+        let Some(&i) = self.index.get(&item) else {
+            return false;
+        };
+        let entry = &mut self.slots[i as usize].entry;
+        if entry.state != EntryState::Limbo {
+            return false;
         }
+        if valid {
+            entry.state = EntryState::Valid;
+            entry.validated_at = now;
+        } else {
+            self.remove_slot(i);
+        }
+        true
     }
 
-    /// All entries as `(item, version)` pairs — the view the pure report
-    /// algorithms consume.
-    pub fn items(&self) -> Vec<(ItemId, SimTime)> {
-        self.items_iter().collect()
+    /// Drops every limbo entry (the adaptive give-up path), returning how
+    /// many went. Allocation-free slab walk.
+    pub fn drop_limbo(&mut self) -> usize {
+        let mut dropped = 0;
+        let mut i = 0;
+        while i < self.slots.len() {
+            if self.slots[i].entry.state == EntryState::Limbo {
+                self.remove_slot(i as u32);
+                dropped += 1;
+            } else {
+                i += 1;
+            }
+        }
+        dropped
     }
 
-    /// Borrowing form of [`LruCache::items`]: the same `(item, version)`
-    /// view without allocating. The per-report client hot path iterates
-    /// this directly against a shared report index.
+    /// All entries as `(item, version)` pairs, without allocating — the
+    /// view the pure report algorithms consume. Iterates in slab order
+    /// (an implementation detail; callers must not rely on it).
     pub fn items_iter(&self) -> impl Iterator<Item = (ItemId, SimTime)> + '_ {
-        self.map.iter().map(|(&i, s)| (i, s.entry.version))
+        self.slots.iter().map(|s| (s.item, s.entry.version))
     }
 
-    /// Items currently in limbo.
-    pub fn limbo_items(&self) -> Vec<ItemId> {
-        self.map
+    /// All entries with their full state, without allocating (the
+    /// consistency oracle's view).
+    pub fn entries_iter(&self) -> impl Iterator<Item = (ItemId, &CacheEntry)> + '_ {
+        self.slots.iter().map(|s| (s.item, &s.entry))
+    }
+
+    /// Items currently in limbo, without allocating.
+    pub fn limbo_iter(&self) -> impl Iterator<Item = ItemId> + '_ {
+        self.slots
             .iter()
-            .filter(|(_, s)| s.entry.state == EntryState::Limbo)
-            .map(|(&i, _)| i)
-            .collect()
+            .filter(|s| s.entry.state == EntryState::Limbo)
+            .map(|s| s.item)
     }
 
     /// `true` when any entry is in limbo.
     pub fn has_limbo(&self) -> bool {
-        self.map
-            .values()
+        self.slots
+            .iter()
             .any(|s| s.entry.state == EntryState::Limbo)
     }
 
     /// Internal-consistency check used by tests and debug assertions.
+    ///
+    /// # Panics
+    /// Panics if the slab, the item table and the recency list disagree.
     pub fn check_invariants(&self) {
-        assert!(self.map.len() <= self.capacity, "over capacity");
-        assert_eq!(self.map.len(), self.order.len(), "index out of sync");
-        for (&seq, item) in &self.order {
-            let slot = self.map.get(item).expect("order references missing item");
-            assert_eq!(slot.seq, seq, "stale sequence for {item:?}");
+        assert!(self.slots.len() <= self.capacity, "over capacity");
+        assert_eq!(self.slots.len(), self.index.len(), "index out of sync");
+        for (&item, &i) in &self.index {
+            assert_eq!(
+                self.slots[i as usize].item, item,
+                "table points {item:?} at a slot holding another item"
+            );
         }
+        // Walk the recency list head→tail: every slot exactly once, with
+        // mutually consistent links.
+        let mut seen = 0usize;
+        let mut prev = NIL;
+        let mut cur = self.head;
+        while cur != NIL {
+            let s = &self.slots[cur as usize];
+            assert_eq!(s.prev, prev, "broken back-link at slot {cur}");
+            assert!(seen <= self.slots.len(), "recency list cycles");
+            prev = cur;
+            cur = s.next;
+            seen += 1;
+        }
+        assert_eq!(prev, self.tail, "tail out of sync");
+        assert_eq!(seen, self.slots.len(), "recency list misses slots");
     }
 }
 
@@ -344,13 +494,26 @@ mod tests {
     }
 
     #[test]
+    fn reinsert_refreshes_recency() {
+        let mut c = LruCache::new(2);
+        c.insert(ItemId(1), t(1.0), t(1.0));
+        c.insert(ItemId(2), t(1.0), t(2.0));
+        // Re-inserting 1 makes 2 the LRU victim.
+        c.insert(ItemId(1), t(3.0), t(3.0));
+        c.insert(ItemId(3), t(4.0), t(4.0));
+        assert!(c.peek(ItemId(2)).is_none(), "LRU entry evicted");
+        assert!(c.peek(ItemId(1)).is_some());
+        c.check_invariants();
+    }
+
+    #[test]
     fn limbo_entries_do_not_answer_queries() {
         let mut c = LruCache::new(2);
         c.insert(ItemId(1), t(1.0), t(1.0));
         c.mark_all_limbo();
         assert!(c.get_valid(ItemId(1)).is_none());
         assert!(c.has_limbo());
-        assert_eq!(c.limbo_items(), vec![ItemId(1)]);
+        assert_eq!(c.limbo_iter().collect::<Vec<_>>(), vec![ItemId(1)]);
         assert_eq!(c.len(), 1, "limbo keeps its slot");
     }
 
@@ -402,6 +565,20 @@ mod tests {
     }
 
     #[test]
+    fn drop_limbo_removes_exactly_the_limbo_entries() {
+        let mut c = LruCache::new(4);
+        c.insert(ItemId(1), t(1.0), t(1.0));
+        c.insert(ItemId(2), t(1.0), t(1.0));
+        c.mark_all_limbo();
+        c.insert(ItemId(3), t(2.0), t(2.0)); // fresh, valid
+        assert_eq!(c.drop_limbo(), 2);
+        assert_eq!(c.len(), 1);
+        assert!(c.peek(ItemId(3)).is_some());
+        assert!(!c.has_limbo());
+        c.check_invariants();
+    }
+
+    #[test]
     fn clear_empties_everything() {
         let mut c = LruCache::new(4);
         c.insert(ItemId(1), t(1.0), t(1.0));
@@ -419,6 +596,26 @@ mod tests {
         c.insert(ItemId(1), t(30.0), t(30.0));
         let e = c.get_valid(ItemId(1)).expect("fresh copy valid");
         assert_eq!(e.version, t(30.0));
+    }
+
+    #[test]
+    fn eviction_order_survives_interior_removals() {
+        // Exercise the swap_remove rewiring: delete from the middle, then
+        // check the LRU victim order is still oldest-first.
+        let mut c = LruCache::new(4);
+        for i in 1..=4 {
+            c.insert(ItemId(i), t(f64::from(i)), t(f64::from(i)));
+        }
+        c.invalidate(ItemId(2)); // interior removal swaps slot 3 into 1
+        c.check_invariants();
+        c.get_valid(ItemId(1)); // 1 touched; LRU order now 3, 4, 1
+        c.insert(ItemId(5), t(9.0), t(9.0));
+        c.insert(ItemId(6), t(9.5), t(9.5)); // evicts 3
+        assert!(c.peek(ItemId(3)).is_none(), "oldest untouched entry went");
+        assert!(c.peek(ItemId(4)).is_some());
+        assert!(c.peek(ItemId(1)).is_some());
+        assert_eq!(c.evictions(), 1);
+        c.check_invariants();
     }
 
     #[test]

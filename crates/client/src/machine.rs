@@ -423,7 +423,7 @@ impl Client {
     fn resolve_gap(&mut self) {
         if self.gap.take().is_some() {
             // Whatever is still cached survived the covering report.
-            let kept = self.cache.limbo_items().len();
+            let kept = self.cache.limbo_iter().count();
             self.counters.salvaged += kept as u64;
         }
     }
@@ -570,8 +570,7 @@ impl Client {
                     // number of groups touched, not the cache size.
                     let mut groups: Vec<(u32, f64)> = self
                         .cache
-                        .items()
-                        .into_iter()
+                        .items_iter()
                         .map(|(item, _)| item.0 % self.cfg.gcore_groups)
                         .collect::<std::collections::BTreeSet<u32>>()
                         .into_iter()
@@ -608,8 +607,7 @@ impl Client {
                 {
                     let entries: Vec<(ItemId, f64)> = self
                         .cache
-                        .items()
-                        .into_iter()
+                        .items_iter()
                         .map(|(i, v)| (i, v.as_secs()))
                         .collect();
                     actions.push(ClientAction::Uplink(UplinkKind::CheckRequest { entries }));
@@ -644,9 +642,8 @@ impl Client {
                         // unsalvageable.
                         let grace = 2.0 * self.cfg.broadcast_period_secs;
                         if report_built_at.as_secs() >= sent_at.as_secs() + grace {
-                            let dropped = self.cache.limbo_items();
-                            self.counters.limbo_dropped += dropped.len() as u64;
-                            self.cache.invalidate_many(dropped);
+                            let dropped = self.cache.drop_limbo();
+                            self.counters.limbo_dropped += dropped as u64;
                             self.gap = None;
                         }
                     }

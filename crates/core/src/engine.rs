@@ -21,7 +21,7 @@ use mobicache_client::{Client, ClientAction, ClientConfig, ClientCounters};
 use mobicache_model::msg::{DownlinkKind, SizeParams, UplinkKind, CLASS_CHECK, CLASS_REPORT};
 use mobicache_model::{ClientId, ConfigError, DownlinkTopology, ItemId, SimConfig};
 use mobicache_net::Channel;
-use mobicache_reports::ReportPayload;
+use mobicache_reports::{PreparedReport, ReportPayload};
 use mobicache_server::Server;
 use mobicache_sim::{Histogram, OnlineStats, Scheduler, SimRng, SimTime};
 use mobicache_workload::{GapKind, GapProcess, QueryGen, UpdateGen};
@@ -129,6 +129,115 @@ enum DownPayload {
 
 type UpPayload = (ClientId, UplinkKind);
 
+/// Shard-local scratch for the parallel tick phases. Workers append
+/// here and nowhere else; the engine replays the contents serially in
+/// client-index order.
+#[derive(Default)]
+struct ShardScratch {
+    /// Actions appended by this shard's clients, in client-index order.
+    actions: Vec<ClientAction>,
+    /// One record per client that processed the message.
+    outcomes: Vec<ShardOutcome>,
+}
+
+/// What one client's parallel report application produced: how many
+/// actions it appended to its shard's buffer, plus (when a probe is
+/// attached) the counter state captured just before, so the serial
+/// merge emits exactly the probe events the serial loop would.
+struct ShardOutcome {
+    client: usize,
+    actions: u32,
+    before: Option<(ClientCounters, u64)>,
+}
+
+/// Phase-1 worker for the report fan-out: applies one prepared report
+/// to a contiguous client range. Touches nothing but the clients
+/// themselves and the shard's own scratch — no scheduler, channel, RNG
+/// or stats access — which is what makes the fan-out embarrassingly
+/// parallel and the merged result bit-identical to the serial engine.
+fn run_report_shard(
+    now: SimTime,
+    clients: &mut [Client],
+    deliver: &[bool],
+    prepared: &PreparedReport<'_>,
+    probing: bool,
+    scratch: &mut ShardScratch,
+) {
+    for (client, &hears) in clients.iter_mut().zip(deliver) {
+        if !hears {
+            continue;
+        }
+        let before = probing.then(|| (client.counters(), client.cache().evictions()));
+        let start = scratch.actions.len();
+        client.on_report_into(now, prepared, &mut scratch.actions);
+        scratch.outcomes.push(ShardOutcome {
+            client: client.id().index(),
+            actions: (scratch.actions.len() - start) as u32,
+            before,
+        });
+    }
+}
+
+/// Phase-1 worker for broadcast snooping: overheard items only touch
+/// each client's own cache, so no scratch is needed at all.
+fn run_snoop_shard(
+    now: SimTime,
+    clients: &mut [Client],
+    deliver: &[bool],
+    item: ItemId,
+    version: SimTime,
+) {
+    for (client, &hears) in clients.iter_mut().zip(deliver) {
+        if hears {
+            client.on_snooped_data(now, item, version);
+        }
+    }
+}
+
+/// Splits the client population into `shards.len()` contiguous
+/// index-range chunks and runs `work` on each, one worker thread per
+/// chunk (the first chunk runs on the calling thread). With one shard
+/// this degenerates to a plain serial call with no spawn overhead.
+fn fan_out_shards<W>(clients: &mut [Client], deliver: &[bool], shards: &mut [ShardScratch], work: W)
+where
+    W: Fn(&mut [Client], &[bool], &mut ShardScratch) + Sync,
+{
+    if clients.is_empty() {
+        return;
+    }
+    let threads = shards.len().min(clients.len()).max(1);
+    if threads == 1 {
+        work(clients, deliver, &mut shards[0]);
+        return;
+    }
+    let chunk = clients.len().div_ceil(threads);
+    std::thread::scope(|s| {
+        let work = &work;
+        let mut rest_c = clients;
+        let mut rest_d = deliver;
+        let mut local: Option<(&mut [Client], &[bool], &mut ShardScratch)> = None;
+        for shard in shards.iter_mut().take(threads) {
+            if rest_c.is_empty() {
+                break;
+            }
+            let take = chunk.min(rest_c.len());
+            let (c, rc) = rest_c.split_at_mut(take);
+            let (d, rd) = rest_d.split_at(take);
+            rest_c = rc;
+            rest_d = rd;
+            match local {
+                None => local = Some((c, d, shard)),
+                Some(_) => {
+                    s.spawn(move || work(c, d, shard));
+                }
+            }
+        }
+        if let Some((c, d, shard)) = local {
+            work(c, d, shard);
+        }
+    });
+}
+
 /// A fully wired simulation, ready to run.
 pub struct Simulation<'p> {
     cfg: SimConfig,
@@ -169,6 +278,12 @@ pub struct Simulation<'p> {
     /// Reusable client-action buffer, threaded through every message
     /// delivery so the hot paths never allocate an action list.
     action_scratch: Vec<ClientAction>,
+    /// Reusable per-client delivery mask for the broadcast phases.
+    deliver_scratch: Vec<bool>,
+    /// One scratch per worker thread (`shards.len()` is the resolved
+    /// thread count); reused across ticks so steady state allocates
+    /// nothing.
+    shards: Vec<ShardScratch>,
 }
 
 /// Builds and runs a simulation in one call.
@@ -222,11 +337,21 @@ impl<'p> Simulation<'p> {
             SimTime::from_secs(update_gen.next_interarrival(&mut rng_update)),
             Ev::UpdateArrival,
         );
+        // One wake-up per client in one batch: a single heap reserve,
+        // and the same sequence numbers `num_clients` individual calls
+        // would hand out (the FIFO tie-break contract).
         let think = mobicache_sim::Exp::with_mean(cfg.mean_think_secs);
-        for c in 0..cfg.num_clients {
+        sched.schedule_batch((0..cfg.num_clients).map(|c| {
             let first = think.sample(&mut rng_clients[c as usize]);
-            sched.schedule(SimTime::from_secs(first), Ev::QueryArrival(ClientId(c)));
+            (SimTime::from_secs(first), Ev::QueryArrival(ClientId(c)))
+        }));
+
+        let threads = match cfg.threads {
+            0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+            n => n as usize,
         }
+        .min(cfg.num_clients as usize)
+        .max(1);
 
         let downlinks = match cfg.downlink_topology {
             DownlinkTopology::Shared => vec![Channel::new(cfg.downlink_bps)],
@@ -273,6 +398,8 @@ impl<'p> Simulation<'p> {
             snap_prev_secs: 0.0,
             snap_index: 0,
             action_scratch: Vec::new(),
+            deliver_scratch: Vec::new(),
+            shards: (0..threads).map(|_| ShardScratch::default()).collect(),
             sched,
             cfg: cfg.clone(),
             opts,
@@ -447,9 +574,15 @@ impl<'p> Simulation<'p> {
                 // Index the report once; every client of the fan-out
                 // shares it (the tentpole of the report pipeline).
                 let prepared = report.prepare();
-                let mut actions = std::mem::take(&mut self.action_scratch);
-                for i in 0..self.clients.len() {
-                    if !self.clients[i].is_connected() {
+                // Phase 0 (serial): decide who hears this broadcast.
+                // Loss coins and the rx-bits accumulation stay in
+                // client-index order, so the RNG stream and the float
+                // addition order match the serial engine bit for bit.
+                let mut deliver = std::mem::take(&mut self.deliver_scratch);
+                deliver.clear();
+                deliver.resize(self.clients.len(), false);
+                for (i, client) in self.clients.iter().enumerate() {
+                    if !client.is_connected() {
                         continue; // dozing clients miss the broadcast
                     }
                     if self.cfg.p_report_loss > 0.0 && self.rng_loss.coin(self.cfg.p_report_loss) {
@@ -457,13 +590,40 @@ impl<'p> Simulation<'p> {
                         continue; // fading: this client misses the report
                     }
                     self.rx_bits += delivered.bits;
-                    let before = self.pre_observe(i);
-                    self.clients[i].on_report_into(now, &prepared, &mut actions);
-                    self.process_actions(now, ClientId(i as u16), &mut actions);
-                    self.post_observe(now, ClientId(i as u16), before);
-                    self.check_consistency(i);
+                    deliver[i] = true;
                 }
-                self.action_scratch = actions;
+                // Phase 1 (parallel): each shard applies the report to
+                // its contiguous client range, touching only its own
+                // clients and scratch.
+                let probing = self.opts.probe.is_some();
+                let mut shards = std::mem::take(&mut self.shards);
+                for sh in &mut shards {
+                    sh.actions.clear();
+                    sh.outcomes.clear();
+                }
+                fan_out_shards(&mut self.clients, &deliver, &mut shards, |cl, dl, sh| {
+                    run_report_shard(now, cl, dl, &prepared, probing, sh);
+                });
+                // Phase 2 (serial merge, client-index order): replay
+                // each client's actions and observations exactly as the
+                // serial loop interleaved them — the scheduler, the
+                // channels, the stats and the per-client RNG streams
+                // are only touched here.
+                for shard in &mut shards {
+                    let ShardScratch { actions, outcomes } = shard;
+                    let mut acts = actions.drain(..);
+                    for o in outcomes.drain(..) {
+                        let c = ClientId(o.client as u16);
+                        for _ in 0..o.actions {
+                            let action = acts.next().expect("shard recorded action count");
+                            self.apply_action(now, c, action);
+                        }
+                        self.post_observe(now, c, o.before);
+                        self.check_consistency(o.client);
+                    }
+                }
+                self.shards = shards;
+                self.deliver_scratch = deliver;
             }
             DownPayload::Data { item, dest } => {
                 // Delivered copies reflect the version current at delivery
@@ -480,15 +640,30 @@ impl<'p> Simulation<'p> {
                 self.check_consistency(dest.index());
                 // Snooping extension: the downlink is a broadcast medium,
                 // so every other connected client overhears the item.
+                // Same three-phase split as the report fan-out, minus
+                // the merge: snooped items produce no actions.
                 if self.cfg.snoop_broadcasts {
-                    for i in 0..self.clients.len() {
-                        if i == dest.index() || !self.clients[i].is_connected() {
+                    let mut deliver = std::mem::take(&mut self.deliver_scratch);
+                    deliver.clear();
+                    deliver.resize(self.clients.len(), false);
+                    for (i, client) in self.clients.iter().enumerate() {
+                        if i == dest.index() || !client.is_connected() {
                             continue;
                         }
                         self.rx_bits += delivered.bits;
-                        self.clients[i].on_snooped_data(now, item, version);
-                        self.check_consistency(i);
+                        deliver[i] = true;
                     }
+                    let mut shards = std::mem::take(&mut self.shards);
+                    fan_out_shards(&mut self.clients, &deliver, &mut shards, |cl, dl, _| {
+                        run_snoop_shard(now, cl, dl, item, version);
+                    });
+                    self.shards = shards;
+                    for (i, &hears) in deliver.iter().enumerate() {
+                        if hears {
+                            self.check_consistency(i);
+                        }
+                    }
+                    self.deliver_scratch = deliver;
                 }
             }
             DownPayload::Validity { dest, asof, valid } => {
@@ -607,54 +782,62 @@ impl<'p> Simulation<'p> {
     /// always left empty, ready for the next delivery.
     fn process_actions(&mut self, now: SimTime, c: ClientId, actions: &mut Vec<ClientAction>) {
         for action in actions.drain(..) {
-            match action {
-                ClientAction::Uplink(kind) => {
-                    let bits = kind.size_bits(&self.sp);
-                    let class = kind.class();
-                    self.tx_bits += bits;
-                    let completion = self.uplink.send(now, bits, class, (c, kind));
-                    if let Some(comp) = completion {
-                        self.sched.schedule(comp.at, Ev::UplinkDone(comp.token));
-                    }
+            self.apply_action(now, c, action);
+        }
+    }
+
+    /// Applies one client action to the shared simulation state. Every
+    /// scheduler, channel, stats and RNG touch a client triggers funnels
+    /// through here, in client-index order — the serial half of the
+    /// sharded fan-out's determinism argument.
+    fn apply_action(&mut self, now: SimTime, c: ClientId, action: ClientAction) {
+        match action {
+            ClientAction::Uplink(kind) => {
+                let bits = kind.size_bits(&self.sp);
+                let class = kind.class();
+                self.tx_bits += bits;
+                let completion = self.uplink.send(now, bits, class, (c, kind));
+                if let Some(comp) = completion {
+                    self.sched.schedule(comp.at, Ev::UplinkDone(comp.token));
                 }
-                ClientAction::QueryDone(outcome) => {
-                    let latency = outcome.completed_at - outcome.issued_at;
-                    self.latency.record(latency);
-                    self.latency_hist.record(latency);
-                    self.emit(
-                        now,
-                        ProbeEvent::QueryResolved {
-                            client: c,
-                            latency_secs: latency,
-                            hits: outcome.hits,
-                            misses: outcome.misses,
-                        },
-                    );
-                    // §4: the gap after a completion is a think period or,
-                    // with probability p, a disconnection.
-                    let gap = self.gap_proc.sample(&mut self.rng_clients[c.index()]);
-                    match gap.kind {
-                        GapKind::Think => {
-                            self.sched
-                                .schedule_in(gap.duration_secs, Ev::QueryArrival(c));
-                        }
-                        GapKind::Disconnect => {
-                            self.disconnections += 1;
-                            self.clients[c.index()].disconnect(now);
-                            self.emit(
-                                now,
-                                ProbeEvent::Disconnect {
-                                    client: c,
-                                    for_secs: gap.duration_secs,
-                                },
-                            );
-                            // Reconnect is scheduled before the query at
-                            // the same instant; FIFO tie-breaking delivers
-                            // it first.
-                            self.sched.schedule_in(gap.duration_secs, Ev::Reconnect(c));
-                            self.sched
-                                .schedule_in(gap.duration_secs, Ev::QueryArrival(c));
-                        }
+            }
+            ClientAction::QueryDone(outcome) => {
+                let latency = outcome.completed_at - outcome.issued_at;
+                self.latency.record(latency);
+                self.latency_hist.record(latency);
+                self.emit(
+                    now,
+                    ProbeEvent::QueryResolved {
+                        client: c,
+                        latency_secs: latency,
+                        hits: outcome.hits,
+                        misses: outcome.misses,
+                    },
+                );
+                // §4: the gap after a completion is a think period or,
+                // with probability p, a disconnection.
+                let gap = self.gap_proc.sample(&mut self.rng_clients[c.index()]);
+                match gap.kind {
+                    GapKind::Think => {
+                        self.sched
+                            .schedule_in(gap.duration_secs, Ev::QueryArrival(c));
+                    }
+                    GapKind::Disconnect => {
+                        self.disconnections += 1;
+                        self.clients[c.index()].disconnect(now);
+                        self.emit(
+                            now,
+                            ProbeEvent::Disconnect {
+                                client: c,
+                                for_secs: gap.duration_secs,
+                            },
+                        );
+                        // Reconnect is scheduled before the query at
+                        // the same instant; FIFO tie-breaking delivers
+                        // it first.
+                        self.sched.schedule_in(gap.duration_secs, Ev::Reconnect(c));
+                        self.sched
+                            .schedule_in(gap.duration_secs, Ev::QueryArrival(c));
                     }
                 }
             }
@@ -845,6 +1028,59 @@ mod tests {
             assert!(m.item_hits + m.item_misses > 0, "{scheme:?}");
             assert!(m.downlink_report_bits > 0.0, "{scheme:?} sent no reports");
         }
+    }
+
+    #[test]
+    fn sharded_fanout_is_bit_identical_for_every_scheme() {
+        // The tentpole contract: threads only trade wall time. The full
+        // Debug rendering of the metrics (every counter and every float)
+        // must match the serial run exactly.
+        for scheme in Scheme::ALL {
+            let cfg = short_cfg(scheme);
+            let serial = run(&cfg, RunOptions::default()).unwrap();
+            for threads in [2, 4, 0] {
+                let sharded =
+                    run(&cfg.clone().with_threads(threads), RunOptions::default()).unwrap();
+                assert_eq!(
+                    format!("{:?}", serial.metrics),
+                    format!("{:?}", sharded.metrics),
+                    "{scheme:?} diverged at threads={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sharding_is_bit_identical_under_loss_and_snooping() {
+        // Report loss draws serial coins; snooping parallelises a second
+        // phase; the oracle checks every delivery. All three must
+        // survive sharding unchanged.
+        let mut cfg = short_cfg(Scheme::Aaw);
+        cfg.p_report_loss = 0.2;
+        cfg.snoop_broadcasts = true;
+        let serial = run(&cfg, RunOptions::new().check_consistency(true)).unwrap();
+        let sharded = run(
+            &cfg.clone().with_threads(4),
+            RunOptions::new().check_consistency(true),
+        )
+        .unwrap();
+        assert!(serial.metrics.reports_lost > 0);
+        assert_eq!(
+            format!("{:?}", serial.metrics),
+            format!("{:?}", sharded.metrics)
+        );
+    }
+
+    #[test]
+    fn more_threads_than_clients_is_fine() {
+        let mut cfg = short_cfg(Scheme::Bs);
+        cfg.num_clients = 3;
+        let serial = run(&cfg, RunOptions::default()).unwrap();
+        let sharded = run(&cfg.clone().with_threads(64), RunOptions::default()).unwrap();
+        assert_eq!(
+            format!("{:?}", serial.metrics),
+            format!("{:?}", sharded.metrics)
+        );
     }
 
     #[test]

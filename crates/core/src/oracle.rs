@@ -67,8 +67,7 @@ impl Oracle {
     /// Panics with a diagnostic if a valid entry misses an update it
     /// should have seen.
     pub fn assert_cache_consistent(&mut self, client: ClientId, cache: &LruCache) {
-        for (item, _) in cache.items() {
-            let entry = cache.peek(item).expect("listed entry present");
+        for (item, entry) in cache.entries_iter() {
             if entry.state != EntryState::Valid {
                 continue;
             }

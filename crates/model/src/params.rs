@@ -284,6 +284,13 @@ pub struct SimConfig {
     /// to others; with snooping on, clients opportunistically cache them.
     /// Off in the paper's model.
     pub snoop_broadcasts: bool,
+    /// Worker threads for the embarrassingly-parallel tick phases
+    /// (report fan-out and data snooping). `1` (the default) runs fully
+    /// serial; `0` means auto (one per available core). Any value yields
+    /// **bit-identical** results: clients are sharded into contiguous
+    /// index ranges and shard outputs are merged in client-index order
+    /// before the scheduler or any RNG stream is touched.
+    pub threads: u32,
     /// Master RNG seed; every stochastic process derives its own stream.
     pub seed: u64,
 }
@@ -337,6 +344,7 @@ impl SimConfig {
             gcore_groups: 64,
             gcore_retention_intervals: 100,
             snoop_broadcasts: false,
+            threads: 1,
             seed: 0x1997_AD07,
         }
     }
@@ -374,6 +382,14 @@ impl SimConfig {
     /// Builder-style client-population override.
     pub fn with_num_clients(mut self, num_clients: u16) -> Self {
         self.num_clients = num_clients;
+        self
+    }
+
+    /// Builder-style worker-thread override (`0` = one per core). The
+    /// result is bit-identical for every value; this knob only trades
+    /// wall time.
+    pub fn with_threads(mut self, threads: u32) -> Self {
+        self.threads = threads;
         self
     }
 
@@ -535,8 +551,10 @@ mod tests {
             .with_seed(7)
             .with_sim_time(5_000.0)
             .with_db_size(2_000)
-            .with_num_clients(25);
+            .with_num_clients(25)
+            .with_threads(4);
         assert_eq!(cfg.scheme, Scheme::Bs);
+        assert_eq!(cfg.threads, 4);
         assert_eq!(cfg.seed, 7);
         assert_eq!(cfg.workload.query, Pattern::paper_hotcold());
         assert_eq!(cfg.sim_time_secs, 5_000.0);

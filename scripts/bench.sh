@@ -6,11 +6,14 @@
 #                                 # best-of-30 fan-out passes)
 #   ./scripts/bench.sh --quick    # reduced iterations, used by ci.sh
 #
-# The JSON has four sections:
+# The JSON has five sections:
 #   baseline_before — pre-refactor numbers frozen into the binary
 #   e2e             — fig05 sweep per scheme: wall secs, events, events/sec
 #   stress          — heavy single-run config per scheme (40k db, 200 clients)
 #   fanout          — one report x 200 clients: linear vs shared-index, speedup
+#   scaling         — full AAW runs, clients x engine worker threads
+#                     (host_cores recorded; on a 1-core host ~1.0x is the
+#                     expected ceiling)
 #
 # Criterion micro-benchmarks (including the `fanout` group) live
 # separately under `cargo bench -p mobicache-bench --bench micro`.

@@ -20,9 +20,19 @@ cargo build --release
 echo "==> tier-1: cargo test -q"
 cargo test -q
 
-echo "==> bench smoke: report_pipeline --quick"
+# The golden-digest suite must hold at any worker-thread count: the
+# sharded fan-out is bit-identical by contract. Run it serial and
+# sharded (the default `cargo test -q` above already covered threads=1
+# implicitly; these runs make both settings explicit and loud).
+echo "==> determinism suite, threads=1"
+MOBICACHE_THREADS=1 cargo test -q --test determinism
+
+echo "==> determinism suite, threads=4"
+MOBICACHE_THREADS=4 cargo test -q --test determinism
+
+echo "==> bench smoke: report_pipeline --quick --threads 2"
 cargo build --release -p mobicache-bench
-./target/release/report_pipeline --quick --out /tmp/bench_smoke.json
+./target/release/report_pipeline --quick --threads 2 --out /tmp/bench_smoke.json
 rm -f /tmp/bench_smoke.json
 
 echo "CI OK"

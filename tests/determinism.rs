@@ -28,16 +28,34 @@ fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
+/// Worker threads for the pinned runs, from `MOBICACHE_THREADS`
+/// (default 1). CI runs this suite twice — threads=1 and threads=4 —
+/// and the GOLDEN table must hold for both: the sharded fan-out is
+/// bit-identical by contract, so the digests do not depend on it.
+fn configured_threads() -> u32 {
+    std::env::var("MOBICACHE_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}
+
 fn short_cfg(scheme: Scheme) -> SimConfig {
     let mut cfg = SimConfig::paper_default().with_scheme(scheme);
     cfg.sim_time_secs = 4_000.0;
     cfg.db_size = 1_000;
     cfg.num_clients = 20;
+    cfg.threads = configured_threads();
     cfg
 }
 
 fn digest_for(scheme: Scheme) -> u64 {
     let result = run(&short_cfg(scheme), RunOptions::default()).expect("valid config");
+    fnv1a(format!("{:?}", result.metrics).as_bytes())
+}
+
+fn digest_with_threads(scheme: Scheme, threads: u32) -> u64 {
+    let cfg = short_cfg(scheme).with_threads(threads);
+    let result = run(&cfg, RunOptions::default()).expect("valid config");
     fnv1a(format!("{:?}", result.metrics).as_bytes())
 }
 
@@ -85,4 +103,21 @@ fn golden_table_covers_every_scheme() {
 #[test]
 fn digest_is_stable_across_runs() {
     assert_eq!(digest_for(Scheme::Aaw), digest_for(Scheme::Aaw));
+}
+
+/// The multi-threading contract, pinned per scheme: sharding the tick
+/// fan-out across the maximum sensible worker count produces the exact
+/// digest of the fully serial engine.
+#[test]
+fn sharded_digest_equals_serial_digest_per_scheme() {
+    let max = std::thread::available_parallelism()
+        .map_or(4, |n| n.get() as u32)
+        .max(4);
+    for scheme in Scheme::ALL {
+        assert_eq!(
+            digest_with_threads(scheme, 1),
+            digest_with_threads(scheme, max),
+            "{scheme:?} diverged between threads=1 and threads={max}"
+        );
+    }
 }
