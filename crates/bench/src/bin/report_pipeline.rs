@@ -14,10 +14,12 @@
 //!   many clients, comparing the legacy per-item linear scan against the
 //!   shared sorted index built once per broadcast.
 //! * **scaling** — the sharded-engine sweep: clients × worker threads
-//!   for the full simulation, measuring how the deterministic fan-out
-//!   shards scale. `host_cores` is recorded alongside: with a single
-//!   hardware core, threads > 1 exercise concurrency (the determinism
-//!   contract) without parallel speedup.
+//!   for the full simulation, measuring the persistent worker pool's
+//!   overhead and scaling. Workers are spawned once per engine and fed
+//!   per-tick work descriptors, so the per-tick cost is a wake/claim
+//!   handshake rather than thread creation. `host_cores` is recorded
+//!   alongside: with a single hardware core, threads > 1 exercise
+//!   concurrency (the determinism contract) without parallel speedup.
 //!
 //! Run via `scripts/bench.sh`, which writes the JSON to the repo root.
 //! `--quick` shrinks every section for the CI smoke step; `--out PATH`
@@ -356,7 +358,9 @@ fn json(
         out,
         "    \"note\": \"full AAW simulation, clients x engine worker threads; \
          speedup_vs_1t compares against the same population single-threaded. \
-         With host_cores = 1 the shards interleave on one core, so ~1.0x is \
+         Workers persist across ticks (spawned once per engine), so per-tick \
+         overhead is a wake/claim handshake, not thread creation. With \
+         host_cores = 1 the shards interleave on one core, so ~1.0x is \
          the expected ceiling and the column verifies overhead, not speedup; \
          values above 1.0x on such hosts are run-ordering warm-up artifacts.\","
     );

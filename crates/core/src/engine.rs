@@ -17,12 +17,14 @@
 use crate::metrics::{ClientStats, Metrics};
 use crate::oracle::Oracle;
 use crate::probe::{CacheEventKind, IntervalSnapshot, Probe, ProbeEvent, ReportKind, RunTotals};
+use mobicache_cache::LruCache;
 use mobicache_client::{Client, ClientAction, ClientConfig, ClientCounters};
 use mobicache_model::msg::{DownlinkKind, SizeParams, UplinkKind, CLASS_CHECK, CLASS_REPORT};
 use mobicache_model::{ClientId, ConfigError, DownlinkTopology, ItemId, SimConfig};
 use mobicache_net::Channel;
-use mobicache_reports::{PreparedReport, ReportPayload};
+use mobicache_reports::{BsIndex, PreparedReport, ReportPayload};
 use mobicache_server::Server;
+use mobicache_sim::pool::{shard_count, SendPtr, WorkerPool};
 use mobicache_sim::{Histogram, OnlineStats, Scheduler, SimRng, SimTime};
 use mobicache_workload::{GapKind, GapProcess, QueryGen, UpdateGen};
 use std::sync::Arc;
@@ -46,6 +48,9 @@ pub struct RunOptions<'p> {
     check_consistency: bool,
     /// Observer receiving typed run events and interval snapshots.
     probe: Option<&'p mut dyn Probe>,
+    /// Externally owned worker pool to execute the sharded tick phases
+    /// on, instead of spawning one per simulation.
+    worker_pool: Option<Arc<WorkerPool>>,
 }
 
 impl<'p> RunOptions<'p> {
@@ -69,6 +74,18 @@ impl<'p> RunOptions<'p> {
         self.probe = Some(probe);
         self
     }
+
+    /// Runs the sharded tick phases on an existing pool instead of
+    /// spawning one per simulation — for drivers that create many
+    /// short-lived engines. Chunk geometry still follows
+    /// [`SimConfig::threads`], so sharing a pool (of any size) never
+    /// changes results; the pool only supplies execution lanes and
+    /// carries no per-run state.
+    #[must_use]
+    pub fn worker_pool(mut self, pool: Arc<WorkerPool>) -> Self {
+        self.worker_pool = Some(pool);
+        self
+    }
 }
 
 impl std::fmt::Debug for RunOptions<'_> {
@@ -76,6 +93,7 @@ impl std::fmt::Debug for RunOptions<'_> {
         f.debug_struct("RunOptions")
             .field("check_consistency", &self.check_consistency)
             .field("probe", &self.probe.is_some())
+            .field("worker_pool", &self.worker_pool.is_some())
             .finish()
     }
 }
@@ -194,47 +212,46 @@ fn run_snoop_shard(
     }
 }
 
-/// Splits the client population into `shards.len()` contiguous
-/// index-range chunks and runs `work` on each, one worker thread per
-/// chunk (the first chunk runs on the calling thread). With one shard
-/// this degenerates to a plain serial call with no spawn overhead.
-fn fan_out_shards<W>(clients: &mut [Client], deliver: &[bool], shards: &mut [ShardScratch], work: W)
-where
+/// Splits the client population into contiguous index-range chunks (at
+/// most `shards.len()`, thinned by the `min_per_shard` knob) and runs
+/// `work` on each through the persistent pool — chunk `i` gets shard
+/// scratch `i`, whichever thread claims it. With one effective shard
+/// this degenerates to a plain serial call that never touches the pool.
+fn fan_out_shards<W>(
+    pool: &WorkerPool,
+    min_per_shard: usize,
+    clients: &mut [Client],
+    deliver: &[bool],
+    shards: &mut [ShardScratch],
+    work: W,
+) where
     W: Fn(&mut [Client], &[bool], &mut ShardScratch) + Sync,
 {
     if clients.is_empty() {
         return;
     }
-    let threads = shards.len().min(clients.len()).max(1);
-    if threads == 1 {
+    let len = clients.len();
+    let t = shard_count(shards.len(), len, min_per_shard);
+    if t == 1 {
         work(clients, deliver, &mut shards[0]);
         return;
     }
-    let chunk = clients.len().div_ceil(threads);
-    std::thread::scope(|s| {
-        let work = &work;
-        let mut rest_c = clients;
-        let mut rest_d = deliver;
-        let mut local: Option<(&mut [Client], &[bool], &mut ShardScratch)> = None;
-        for shard in shards.iter_mut().take(threads) {
-            if rest_c.is_empty() {
-                break;
-            }
-            let take = chunk.min(rest_c.len());
-            let (c, rc) = rest_c.split_at_mut(take);
-            let (d, rd) = rest_d.split_at(take);
-            rest_c = rc;
-            rest_d = rd;
-            match local {
-                None => local = Some((c, d, shard)),
-                Some(_) => {
-                    s.spawn(move || work(c, d, shard));
-                }
-            }
+    let chunk = len.div_ceil(t);
+    let clients_ptr = SendPtr(clients.as_mut_ptr());
+    let shards_ptr = SendPtr(shards.as_mut_ptr());
+    pool.run(t, &|i| {
+        let start = i * chunk;
+        if start >= len {
+            return;
         }
-        if let Some((c, d, shard)) = local {
-            work(c, d, shard);
-        }
+        let end = (start + chunk).min(len);
+        // SAFETY: chunks are disjoint contiguous client ranges, and
+        // shard scratch `i` is written by chunk `i` alone; the pool's
+        // barrier keeps both alive until every chunk has completed.
+        let chunk_clients =
+            unsafe { std::slice::from_raw_parts_mut(clients_ptr.get().add(start), end - start) };
+        let shard = unsafe { &mut *shards_ptr.get().add(i) };
+        work(chunk_clients, &deliver[start..end], shard);
     });
 }
 
@@ -284,6 +301,11 @@ pub struct Simulation<'p> {
     /// thread count); reused across ticks so steady state allocates
     /// nothing.
     shards: Vec<ShardScratch>,
+    /// Persistent worker pool for the sharded tick phases: spawned once
+    /// per simulation (or shared via [`RunOptions::worker_pool`]) and
+    /// reused every tick, so no phase ever pays a thread spawn. Joined
+    /// on drop.
+    pool: Arc<WorkerPool>,
 }
 
 /// Builds and runs a simulation in one call.
@@ -337,21 +359,64 @@ impl<'p> Simulation<'p> {
             SimTime::from_secs(update_gen.next_interarrival(&mut rng_update)),
             Ev::UpdateArrival,
         );
-        // One wake-up per client in one batch: a single heap reserve,
-        // and the same sequence numbers `num_clients` individual calls
-        // would hand out (the FIFO tie-break contract).
-        let think = mobicache_sim::Exp::with_mean(cfg.mean_think_secs);
-        sched.schedule_batch((0..cfg.num_clients).map(|c| {
-            let first = think.sample(&mut rng_clients[c as usize]);
-            (SimTime::from_secs(first), Ev::QueryArrival(ClientId(c)))
-        }));
-
         let threads = match cfg.threads {
             0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
             n => n as usize,
         }
         .min(cfg.num_clients as usize)
         .max(1);
+        let pool = match &opts.worker_pool {
+            Some(pool) => Arc::clone(pool),
+            None => Arc::new(WorkerPool::new(threads)),
+        };
+
+        // One wake-up per client: every client samples its first think
+        // period from its own RNG stream, so the sampling shards across
+        // the pool; the per-shard `(time, client)` scratch is replayed
+        // serially in client-index order through `schedule_batch`, which
+        // hands out the same sequence numbers `num_clients` individual
+        // calls would (the FIFO tie-break contract).
+        let think = mobicache_sim::Exp::with_mean(cfg.mean_think_secs);
+        let n = cfg.num_clients as usize;
+        let t = shard_count(threads, n, cfg.pool_min_shard_clients as usize);
+        if t <= 1 {
+            sched.schedule_batch((0..cfg.num_clients).map(|c| {
+                let first = think.sample(&mut rng_clients[c as usize]);
+                (SimTime::from_secs(first), Ev::QueryArrival(ClientId(c)))
+            }));
+        } else {
+            let chunk = n.div_ceil(t);
+            let mut wake: Vec<Vec<(SimTime, u16)>> = (0..t).map(|_| Vec::new()).collect();
+            let wake_ptr = SendPtr(wake.as_mut_ptr());
+            let rng_ptr = SendPtr(rng_clients.as_mut_ptr());
+            let think_ref = &think;
+            pool.run(t, &|i| {
+                let start = i * chunk;
+                if start >= n {
+                    return;
+                }
+                let end = (start + chunk).min(n);
+                // SAFETY: disjoint contiguous RNG ranges; wake slot `i`
+                // is written by chunk `i` alone.
+                let rngs = unsafe {
+                    std::slice::from_raw_parts_mut(rng_ptr.get().add(start), end - start)
+                };
+                let out = unsafe { &mut *wake_ptr.get().add(i) };
+                out.reserve(end - start);
+                for (off, rng) in rngs.iter_mut().enumerate() {
+                    let first = think_ref.sample(rng);
+                    out.push((SimTime::from_secs(first), (start + off) as u16));
+                }
+            });
+            sched.reserve(n);
+            for shard in &mut wake {
+                sched.schedule_batch(
+                    shard
+                        .drain(..)
+                        .map(|(at, c)| (at, Ev::QueryArrival(ClientId(c)))),
+                );
+            }
+        }
 
         let downlinks = match cfg.downlink_topology {
             DownlinkTopology::Shared => vec![Channel::new(cfg.downlink_bps)],
@@ -400,6 +465,7 @@ impl<'p> Simulation<'p> {
             action_scratch: Vec::new(),
             deliver_scratch: Vec::new(),
             shards: (0..threads).map(|_| ShardScratch::default()).collect(),
+            pool,
             sched,
             cfg: cfg.clone(),
             opts,
@@ -572,8 +638,22 @@ impl<'p> Simulation<'p> {
         match delivered.msg {
             DownPayload::Report(report) => {
                 // Index the report once; every client of the fan-out
-                // shares it (the tentpole of the report pipeline).
-                let prepared = report.prepare();
+                // shares it (the tentpole of the report pipeline). The
+                // BS index — the one kind whose build is O(N) in the
+                // database — is built through the pool, sharded over
+                // the recency list.
+                let prepared = match &*report {
+                    ReportPayload::BitSeq(bs) => PreparedReport::with_bs_index(
+                        &report,
+                        BsIndex::build_sharded(
+                            bs,
+                            &self.pool,
+                            self.shards.len(),
+                            self.cfg.pool_min_shard_items as usize,
+                        ),
+                    ),
+                    _ => report.prepare(),
+                };
                 // Phase 0 (serial): decide who hears this broadcast.
                 // Loss coins and the rx-bits accumulation stay in
                 // client-index order, so the RNG stream and the float
@@ -601,9 +681,16 @@ impl<'p> Simulation<'p> {
                     sh.actions.clear();
                     sh.outcomes.clear();
                 }
-                fan_out_shards(&mut self.clients, &deliver, &mut shards, |cl, dl, sh| {
-                    run_report_shard(now, cl, dl, &prepared, probing, sh);
-                });
+                fan_out_shards(
+                    &self.pool,
+                    self.cfg.pool_min_shard_clients as usize,
+                    &mut self.clients,
+                    &deliver,
+                    &mut shards,
+                    |cl, dl, sh| {
+                        run_report_shard(now, cl, dl, &prepared, probing, sh);
+                    },
+                );
                 // Phase 2 (serial merge, client-index order): replay
                 // each client's actions and observations exactly as the
                 // serial loop interleaved them — the scheduler, the
@@ -619,10 +706,13 @@ impl<'p> Simulation<'p> {
                             self.apply_action(now, c, action);
                         }
                         self.post_observe(now, c, o.before);
-                        self.check_consistency(o.client);
                     }
                 }
                 self.shards = shards;
+                // Oracle pass after the merge (actions never touch a
+                // cache, so checking here sees exactly the state the
+                // per-client serial check saw), sharded over the pool.
+                self.check_consistency_sharded(&deliver);
                 self.deliver_scratch = deliver;
             }
             DownPayload::Data { item, dest } => {
@@ -654,15 +744,18 @@ impl<'p> Simulation<'p> {
                         deliver[i] = true;
                     }
                     let mut shards = std::mem::take(&mut self.shards);
-                    fan_out_shards(&mut self.clients, &deliver, &mut shards, |cl, dl, _| {
-                        run_snoop_shard(now, cl, dl, item, version);
-                    });
+                    fan_out_shards(
+                        &self.pool,
+                        self.cfg.pool_min_shard_clients as usize,
+                        &mut self.clients,
+                        &deliver,
+                        &mut shards,
+                        |cl, dl, _| {
+                            run_snoop_shard(now, cl, dl, item, version);
+                        },
+                    );
                     self.shards = shards;
-                    for (i, &hears) in deliver.iter().enumerate() {
-                        if hears {
-                            self.check_consistency(i);
-                        }
-                    }
+                    self.check_consistency_sharded(&deliver);
                     self.deliver_scratch = deliver;
                 }
             }
@@ -901,6 +994,40 @@ impl<'p> Simulation<'p> {
     fn check_consistency(&mut self, idx: usize) {
         if let Some(oracle) = &mut self.oracle {
             oracle.assert_cache_consistent(ClientId(idx as u16), self.clients[idx].cache());
+        }
+    }
+
+    /// Oracle pass over every client marked in `deliver` — the
+    /// read-only full-cache scans of a broadcast tick, sharded over the
+    /// pool. Violations come back in client-index order (whatever the
+    /// shard geometry), so the first one re-raised here is the same
+    /// panic, with the same message, the per-client serial check
+    /// produced.
+    fn check_consistency_sharded(&mut self, deliver: &[bool]) {
+        if self.oracle.is_none() {
+            return;
+        }
+        let caches: Vec<(ClientId, &LruCache)> = self
+            .clients
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| deliver[i])
+            .map(|(i, client)| (ClientId(i as u16), client.cache()))
+            .collect();
+        let oracle = self.oracle.as_ref().expect("checked above");
+        let (checks, violations) = oracle.scan(
+            &caches,
+            &self.pool,
+            self.shards.len(),
+            self.cfg.pool_min_shard_clients as usize,
+        );
+        drop(caches);
+        self.oracle
+            .as_mut()
+            .expect("checked above")
+            .note_checks(checks);
+        if let Some(v) = violations.first() {
+            panic!("{v}");
         }
     }
 

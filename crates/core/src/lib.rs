@@ -57,4 +57,4 @@ pub use mobicache_model::{
 pub use mobicache_server::AdaptiveDecision;
 // Probe callbacks are timestamped in simulated time; re-export so
 // implementors need not depend on `mobicache-sim`.
-pub use mobicache_sim::SimTime;
+pub use mobicache_sim::{SimTime, WorkerPool};

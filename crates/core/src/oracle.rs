@@ -16,8 +16,41 @@
 
 use mobicache_cache::{EntryState, LruCache};
 use mobicache_model::{ClientId, ItemId};
+use mobicache_sim::pool::{shard_count, SendPtr, WorkerPool};
 use mobicache_sim::SimTime;
 use std::collections::HashMap;
+use std::fmt;
+
+/// One breach of the consistency invariant: a valid cached entry whose
+/// version misses an update that happened at or before its validation
+/// time. `Display` renders the exact diagnostic the engine panics with.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Violation {
+    pub client: ClientId,
+    pub item: ItemId,
+    /// The version the cache holds.
+    pub version: SimTime,
+    /// The true version as of `validated_at` (a later update than
+    /// `version`, or the invariant would hold).
+    pub truth: SimTime,
+    /// When the scheme last vouched for the entry.
+    pub validated_at: SimTime,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "consistency violation at {:?}: {:?} cached version {} but an update at {} predates \
+             its validation time {}",
+            self.client,
+            self.item,
+            self.version.as_secs(),
+            self.truth.as_secs(),
+            self.validated_at.as_secs(),
+        )
+    }
+}
 
 /// Full update history for ground-truth checks.
 #[derive(Default)]
@@ -61,26 +94,102 @@ impl Oracle {
         self.checks
     }
 
+    /// Read-only invariant scan over one client's cache: violations are
+    /// appended to `out` in cache-entry order, and the number of
+    /// invariant evaluations is returned (fold it back in with
+    /// [`Oracle::note_checks`]). Taking `&self` is what lets the tick
+    /// scan shard across the worker pool.
+    pub fn collect_violations(
+        &self,
+        client: ClientId,
+        cache: &LruCache,
+        out: &mut Vec<Violation>,
+    ) -> u64 {
+        let mut checks = 0;
+        for (item, entry) in cache.entries_iter() {
+            if entry.state != EntryState::Valid {
+                continue;
+            }
+            checks += 1;
+            let truth = self.version_asof(item, entry.validated_at);
+            if truth > entry.version {
+                out.push(Violation {
+                    client,
+                    item,
+                    version: entry.version,
+                    truth,
+                    validated_at: entry.validated_at,
+                });
+            }
+        }
+        checks
+    }
+
+    /// Folds externally collected invariant evaluations into
+    /// [`Oracle::checks_performed`].
+    pub fn note_checks(&mut self, n: u64) {
+        self.checks += n;
+    }
+
+    /// Scans many caches, sharded over `pool` in contiguous chunks of
+    /// `caches`. Returns the total evaluation count and every violation
+    /// in `caches`-index (then cache-entry) order — byte-identical to a
+    /// serial pass, whatever the shard geometry: each chunk appends to
+    /// its own slot, and slots are concatenated in chunk order.
+    pub fn scan(
+        &self,
+        caches: &[(ClientId, &LruCache)],
+        pool: &WorkerPool,
+        max_shards: usize,
+        min_per_shard: usize,
+    ) -> (u64, Vec<Violation>) {
+        let n = caches.len();
+        if n == 0 {
+            return (0, Vec::new());
+        }
+        let t = shard_count(max_shards, n, min_per_shard);
+        if t <= 1 {
+            let mut out = Vec::new();
+            let mut checks = 0;
+            for &(client, cache) in caches {
+                checks += self.collect_violations(client, cache, &mut out);
+            }
+            return (checks, out);
+        }
+        let chunk = n.div_ceil(t);
+        let mut parts: Vec<(u64, Vec<Violation>)> = (0..t).map(|_| (0, Vec::new())).collect();
+        let parts_ptr = SendPtr(parts.as_mut_ptr());
+        pool.run(t, &|i| {
+            let start = i * chunk;
+            if start >= n {
+                return;
+            }
+            let end = (start + chunk).min(n);
+            // SAFETY: chunk `i` writes only to slot `i`.
+            let slot = unsafe { &mut *parts_ptr.get().add(i) };
+            for &(client, cache) in &caches[start..end] {
+                slot.0 += self.collect_violations(client, cache, &mut slot.1);
+            }
+        });
+        let mut checks = 0;
+        let mut out = Vec::new();
+        for (c, mut v) in parts {
+            checks += c;
+            out.append(&mut v);
+        }
+        (checks, out)
+    }
+
     /// Asserts the consistency invariant over one client's cache.
     ///
     /// # Panics
     /// Panics with a diagnostic if a valid entry misses an update it
     /// should have seen.
     pub fn assert_cache_consistent(&mut self, client: ClientId, cache: &LruCache) {
-        for (item, entry) in cache.entries_iter() {
-            if entry.state != EntryState::Valid {
-                continue;
-            }
-            self.checks += 1;
-            let truth = self.version_asof(item, entry.validated_at);
-            assert!(
-                truth <= entry.version,
-                "consistency violation at {client:?}: {item:?} cached version {} but an update \
-                 at {} predates its validation time {}",
-                entry.version.as_secs(),
-                truth.as_secs(),
-                entry.validated_at.as_secs(),
-            );
+        let mut out = Vec::new();
+        self.checks += self.collect_violations(client, cache, &mut out);
+        if let Some(v) = out.first() {
+            panic!("{v}");
         }
     }
 }
@@ -124,6 +233,49 @@ mod tests {
         // Claims validity at t=12 with a pre-update version.
         cache.insert(ItemId(1), SimTime::ZERO, t(12.0));
         o.assert_cache_consistent(ClientId(0), &cache);
+    }
+
+    #[test]
+    fn sharded_scan_matches_serial_order_and_count() {
+        let mut o = Oracle::new();
+        for k in 0..8u32 {
+            o.record_update(t(10.0 + k as f64), ItemId(k));
+        }
+        // Build 7 caches (non-dividing under 2/3 shards); odd clients
+        // hold a stale-valid entry for their own item index.
+        let caches: Vec<LruCache> = (0..7u16)
+            .map(|c| {
+                let mut cache = LruCache::new(4);
+                let version = if c % 2 == 1 { SimTime::ZERO } else { t(50.0) };
+                cache.insert(ItemId(c as u32), version, t(40.0));
+                cache
+            })
+            .collect();
+        let refs: Vec<(ClientId, &LruCache)> = caches
+            .iter()
+            .enumerate()
+            .map(|(i, cache)| (ClientId(i as u16), cache))
+            .collect();
+        let pool = WorkerPool::new(3);
+        let serial = o.scan(&refs, &pool, 1, 1);
+        assert_eq!(serial.0, 7);
+        assert_eq!(
+            serial.1.iter().map(|v| v.client).collect::<Vec<_>>(),
+            vec![ClientId(1), ClientId(3), ClientId(5)]
+        );
+        for shards in [2usize, 3, 5, 7, 16] {
+            assert_eq!(o.scan(&refs, &pool, shards, 1), serial, "shards={shards}");
+        }
+        // The work threshold only changes who scans, never the result.
+        assert_eq!(o.scan(&refs, &pool, 4, 4), serial);
+    }
+
+    #[test]
+    fn note_checks_folds_into_counter() {
+        let mut o = Oracle::new();
+        o.note_checks(5);
+        o.note_checks(2);
+        assert_eq!(o.checks_performed(), 7);
     }
 
     #[test]

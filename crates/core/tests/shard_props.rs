@@ -1,0 +1,118 @@
+//! Property tests for the sharded tick phases: whatever the randomized
+//! state and shard geometry, the pool-sharded implementations must
+//! report exactly what their serial counterparts report, in the same
+//! order.
+//!
+//! Two phases carry real reduction logic and get pinned here:
+//!
+//! * the consistency oracle's full-cache scan ([`Oracle::scan`]) —
+//!   violations concatenated in client-index order across chunks;
+//! * the bit-sequences index build ([`BsIndex::build_sharded`]) —
+//!   per-chunk sorts reduced by a k-way merge that must equal the
+//!   serial full sort.
+//!
+//! The report fan-out itself is pinned end-to-end by the golden-digest
+//! thread matrix in `tests/determinism.rs`.
+
+use mobicache::oracle::Oracle;
+use mobicache::WorkerPool;
+use mobicache_cache::LruCache;
+use mobicache_model::{ClientId, ItemId};
+use mobicache_reports::{BitSequences, BsIndex};
+use mobicache_sim::SimTime;
+use proptest::prelude::*;
+
+fn t(s: f64) -> SimTime {
+    SimTime::from_secs(s)
+}
+
+/// A randomized cache population: per client, a list of
+/// `(item, version_secs, validated_secs)` entries plus a limbo flag.
+/// Violations arise naturally whenever the update history contains an
+/// update in `(version, validated]` for a valid entry.
+type CacheSpec = Vec<(Vec<(u32, u16, u16)>, bool)>;
+
+fn build_caches(specs: &CacheSpec) -> Vec<LruCache> {
+    specs
+        .iter()
+        .map(|(entries, limbo)| {
+            let mut cache = LruCache::new(entries.len().max(1));
+            for &(item, version, validated) in entries {
+                cache.insert(ItemId(item), t(version as f64), t(validated as f64));
+            }
+            if *limbo {
+                cache.mark_all_limbo();
+            }
+            cache
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Sharded oracle scan ≡ serial scan: same evaluation count, same
+    /// violations, same order — over random update histories, random
+    /// cache contents (including limbo-exempt clients) and every shard
+    /// geometry from serial to more shards than clients.
+    #[test]
+    fn sharded_oracle_scan_matches_serial(
+        updates in prop::collection::vec((0u32..48, 0u16..500), 1..120),
+        specs in prop::collection::vec(
+            (prop::collection::vec((0u32..48, 0u16..500, 0u16..500), 0..16), any::<bool>()),
+            1..24,
+        ),
+        max_shards in 1usize..9,
+        min_per_shard in 1usize..6,
+    ) {
+        let mut oracle = Oracle::new();
+        let mut history = updates.clone();
+        history.sort_by_key(|&(_, ts)| ts);
+        for &(item, ts) in &history {
+            oracle.record_update(t(ts as f64), ItemId(item));
+        }
+        let caches = build_caches(&specs);
+        let refs: Vec<(ClientId, &LruCache)> = caches
+            .iter()
+            .enumerate()
+            .map(|(i, cache)| (ClientId(i as u16), cache))
+            .collect();
+        let pool = WorkerPool::new(3);
+        let serial = oracle.scan(&refs, &pool, 1, 1);
+        let sharded = oracle.scan(&refs, &pool, max_shards, min_per_shard);
+        prop_assert_eq!(&serial.0, &sharded.0, "check counts diverged");
+        prop_assert_eq!(&serial.1, &sharded.1, "violation lists diverged");
+        // And the serial scan must agree with the panicking per-client
+        // API about whether the state is consistent at all.
+        let clean = serial.1.is_empty();
+        let per_client = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            for &(client, cache) in &refs {
+                oracle.assert_cache_consistent(client, cache);
+            }
+        }));
+        prop_assert_eq!(clean, per_client.is_ok());
+    }
+
+    /// Sharded BS index build ≡ serial build, entry for entry, over
+    /// random recency lists (unique items, descending timestamps — the
+    /// server's invariant) and every shard geometry.
+    #[test]
+    fn sharded_bs_index_build_matches_serial(
+        items in prop::collection::hash_set(0u32..2_000, 0..200),
+        db_size in 16u32..4_096,
+        max_shards in 1usize..9,
+        min_per_shard in 1usize..40,
+    ) {
+        // Unique ids with strictly descending synthetic timestamps.
+        let recency: Vec<(ItemId, SimTime)> = items
+            .iter()
+            .enumerate()
+            .map(|(k, &id)| (ItemId(id), t(1_000_000.0 - k as f64)))
+            .collect();
+        let bs = BitSequences::from_recency(t(1_000_001.0), db_size, recency);
+        let pool = WorkerPool::new(3);
+        let serial = BsIndex::build(&bs);
+        let sharded = BsIndex::build_sharded(&bs, &pool, max_shards, min_per_shard);
+        prop_assert_eq!(serial.entries(), sharded.entries());
+    }
+}

@@ -291,6 +291,16 @@ pub struct SimConfig {
     /// index ranges and shard outputs are merged in client-index order
     /// before the scheduler or any RNG stream is touched.
     pub threads: u32,
+    /// Minimum clients per worker chunk before a client-sharded phase
+    /// (report fan-out, snoop delivery, the wake-up burst, the oracle
+    /// scan) fans out to the worker pool; phases whose population would
+    /// yield smaller chunks run serially on the calling thread. Purely a
+    /// wall-time knob — results are bit-identical at any value.
+    pub pool_min_shard_clients: u32,
+    /// Minimum recency entries per worker chunk before the shared
+    /// bit-sequences index build is sharded over the pool. Purely a
+    /// wall-time knob — results are bit-identical at any value.
+    pub pool_min_shard_items: u32,
     /// Master RNG seed; every stochastic process derives its own stream.
     pub seed: u64,
 }
@@ -345,6 +355,8 @@ impl SimConfig {
             gcore_retention_intervals: 100,
             snoop_broadcasts: false,
             threads: 1,
+            pool_min_shard_clients: 1,
+            pool_min_shard_items: 1024,
             seed: 0x1997_AD07,
         }
     }
@@ -390,6 +402,21 @@ impl SimConfig {
     /// wall time.
     pub fn with_threads(mut self, threads: u32) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Builder-style override of the minimum clients per worker chunk
+    /// (see [`SimConfig::pool_min_shard_clients`]). Wall-time only.
+    pub fn with_pool_min_shard_clients(mut self, min: u32) -> Self {
+        self.pool_min_shard_clients = min;
+        self
+    }
+
+    /// Builder-style override of the minimum recency entries per worker
+    /// chunk for the BS index build (see
+    /// [`SimConfig::pool_min_shard_items`]). Wall-time only.
+    pub fn with_pool_min_shard_items(mut self, min: u32) -> Self {
+        self.pool_min_shard_items = min;
         self
     }
 
@@ -493,6 +520,8 @@ impl SimConfig {
                 value: self.energy_rx_per_bit,
             });
         }
+        count("pool_min_shard_clients", self.pool_min_shard_clients as u64)?;
+        count("pool_min_shard_items", self.pool_min_shard_items as u64)?;
         count("gcore_groups", self.gcore_groups as u64)?;
         count(
             "gcore_retention_intervals",
@@ -552,9 +581,13 @@ mod tests {
             .with_sim_time(5_000.0)
             .with_db_size(2_000)
             .with_num_clients(25)
-            .with_threads(4);
+            .with_threads(4)
+            .with_pool_min_shard_clients(64)
+            .with_pool_min_shard_items(4096);
         assert_eq!(cfg.scheme, Scheme::Bs);
         assert_eq!(cfg.threads, 4);
+        assert_eq!(cfg.pool_min_shard_clients, 64);
+        assert_eq!(cfg.pool_min_shard_items, 4096);
         assert_eq!(cfg.seed, 7);
         assert_eq!(cfg.workload.query, Pattern::paper_hotcold());
         assert_eq!(cfg.sim_time_secs, 5_000.0);
@@ -580,6 +613,24 @@ mod tests {
         assert_eq!(
             c.validate(),
             Err(ConfigError::ZeroCount { field: "db_size" })
+        );
+
+        let mut c = SimConfig::paper_default();
+        c.pool_min_shard_clients = 0;
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::ZeroCount {
+                field: "pool_min_shard_clients"
+            })
+        );
+
+        let mut c = SimConfig::paper_default();
+        c.pool_min_shard_items = 0;
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::ZeroCount {
+                field: "pool_min_shard_items"
+            })
         );
 
         let c = SimConfig::paper_default()

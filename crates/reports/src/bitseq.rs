@@ -30,6 +30,7 @@
 use mobicache_model::msg::SizeParams;
 use mobicache_model::units::{bits_per_id, Bits};
 use mobicache_model::ItemId;
+use mobicache_sim::pool::{shard_count, SendPtr, WorkerPool};
 use mobicache_sim::SimTime;
 
 /// One level of the hierarchy: the `prefix_len` most recently updated
@@ -128,7 +129,7 @@ pub enum BsSelect {
 /// selected level exactly when its rank is inside the level's prefix, so
 /// the per-client pass is `O(|cache| · log |recency|)` with no
 /// allocation — no per-client `HashSet` of the whole cache.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct BsIndex {
     /// `(item, recency rank)`, sorted by item id.
     by_id: Vec<(ItemId, u32)>,
@@ -144,6 +145,72 @@ impl BsIndex {
             .map(|(rank, &(id, _))| (id, rank as u32))
             .collect();
         by_id.sort_unstable_by_key(|&(id, _)| id);
+        BsIndex { by_id }
+    }
+
+    /// The sorted `(item, recency rank)` pairs — exposed so tests can
+    /// compare a sharded build against a serial one structurally.
+    pub fn entries(&self) -> &[(ItemId, u32)] {
+        &self.by_id
+    }
+
+    /// [`BsIndex::build`] sharded over `pool`: the recency list is split
+    /// into contiguous chunks (so ranks stay a pure function of position),
+    /// each chunk sorted by item id in parallel, then reduced by a serial
+    /// k-way merge in chunk order. Item ids are unique within a report
+    /// (the server's recency index lists each item once), so the merge is
+    /// deterministic and equals the full sort — bit-identical to
+    /// [`BsIndex::build`] whatever the shard geometry.
+    pub fn build_sharded(
+        report: &BitSequences,
+        pool: &WorkerPool,
+        max_shards: usize,
+        min_per_shard: usize,
+    ) -> Self {
+        let recency = &report.recency;
+        let n = recency.len();
+        let t = shard_count(max_shards, n, min_per_shard);
+        if t <= 1 {
+            return Self::build(report);
+        }
+        let chunk = n.div_ceil(t);
+        let mut parts: Vec<Vec<(ItemId, u32)>> = (0..t).map(|_| Vec::new()).collect();
+        let parts_ptr = SendPtr(parts.as_mut_ptr());
+        pool.run(t, &|i| {
+            let start = i * chunk;
+            if start >= n {
+                return;
+            }
+            let end = (start + chunk).min(n);
+            // SAFETY: chunk `i` writes only to slot `i`.
+            let slot = unsafe { &mut *parts_ptr.get().add(i) };
+            *slot = recency[start..end]
+                .iter()
+                .enumerate()
+                .map(|(off, &(id, _))| (id, (start + off) as u32))
+                .collect();
+            slot.sort_unstable_by_key(|&(id, _)| id);
+        });
+        let mut by_id = Vec::with_capacity(n);
+        let mut heads = vec![0usize; parts.len()];
+        loop {
+            let mut best: Option<usize> = None;
+            for (k, part) in parts.iter().enumerate() {
+                if heads[k] < part.len()
+                    && best.is_none_or(|b| part[heads[k]].0 < parts[b][heads[b]].0)
+                {
+                    best = Some(k);
+                }
+            }
+            match best {
+                Some(b) => {
+                    by_id.push(parts[b][heads[b]]);
+                    heads[b] += 1;
+                }
+                None => break,
+            }
+        }
+        debug_assert_eq!(by_id.len(), n);
         BsIndex { by_id }
     }
 
@@ -569,6 +636,23 @@ mod tests {
                     assert_eq!(out, stale, "tlb {tlb}");
                 }
             }
+        }
+    }
+
+    #[test]
+    fn sharded_index_build_matches_serial() {
+        let pool = WorkerPool::new(3);
+        // Sizes chosen to exercise empty, single-entry, non-dividing and
+        // larger-than-shard-count recency lists.
+        for n in [0usize, 1, 2, 7, 8, 40] {
+            let bs = BitSequences::from_recency(t(2000.0), 128, recency(n));
+            let serial = BsIndex::build(&bs);
+            for shards in [1usize, 2, 3, 5, 16] {
+                let sharded = BsIndex::build_sharded(&bs, &pool, shards, 1);
+                assert_eq!(serial, sharded, "n={n} shards={shards}");
+            }
+            // A min-items threshold changes who builds, never the result.
+            assert_eq!(serial, BsIndex::build_sharded(&bs, &pool, 4, 16));
         }
     }
 

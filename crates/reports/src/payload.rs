@@ -101,6 +101,21 @@ impl<'a> PreparedReport<'a> {
         PreparedReport { payload, index }
     }
 
+    /// Pairs a [`ReportPayload::BitSeq`] with an externally built index —
+    /// the engine builds it through the worker pool via
+    /// [`BsIndex::build_sharded`]. For any other payload kind the index
+    /// argument is meaningless, so this falls back to
+    /// [`PreparedReport::new`].
+    pub fn with_bs_index(payload: &'a ReportPayload, index: BsIndex) -> Self {
+        match payload {
+            ReportPayload::BitSeq(_) => PreparedReport {
+                payload,
+                index: PreparedIndex::BitSeq(index),
+            },
+            _ => PreparedReport::new(payload),
+        }
+    }
+
     /// The underlying report.
     pub fn payload(&self) -> &'a ReportPayload {
         self.payload

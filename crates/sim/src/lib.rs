@@ -19,6 +19,10 @@
 //! * [`facility`] — a single-server queueing facility with priority classes
 //!   and preemptive-resume service, modelling a wireless channel whose
 //!   invalidation reports must go out exactly on the broadcast period.
+//! * [`pool`] — a persistent, determinism-preserving worker pool
+//!   ([`WorkerPool`]) for the engine's sharded tick phases: spawned once,
+//!   tick-barrier `run` over contiguous chunk descriptors, clean join on
+//!   drop.
 //!
 //! The kernel is deliberately *event-callback* shaped rather than
 //! process-oriented: the driving loop lives in the `mobicache` core crate
@@ -28,6 +32,7 @@
 pub mod dist;
 pub mod event;
 pub mod facility;
+pub mod pool;
 pub mod rng;
 pub mod stats;
 pub mod time;
@@ -35,6 +40,7 @@ pub mod time;
 pub use dist::{Bernoulli, Exp, Poisson, UniformRange, Zipf};
 pub use event::Scheduler;
 pub use facility::{Completion, Facility, FacilityConfig, Job};
+pub use pool::WorkerPool;
 pub use rng::SimRng;
 pub use stats::{Counter, Histogram, OnlineStats, TimeWeighted};
 pub use time::SimTime;

@@ -21,14 +21,21 @@ echo "==> tier-1: cargo test -q"
 cargo test -q
 
 # The golden-digest suite must hold at any worker-thread count: the
-# sharded fan-out is bit-identical by contract. Run it serial and
-# sharded (the default `cargo test -q` above already covered threads=1
-# implicitly; these runs make both settings explicit and loud).
-echo "==> determinism suite, threads=1"
-MOBICACHE_THREADS=1 cargo test -q --test determinism
+# persistent pool's sharded phases are bit-identical by contract. Run it
+# serial and sharded, in debug AND release — release reorders enough
+# (inlining, vectorized loops) to have caught ordering bugs debug masks.
+for profile in "" "--release"; do
+  for t in 1 4; do
+    echo "==> determinism suite, threads=$t ${profile:-debug}"
+    MOBICACHE_THREADS=$t cargo test -q $profile --test determinism
+  done
+done
 
-echo "==> determinism suite, threads=4"
-MOBICACHE_THREADS=4 cargo test -q --test determinism
+# Pool lifecycle tests under a hard timeout: their failure mode is a
+# wedged barrier or an unjoined worker, which must fail fast instead of
+# hanging the suite.
+echo "==> pool lifecycle suite (under timeout)"
+timeout 300 cargo test -q --release --test pool
 
 echo "==> bench smoke: report_pipeline --quick --threads 2"
 cargo build --release -p mobicache-bench

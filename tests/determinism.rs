@@ -121,3 +121,42 @@ fn sharded_digest_equals_serial_digest_per_scheme() {
         );
     }
 }
+
+/// The full thread-count matrix against the GOLDEN table: every scheme,
+/// at every thread count worth worrying about — serial, even and odd
+/// shard geometries, counts that do not divide the 20-client population
+/// (3, 7), auto (0), and more threads than clients (33, a degenerate
+/// single-client-per-shard split). The persistent pool must hit the
+/// pinned digest at every point.
+#[test]
+fn golden_digest_across_thread_matrix() {
+    let mut mismatches = Vec::new();
+    for &(scheme, expected) in GOLDEN {
+        for threads in [1u32, 2, 3, 7, 0, 33] {
+            let got = digest_with_threads(scheme, threads);
+            if got != expected {
+                mismatches.push((scheme, threads, expected, got));
+            }
+        }
+    }
+    assert!(
+        mismatches.is_empty(),
+        "digests moved under sharding (scheme, threads, expected, got): {mismatches:#x?}"
+    );
+}
+
+/// The pool's work-thinning knobs only decide which phases fan out —
+/// never what they compute. A knob large enough to force every phase
+/// serial must reproduce the pinned digest at any thread count.
+#[test]
+fn pool_knobs_do_not_move_digests() {
+    for &(scheme, expected) in GOLDEN {
+        let cfg = short_cfg(scheme)
+            .with_threads(4)
+            .with_pool_min_shard_clients(1_000)
+            .with_pool_min_shard_items(1 << 20);
+        let result = run(&cfg, RunOptions::default()).expect("valid config");
+        let got = fnv1a(format!("{:?}", result.metrics).as_bytes());
+        assert_eq!(got, expected, "{scheme:?} digest moved under knob change");
+    }
+}
