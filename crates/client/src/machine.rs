@@ -2,7 +2,7 @@
 
 use crate::query::{PendingState, QueryOutcome, QueryState};
 use mobicache_cache::{EntryState, LruCache};
-use mobicache_model::{CheckingMode, ClientId, ItemId, Scheme, UplinkKind};
+use mobicache_model::{CheckingMode, ClientId, ItemId, RetryPolicy, Scheme, UplinkKind};
 use mobicache_reports::{BsSelect, PreparedReport, ReportPayload, SigDecision};
 use mobicache_sim::SimTime;
 use std::collections::HashSet;
@@ -21,6 +21,10 @@ pub struct ClientConfig {
     /// Number of item groups for grouped checking (round-robin
     /// partition; only used under [`Scheme::Gcore`]).
     pub gcore_groups: u32,
+    /// Uplink retry/backoff policy under fault injection. `None` keeps
+    /// the legacy paper behaviour: a fixed two-period lost-reply grace
+    /// and no re-sends of lost requests.
+    pub retry: Option<RetryPolicy>,
 }
 
 /// Something the client wants the outside world to do.
@@ -55,6 +59,11 @@ pub struct ClientCounters {
     pub limbo_dropped: u64,
     /// Reconnection gaps entered (cache went limbo).
     pub limbo_episodes: u64,
+    /// Requests re-sent by the fault-injection retry timer.
+    pub retries_sent: u64,
+    /// Times the retry budget ran out and the client degraded to a
+    /// whole-cache drop.
+    pub backoff_exhaustions: u64,
 }
 
 /// A reconnection gap: the period of history the client missed and has
@@ -66,6 +75,8 @@ struct GapState {
     since: SimTime,
     /// When the `Tlb`/check message was sent, if it was.
     sent_at: Option<SimTime>,
+    /// Re-sends of the gap's `Tlb`/check so far (capped backoff).
+    retries: u32,
 }
 
 /// One mobile host.
@@ -213,6 +224,7 @@ impl Client {
         self.apply_report(now, prepared, actions);
         self.tlb = prepared.payload().broadcast_at();
         self.resolve_query(now, actions);
+        self.retry_pending_requests(now, actions);
     }
 
     /// Processes a downloaded data item (`version` = the update timestamp
@@ -335,7 +347,12 @@ impl Client {
                 if self.cache.get_valid(item).is_some() {
                     q.resolve(item, PendingState::WaitValidity, true);
                 } else {
-                    q.transition(item, PendingState::WaitValidity, PendingState::WaitData);
+                    q.transition_at(
+                        item,
+                        PendingState::WaitValidity,
+                        PendingState::WaitData,
+                        now,
+                    );
                     actions.push(ClientAction::Uplink(UplinkKind::QueryRequest { item }));
                 }
             }
@@ -399,7 +416,12 @@ impl Client {
                 if self.cache.get_valid(item).is_some() {
                     q.resolve(item, PendingState::WaitValidity, true);
                 } else {
-                    q.transition(item, PendingState::WaitValidity, PendingState::WaitData);
+                    q.transition_at(
+                        item,
+                        PendingState::WaitValidity,
+                        PendingState::WaitData,
+                        now,
+                    );
                     actions.push(ClientAction::Uplink(UplinkKind::QueryRequest { item }));
                 }
             }
@@ -412,6 +434,7 @@ impl Client {
             self.gap = Some(GapState {
                 since: self.tlb,
                 sent_at: None,
+                retries: 0,
             });
             if !self.cache.is_empty() {
                 self.cache.mark_all_limbo();
@@ -461,6 +484,8 @@ impl Client {
                 if !covers_tlb {
                     self.cache.mark_all_limbo();
                     gap.sent_at = None;
+                    // A fresh unvouched period restarts the retry budget.
+                    gap.retries = 0;
                 }
             }
         }
@@ -536,6 +561,30 @@ impl Client {
         }
     }
 
+    /// How long after an uplinked `Tlb`/check the client keeps waiting
+    /// for a covering report before concluding the request (or its
+    /// reply) was lost. Legacy behaviour is a fixed two periods; a
+    /// fault-injection [`RetryPolicy`] doubles the wait per retry up to
+    /// its cap.
+    fn gap_grace_secs(cfg: &ClientConfig, retries: u32) -> f64 {
+        let intervals = match cfg.retry {
+            None => 2.0,
+            Some(p) => f64::from(p.timeout_intervals_for(retries)),
+        };
+        intervals * cfg.broadcast_period_secs
+    }
+
+    /// The retry budget ran out: paper-faithful graceful degradation —
+    /// drop the whole cache and start cold, closing the gap.
+    fn degrade_exhausted(&mut self) {
+        self.counters.backoff_exhaustions += 1;
+        if !self.cache.is_empty() {
+            self.counters.full_drops += 1;
+        }
+        self.cache.clear();
+        self.gap = None;
+    }
+
     /// A window report arrived that does not reach back to the gap —
     /// the scheme-defining moment (see the crate docs table).
     fn on_uncovered_window(
@@ -556,11 +605,24 @@ impl Client {
             Scheme::Gcore => {
                 self.enter_gap(now);
                 let gap = self.gap.as_mut().expect("just entered");
+                let mut retried = false;
                 // Same lost-reply re-arm as simple checking.
                 if let Some(sent_at) = gap.sent_at {
-                    let grace = 2.0 * self.cfg.broadcast_period_secs;
+                    let grace = Self::gap_grace_secs(&self.cfg, gap.retries);
                     if report_built_at.as_secs() >= sent_at.as_secs() + grace {
-                        gap.sent_at = None;
+                        match self.cfg.retry {
+                            Some(p) if gap.retries >= p.max_retries => {
+                                self.degrade_exhausted();
+                                return;
+                            }
+                            policy => {
+                                gap.sent_at = None;
+                                if policy.is_some() {
+                                    gap.retries += 1;
+                                    retried = true;
+                                }
+                            }
+                        }
                     }
                 }
                 if gap.sent_at.is_none() && !self.cache.is_empty() {
@@ -583,6 +645,7 @@ impl Client {
                     let gap = self.gap.as_mut().expect("still open");
                     gap.sent_at = Some(now);
                     self.counters.checks_sent += 1;
+                    self.counters.retries_sent += u64::from(retried);
                 }
                 if self.cache.is_empty() {
                     self.gap = None;
@@ -591,14 +654,28 @@ impl Client {
             Scheme::SimpleChecking => {
                 self.enter_gap(now);
                 let gap = self.gap.as_mut().expect("just entered");
+                let mut retried = false;
                 // Re-arm a check whose validity report was lost (e.g. the
                 // client dozed off while the reply was in flight): after a
-                // grace of two periods with limbo still unresolved, send
-                // the check again.
+                // grace of two periods (or the fault policy's backoff
+                // schedule) with limbo still unresolved, send the check
+                // again.
                 if let Some(sent_at) = gap.sent_at {
-                    let grace = 2.0 * self.cfg.broadcast_period_secs;
+                    let grace = Self::gap_grace_secs(&self.cfg, gap.retries);
                     if report_built_at.as_secs() >= sent_at.as_secs() + grace {
-                        gap.sent_at = None;
+                        match self.cfg.retry {
+                            Some(p) if gap.retries >= p.max_retries => {
+                                self.degrade_exhausted();
+                                return;
+                            }
+                            policy => {
+                                gap.sent_at = None;
+                                if policy.is_some() {
+                                    gap.retries += 1;
+                                    retried = true;
+                                }
+                            }
+                        }
                     }
                 }
                 if self.cfg.checking_mode == CheckingMode::FullCache
@@ -613,6 +690,7 @@ impl Client {
                     actions.push(ClientAction::Uplink(UplinkKind::CheckRequest { entries }));
                     gap.sent_at = Some(now);
                     self.counters.checks_sent += 1;
+                    self.counters.retries_sent += u64::from(retried);
                 }
                 if self.cache.is_empty() {
                     // Nothing to salvage; the gap is moot.
@@ -635,16 +713,36 @@ impl Client {
                         }
                     }
                     Some(sent_at) => {
-                        // Give up once a report built comfortably after our
-                        // Tlb reached the server still does not cover us:
-                        // the server judged BS unable to help (our Tlb
-                        // predates TS(B_n)), so the limbo entries are
-                        // unsalvageable.
-                        let grace = 2.0 * self.cfg.broadcast_period_secs;
+                        // Legacy: give up once a report built comfortably
+                        // after our Tlb reached the server still does not
+                        // cover us — the server judged BS unable to help
+                        // (our Tlb predates TS(B_n)), so the limbo entries
+                        // are unsalvageable. Under fault injection the
+                        // uncovering report may instead mean the Tlb was
+                        // *lost* on the uplink, so the policy re-sends it
+                        // (idempotent at the server) with capped
+                        // exponential backoff before degrading.
+                        let grace = Self::gap_grace_secs(&self.cfg, gap.retries);
                         if report_built_at.as_secs() >= sent_at.as_secs() + grace {
-                            let dropped = self.cache.drop_limbo();
-                            self.counters.limbo_dropped += dropped as u64;
-                            self.gap = None;
+                            match self.cfg.retry {
+                                None => {
+                                    let dropped = self.cache.drop_limbo();
+                                    self.counters.limbo_dropped += dropped as u64;
+                                    self.gap = None;
+                                }
+                                Some(p) if gap.retries >= p.max_retries => {
+                                    self.degrade_exhausted();
+                                }
+                                Some(_) => {
+                                    actions.push(ClientAction::Uplink(UplinkKind::TlbReport {
+                                        tlb_secs: gap.since.as_secs(),
+                                    }));
+                                    gap.sent_at = Some(now);
+                                    gap.retries += 1;
+                                    self.counters.tlbs_sent += 1;
+                                    self.counters.retries_sent += 1;
+                                }
+                            }
                         }
                     }
                 }
@@ -678,14 +776,19 @@ impl Client {
                 // A verdict is (or will be) on its way: under FullCache
                 // the gap check already covers this item; under
                 // QueriedItems we check it now, targeted.
-                q.transition(item, PendingState::WaitReport, PendingState::WaitValidity);
+                q.transition_at(
+                    item,
+                    PendingState::WaitReport,
+                    PendingState::WaitValidity,
+                    now,
+                );
                 if self.cfg.checking_mode == CheckingMode::QueriedItems {
                     let version = self.cache.peek(item).expect("limbo entry").version;
                     check_entries.push((item, version.as_secs()));
                 }
             } else {
                 // Absent, or limbo under a scheme that fetches fresh.
-                q.transition(item, PendingState::WaitReport, PendingState::WaitData);
+                q.transition_at(item, PendingState::WaitReport, PendingState::WaitData, now);
                 actions.push(ClientAction::Uplink(UplinkKind::QueryRequest { item }));
             }
         }
@@ -696,6 +799,41 @@ impl Client {
             self.counters.checks_sent += 1;
         }
         self.try_finish(now, actions);
+    }
+
+    /// Fault-injection safety net for per-item requests: a data request
+    /// (or validity check) whose uplink or reply was lost would park the
+    /// query forever. With a [`RetryPolicy`] configured, re-send after
+    /// the backoff schedule's wait; a stuck validity wait falls back to
+    /// fetching fresh data, which is always safe. At most one re-send
+    /// per item per report keeps the retry traffic bounded by the
+    /// broadcast clock. Requests are re-sent even past `max_retries`
+    /// (at the capped interval): dropping the cache cannot answer a
+    /// query, so the repeat request is the only route forward and it
+    /// terminates once the channel heals or the server recovers.
+    fn retry_pending_requests(&mut self, now: SimTime, actions: &mut Vec<ClientAction>) {
+        let Some(policy) = self.cfg.retry else { return };
+        let Some(q) = &mut self.query else { return };
+        let l = self.cfg.broadcast_period_secs;
+        for p in &mut q.items {
+            let Some(at) = p.requested_at else { continue };
+            let wait = f64::from(policy.timeout_intervals_for(p.retries)) * l;
+            if now.as_secs() < at.as_secs() + wait {
+                continue;
+            }
+            match p.state {
+                PendingState::WaitData | PendingState::WaitValidity => {
+                    p.state = PendingState::WaitData;
+                    p.requested_at = Some(now);
+                    p.retries = p.retries.saturating_add(1);
+                    actions.push(ClientAction::Uplink(UplinkKind::QueryRequest {
+                        item: p.item,
+                    }));
+                    self.counters.retries_sent += 1;
+                }
+                PendingState::WaitReport | PendingState::Done => {}
+            }
+        }
     }
 
     fn try_finish(&mut self, now: SimTime, actions: &mut Vec<ClientAction>) {
@@ -726,6 +864,7 @@ mod tests {
             cache_capacity: 8,
             broadcast_period_secs: 20.0,
             gcore_groups: 4,
+            retry: None,
         }
     }
 
@@ -1352,5 +1491,145 @@ mod tests {
         );
         c.on_report(t(60.0), &sig2);
         assert!(c.cache().peek(ItemId(3)).is_none());
+    }
+
+    // --- fault-injection retry/backoff ---------------------------------
+
+    fn cfg_retry(scheme: Scheme, timeout_intervals: u32, max_retries: u32) -> ClientConfig {
+        ClientConfig {
+            retry: Some(RetryPolicy {
+                timeout_intervals,
+                max_retries,
+                backoff_cap_intervals: 8,
+            }),
+            ..cfg(scheme)
+        }
+    }
+
+    fn tlb_reports(acts: &[ClientAction]) -> usize {
+        acts.iter()
+            .filter(|a| matches!(a, ClientAction::Uplink(UplinkKind::TlbReport { .. })))
+            .count()
+    }
+
+    #[test]
+    fn adaptive_client_retries_tlb_with_backoff_then_degrades() {
+        let mut c = Client::new(ClientId(0), cfg_retry(Scheme::Afw, 1, 2));
+        warm(&mut c, 20.0, 3);
+        c.disconnect(t(30.0));
+        c.reconnect(t(800.0));
+        // Initial Tlb goes up on the first uncovering report.
+        let acts = c.on_report(t(800.0), &window(800.0, 600.0, vec![]));
+        assert_eq!(tlb_reports(&acts), 1);
+        // One interval without coverage: first retry.
+        let acts = c.on_report(t(820.0), &window(820.0, 620.0, vec![]));
+        assert_eq!(tlb_reports(&acts), 1, "first retry after one interval");
+        assert_eq!(c.counters().retries_sent, 1);
+        // Backoff doubled to two intervals: nothing at +1, retry at +2.
+        let acts = c.on_report(t(840.0), &window(840.0, 640.0, vec![]));
+        assert_eq!(tlb_reports(&acts), 0, "still inside doubled backoff");
+        let acts = c.on_report(t(860.0), &window(860.0, 660.0, vec![]));
+        assert_eq!(tlb_reports(&acts), 1, "second retry after two intervals");
+        assert_eq!(c.counters().retries_sent, 2);
+        assert_eq!(c.counters().tlbs_sent, 3);
+        // Budget spent (max_retries = 2): after four more silent
+        // intervals the client degrades to a whole-cache drop.
+        for at in [880.0, 900.0, 920.0] {
+            let acts = c.on_report(t(at), &window(at, at - 200.0, vec![]));
+            assert!(acts.is_empty(), "waiting out the capped backoff at {at}");
+        }
+        let acts = c.on_report(t(940.0), &window(940.0, 740.0, vec![]));
+        assert!(acts.is_empty());
+        assert!(c.cache().is_empty(), "graceful degradation drops the cache");
+        assert_eq!(c.counters().backoff_exhaustions, 1);
+        assert_eq!(c.counters().full_drops, 1);
+        assert!(!c.cache().has_limbo());
+    }
+
+    #[test]
+    fn checking_client_retries_check_then_degrades() {
+        let mut c = Client::new(ClientId(0), cfg_retry(Scheme::SimpleChecking, 1, 1));
+        warm(&mut c, 20.0, 3);
+        c.disconnect(t(30.0));
+        c.reconnect(t(800.0));
+        c.on_report(t(800.0), &window(800.0, 600.0, vec![]));
+        assert_eq!(c.counters().checks_sent, 1);
+        // Lost reply: the check is re-sent after one interval.
+        let acts = c.on_report(t(820.0), &window(820.0, 620.0, vec![]));
+        assert!(acts
+            .iter()
+            .any(|a| matches!(a, ClientAction::Uplink(UplinkKind::CheckRequest { .. }))));
+        assert_eq!(c.counters().checks_sent, 2);
+        assert_eq!(c.counters().retries_sent, 1);
+        // max_retries = 1: after the doubled wait, degrade.
+        c.on_report(t(840.0), &window(840.0, 640.0, vec![]));
+        assert!(c.cache().has_limbo(), "inside doubled backoff");
+        c.on_report(t(860.0), &window(860.0, 660.0, vec![]));
+        assert!(c.cache().is_empty());
+        assert_eq!(c.counters().backoff_exhaustions, 1);
+    }
+
+    #[test]
+    fn lost_data_request_is_retried_until_answered() {
+        let mut c = Client::new(ClientId(0), cfg_retry(Scheme::Afw, 1, 2));
+        c.start_query(t(5.0), vec![ItemId(7)]);
+        let acts = c.on_report(t(21.0), &window(21.0, -179.0, vec![]));
+        assert!(matches!(
+            &acts[0],
+            ClientAction::Uplink(UplinkKind::QueryRequest { .. })
+        ));
+        // The request (or its reply) was lost: re-sent after one
+        // interval, then after two (capped exponential backoff).
+        let acts = c.on_report(t(41.0), &window(41.0, -159.0, vec![]));
+        assert!(
+            matches!(
+                &acts[..],
+                [ClientAction::Uplink(UplinkKind::QueryRequest { item })] if *item == ItemId(7)
+            ),
+            "retry after one interval: {acts:?}"
+        );
+        let acts = c.on_report(t(61.0), &window(61.0, -139.0, vec![]));
+        assert!(acts.is_empty(), "inside doubled backoff");
+        let acts = c.on_report(t(81.0), &window(81.0, -119.0, vec![]));
+        assert_eq!(acts.len(), 1, "second retry");
+        assert_eq!(c.counters().retries_sent, 2);
+        // Data finally lands: the query completes normally.
+        let acts = c.on_data(t(85.0), ItemId(7), SimTime::ZERO);
+        assert!(matches!(&acts[0], ClientAction::QueryDone(_)));
+        assert_eq!(c.counters().queries_answered, 1);
+    }
+
+    #[test]
+    fn stuck_validity_wait_falls_back_to_data_fetch() {
+        let mut c = Client::new(
+            ClientId(0),
+            ClientConfig {
+                checking_mode: CheckingMode::QueriedItems,
+                ..cfg_retry(Scheme::SimpleChecking, 1, 2)
+            },
+        );
+        warm(&mut c, 20.0, 3);
+        c.disconnect(t(30.0));
+        c.reconnect(t(800.0));
+        c.on_report(t(800.0), &window(800.0, 600.0, vec![]));
+        assert!(c.cache().has_limbo());
+        // Query the limbo item: a targeted check goes up.
+        c.start_query(t(805.0), vec![ItemId(3)]);
+        let acts = c.on_report(t(820.0), &window(820.0, 620.0, vec![]));
+        assert!(acts
+            .iter()
+            .any(|a| matches!(a, ClientAction::Uplink(UplinkKind::CheckRequest { .. }))));
+        // The verdict never arrives: fall back to fetching fresh data.
+        let acts = c.on_report(t(840.0), &window(840.0, 640.0, vec![]));
+        assert!(
+            acts.iter().any(|a| matches!(
+                a,
+                ClientAction::Uplink(UplinkKind::QueryRequest { item }) if *item == ItemId(3)
+            )),
+            "fallback fetch: {acts:?}"
+        );
+        assert_eq!(c.counters().retries_sent, 1);
+        let acts = c.on_data(t(845.0), ItemId(3), t(841.0));
+        assert!(matches!(&acts[0], ClientAction::QueryDone(_)));
     }
 }

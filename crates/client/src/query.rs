@@ -25,6 +25,11 @@ pub struct PendingItem {
     pub item: ItemId,
     /// Resolution progress.
     pub state: PendingState,
+    /// When the in-flight data/validity request went up (fault-injection
+    /// retry timer; `None` while waiting passively on reports).
+    pub requested_at: Option<SimTime>,
+    /// Re-sends of the in-flight request so far (capped backoff).
+    pub retries: u32,
 }
 
 /// Summary of a completed query.
@@ -67,6 +72,8 @@ impl QueryState {
                 .map(|item| PendingItem {
                     item,
                     state: PendingState::WaitReport,
+                    requested_at: None,
+                    retries: 0,
                 })
                 .collect(),
             hits: 0,
@@ -102,6 +109,28 @@ impl QueryState {
         for p in &mut self.items {
             if p.item == item && p.state == from {
                 p.state = to;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Like [`QueryState::transition`], but also stamps the transitioned
+    /// item's request timestamp (and resets its retry count) — used when
+    /// the transition puts a request on the uplink, so the
+    /// fault-injection retry timer knows when it went up.
+    pub fn transition_at(
+        &mut self,
+        item: ItemId,
+        from: PendingState,
+        to: PendingState,
+        now: SimTime,
+    ) -> bool {
+        for p in &mut self.items {
+            if p.item == item && p.state == from {
+                p.state = to;
+                p.requested_at = Some(now);
+                p.retries = 0;
                 return true;
             }
         }

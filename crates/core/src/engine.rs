@@ -14,13 +14,13 @@
 //!   the fourth power of the distance"); the driver charges every client
 //!   transmission and reception against the configured per-bit costs.
 
-use crate::metrics::{ClientStats, Metrics};
+use crate::metrics::{ClientStats, FaultMetrics, Metrics};
 use crate::oracle::Oracle;
 use crate::probe::{CacheEventKind, IntervalSnapshot, Probe, ProbeEvent, ReportKind, RunTotals};
 use mobicache_cache::LruCache;
 use mobicache_client::{Client, ClientAction, ClientConfig, ClientCounters};
 use mobicache_model::msg::{DownlinkKind, SizeParams, UplinkKind, CLASS_CHECK, CLASS_REPORT};
-use mobicache_model::{ClientId, ConfigError, DownlinkTopology, ItemId, SimConfig};
+use mobicache_model::{ChannelFaults, ClientId, ConfigError, DownlinkTopology, ItemId, SimConfig};
 use mobicache_net::Channel;
 use mobicache_reports::{BsIndex, PreparedReport, ReportPayload};
 use mobicache_server::Server;
@@ -121,6 +121,10 @@ enum Ev {
     DownlinkDone(usize, u64),
     /// An uplink transmission finished (facility token).
     UplinkDone(u64),
+    /// A scheduled server crash wipes the volatile server state.
+    ServerCrash,
+    /// The crashed server finishes rebuilding from its durable log.
+    ServerRecover,
 }
 
 /// Downlink message payloads.
@@ -145,7 +149,15 @@ enum DownPayload {
     },
 }
 
-type UpPayload = (ClientId, UplinkKind);
+/// An uplink message in flight: who sent it, what it is, and whether a
+/// fault coin already doomed it. A doomed message still charges the
+/// sender's radio and occupies the channel — the transmission happens;
+/// the receiver just never hears it.
+struct UpMsg {
+    from: ClientId,
+    kind: UplinkKind,
+    lost: bool,
+}
 
 /// Shard-local scratch for the parallel tick phases. Workers append
 /// here and nowhere else; the engine replays the contents serially in
@@ -267,15 +279,37 @@ pub struct Simulation<'p> {
     /// One channel ([`DownlinkTopology::Shared`]) or two (broadcast +
     /// point-to-point under [`DownlinkTopology::Dedicated`]).
     downlinks: Vec<Channel<DownPayload>>,
-    uplink: Channel<UpPayload>,
+    uplink: Channel<UpMsg>,
     update_gen: UpdateGen,
     query_gen: QueryGen,
     gap_proc: GapProcess,
     rng_update: SimRng,
     rng_clients: Vec<SimRng>,
-    /// Separate stream for report-loss coins so enabling loss does not
-    /// perturb the workload streams.
-    rng_loss: SimRng,
+    /// Per-client fault streams (Gilbert–Elliott transitions, downlink-
+    /// and uplink-loss coins), advanced only in the serial phases so
+    /// enabling faults never perturbs the workload streams and the coin
+    /// schedule is thread-invariant. Untouched while no fault is active.
+    rng_faults: Vec<SimRng>,
+    /// Per-client Gilbert–Elliott channel state (`true` = in a burst).
+    ge_bad: Vec<bool>,
+    /// The downlink fault chain with the legacy `p_report_loss` knob
+    /// folded in as an independent loss source.
+    eff_downlink: ChannelFaults,
+    /// Nesting depth of in-progress server crash windows (0 = up).
+    down_depth: u32,
+    /// Earliest unacknowledged crash instant — measured (and cleared)
+    /// at the first successful post-recovery broadcast.
+    crash_pending_since: Option<SimTime>,
+    /// Sum of crash → first-post-recovery-broadcast latencies.
+    recovery_latency_sum: f64,
+    /// Data responses currently queued or in flight on the downlink,
+    /// keyed by `(requester, item)`. Retry-armed clients cannot tell a
+    /// lost request from queueing delay, so the server ignores a
+    /// duplicate request whose answer is already on its way instead of
+    /// re-sending a full item. Empty while no fault is active.
+    inflight_data: std::collections::HashSet<(ClientId, ItemId)>,
+    /// Fault tallies accumulated during the run.
+    faults: FaultMetrics,
     latency: OnlineStats,
     latency_hist: Histogram,
     oracle: Option<Oracle>,
@@ -339,6 +373,10 @@ impl<'p> Simulation<'p> {
             cache_capacity: cfg.cache_capacity_items() as usize,
             broadcast_period_secs: cfg.broadcast_period_secs,
             gcore_groups: cfg.gcore_groups,
+            // Retry/backoff only arms under an explicit fault plan; the
+            // bare legacy `p_report_loss` knob keeps the historical
+            // fixed-grace behaviour (and its golden digests).
+            retry: cfg.faults.is_active().then_some(cfg.faults.retry),
         };
         let mut sched = Scheduler::new();
         let mut rng_clients: Vec<SimRng> = (0..cfg.num_clients)
@@ -359,6 +397,16 @@ impl<'p> Simulation<'p> {
             SimTime::from_secs(update_gen.next_interarrival(&mut rng_update)),
             Ev::UpdateArrival,
         );
+        // Scheduled server crashes: the crash lands first, the recovery
+        // `recovery_secs` later (FIFO keeps that order when both fall on
+        // the same instant). An empty schedule adds no events at all.
+        for &at in &cfg.faults.crashes {
+            sched.schedule(SimTime::from_secs(at), Ev::ServerCrash);
+            sched.schedule(
+                SimTime::from_secs(at + cfg.faults.recovery_secs),
+                Ev::ServerRecover,
+            );
+        }
         let threads = match cfg.threads {
             0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
             n => n as usize,
@@ -450,7 +498,16 @@ impl<'p> Simulation<'p> {
             ),
             rng_update,
             rng_clients,
-            rng_loss: SimRng::stream(cfg.seed, 0xF00D),
+            rng_faults: (0..cfg.num_clients)
+                .map(|c| SimRng::stream(cfg.seed, 0xFA17_0000_0000_0000 + u64::from(c)))
+                .collect(),
+            ge_bad: vec![false; cfg.num_clients as usize],
+            eff_downlink: cfg.faults.downlink.with_independent_loss(cfg.p_report_loss),
+            down_depth: 0,
+            crash_pending_since: None,
+            recovery_latency_sum: 0.0,
+            inflight_data: std::collections::HashSet::new(),
+            faults: FaultMetrics::default(),
             latency: OnlineStats::new(),
             latency_hist: Histogram::new(0.0, 2_000.0, 200),
             oracle: opts.check_consistency.then(Oracle::new),
@@ -510,36 +567,52 @@ impl<'p> Simulation<'p> {
                 }
                 Ev::DownlinkDone(idx, token) => self.on_downlink_done(now, idx, token),
                 Ev::UplinkDone(token) => self.on_uplink_done(now, token),
+                Ev::ServerCrash => self.on_server_crash(now),
+                Ev::ServerRecover => self.on_server_recover(now),
             }
         }
         self.finish()
     }
 
     fn on_tick(&mut self, now: SimTime) {
-        let (report, decision) = self.server.build_report_shared(now);
-        let kind = DownlinkKind::InvalidationReport {
-            content_bits: report.size_bits(&self.sp),
-        };
-        let bits = kind.size_bits(&self.sp);
-        if self.opts.probe.is_some() {
-            let report_kind = ReportKind::of(&report);
-            let window_start_secs = match &*report {
-                ReportPayload::Window(w) => Some(w.window_start.as_secs()),
-                _ => None,
+        // A crashed server skips the broadcast — the clock keeps ticking
+        // (and the snapshot stride with it); clients experience the
+        // silent interval exactly like a lost report and fall back on
+        // their gap/retry machinery.
+        if self.down_depth == 0 {
+            let (report, decision) = self.server.build_report_shared(now);
+            let kind = DownlinkKind::InvalidationReport {
+                content_bits: report.size_bits(&self.sp),
             };
-            self.emit(
-                now,
-                ProbeEvent::ReportBroadcast {
-                    kind: report_kind,
-                    bits,
-                    window_start_secs,
-                },
-            );
-            if let Some(d) = decision {
-                self.emit(now, ProbeEvent::AdaptiveDecision(d));
+            let bits = kind.size_bits(&self.sp);
+            if self.opts.probe.is_some() {
+                let report_kind = ReportKind::of(&report);
+                let window_start_secs = match &*report {
+                    ReportPayload::Window(w) => Some(w.window_start.as_secs()),
+                    _ => None,
+                };
+                self.emit(
+                    now,
+                    ProbeEvent::ReportBroadcast {
+                        kind: report_kind,
+                        bits,
+                        window_start_secs,
+                    },
+                );
+                if let Some(d) = decision {
+                    self.emit(now, ProbeEvent::AdaptiveDecision(d));
+                }
+            }
+            self.send_downlink(now, bits, kind.class(), DownPayload::Report(report));
+            if let Some(since) = self.crash_pending_since.take() {
+                // Recovery completes, from the clients' point of view,
+                // with the first report built after the server came back.
+                let offline_secs = now - since;
+                self.faults.recoveries += 1;
+                self.recovery_latency_sum += offline_secs;
+                self.emit(now, ProbeEvent::ServerRecovered { offline_secs });
             }
         }
-        self.send_downlink(now, bits, kind.class(), DownPayload::Report(report));
         self.sched
             .schedule_in(self.cfg.broadcast_period_secs, Ev::Tick);
         self.ticks += 1;
@@ -549,6 +622,47 @@ impl<'p> Simulation<'p> {
                 self.take_snapshot(now.as_secs());
             }
         }
+    }
+
+    /// A scheduled crash wipes the server's volatile state (pending
+    /// `Tlb`s, cached report payloads, shared signature state); the
+    /// durable update log survives. Overlapping crash windows nest.
+    fn on_server_crash(&mut self, now: SimTime) {
+        let dropped = self.server.crash();
+        self.down_depth += 1;
+        self.faults.server_crashes += 1;
+        self.faults.crash_dropped_tlbs += dropped;
+        if self.crash_pending_since.is_none() {
+            self.crash_pending_since = Some(now);
+        }
+        self.emit(
+            now,
+            ProbeEvent::ServerCrash {
+                dropped_tlbs: dropped,
+            },
+        );
+        // Nothing a crash does may ever invalidate a client cache entry
+        // the oracle would object to — prove it at the boundary.
+        self.check_all_consistency();
+    }
+
+    /// The crashed server finishes replaying its durable update log and
+    /// comes back online (broadcasts resume at the next tick).
+    fn on_server_recover(&mut self, _now: SimTime) {
+        self.down_depth = self.down_depth.saturating_sub(1);
+        if self.down_depth == 0 {
+            self.server.recover();
+        }
+        self.check_all_consistency();
+    }
+
+    /// Full-population oracle scan (crash/recovery boundaries).
+    fn check_all_consistency(&mut self) {
+        if self.oracle.is_none() {
+            return;
+        }
+        let all = vec![true; self.clients.len()];
+        self.check_consistency_sharded(&all);
     }
 
     /// Forwards a typed event to the attached probe, if any.
@@ -572,6 +686,8 @@ impl<'p> Simulation<'p> {
             checks_processed: sc.checks_processed,
             disconnections: self.disconnections,
             reports_lost: self.reports_lost,
+            uplink_losses: self.faults.uplink_losses,
+            server_crashes: self.faults.server_crashes,
             client_tx_bits: self.tx_bits,
             client_rx_bits: self.rx_bits,
             events_scheduled: self.sched.events_scheduled(),
@@ -584,6 +700,7 @@ impl<'p> Simulation<'p> {
             t.queries_answered += c.queries_answered;
             t.item_hits += c.item_hits;
             t.item_misses += c.item_misses;
+            t.fault_retries += c.retries_sent;
             t.cache_evictions += client.cache().evictions();
         }
         t
@@ -655,22 +772,64 @@ impl<'p> Simulation<'p> {
                     _ => report.prepare(),
                 };
                 // Phase 0 (serial): decide who hears this broadcast.
-                // Loss coins and the rx-bits accumulation stay in
-                // client-index order, so the RNG stream and the float
-                // addition order match the serial engine bit for bit.
+                // Fault coins and the rx-bits accumulation stay in
+                // client-index order on dedicated per-client streams, so
+                // the coin schedule and the float addition order match
+                // the serial engine bit for bit at any thread count.
                 let mut deliver = std::mem::take(&mut self.deliver_scratch);
                 deliver.clear();
                 deliver.resize(self.clients.len(), false);
-                for (i, client) in self.clients.iter().enumerate() {
-                    if !client.is_connected() {
-                        continue; // dozing clients miss the broadcast
+                if !self.eff_downlink.is_active() {
+                    for (i, client) in self.clients.iter().enumerate() {
+                        if !client.is_connected() {
+                            continue; // dozing clients miss the broadcast
+                        }
+                        self.rx_bits += delivered.bits;
+                        deliver[i] = true;
                     }
-                    if self.cfg.p_report_loss > 0.0 && self.rng_loss.coin(self.cfg.p_report_loss) {
-                        self.reports_lost += 1;
-                        continue; // fading: this client misses the report
+                } else {
+                    let df = self.eff_downlink;
+                    let p_exit = df.p_exit_burst();
+                    for (i, slot) in deliver.iter_mut().enumerate() {
+                        // The Gilbert–Elliott chain evolves for every
+                        // client, listening or not — burstiness is a
+                        // property of the radio path, and a draw schedule
+                        // independent of connectivity keeps each client's
+                        // stream aligned with the broadcast clock.
+                        let bad = if self.ge_bad[i] {
+                            !self.rng_faults[i].coin(p_exit)
+                        } else {
+                            df.p_enter_burst > 0.0 && self.rng_faults[i].coin(df.p_enter_burst)
+                        };
+                        self.ge_bad[i] = bad;
+                        if !self.clients[i].is_connected() {
+                            continue; // dozing clients miss the broadcast
+                        }
+                        let p = if bad { df.p_loss_bad } else { df.p_loss_good };
+                        if p > 0.0 && self.rng_faults[i].coin(p) {
+                            self.reports_lost += 1;
+                            if bad {
+                                self.faults.downlink_losses_burst += 1;
+                            } else {
+                                self.faults.downlink_losses_good += 1;
+                            }
+                            if self.clients[i].has_pending_query() {
+                                // The query must now wait at least one
+                                // more interval for a report.
+                                self.faults.queries_stretched += 1;
+                            }
+                            self.emit(
+                                now,
+                                ProbeEvent::ReportLost {
+                                    client: ClientId(i as u16),
+                                    in_burst: bad,
+                                },
+                            );
+                            continue;
+                        }
+                        self.rx_bits += delivered.bits;
+                        *slot = true;
                     }
-                    self.rx_bits += delivered.bits;
-                    deliver[i] = true;
                 }
                 // Phase 1 (parallel): each shard applies the report to
                 // its contiguous client range, touching only its own
@@ -716,6 +875,9 @@ impl<'p> Simulation<'p> {
                 self.deliver_scratch = deliver;
             }
             DownPayload::Data { item, dest } => {
+                // The response left the downlink: a later re-request for
+                // this item is a fresh request, not a duplicate.
+                self.inflight_data.remove(&(dest, item));
                 // Delivered copies reflect the version current at delivery
                 // (see DESIGN.md §3: this removes the report/fetch race a
                 // bit-level model would have to resolve with torn reads).
@@ -806,9 +968,29 @@ impl<'p> Simulation<'p> {
         if let Some(c) = delivered.next {
             self.sched.schedule(c.at, Ev::UplinkDone(c.token));
         }
-        let (from, kind) = delivered.msg;
+        let UpMsg { from, kind, lost } = delivered.msg;
+        if lost {
+            return; // the fault coin fell at send time; tallied there
+        }
+        if self.down_depth > 0 {
+            // The request reaches a crashed server: dead air. The
+            // client's retry machinery (or graceful degradation) takes
+            // it from here.
+            self.faults.crash_dropped_uplinks += 1;
+            return;
+        }
         match kind {
             UplinkKind::QueryRequest { item } => {
+                // Retry-armed clients cannot distinguish a lost request
+                // from downlink queueing delay, so duplicates of a
+                // request whose answer is already queued are expected;
+                // answering each would flood the saturated downlink
+                // with repeated full items. The set stays empty (and
+                // this path untouched) while no fault is active.
+                if self.cfg.faults.is_active() && !self.inflight_data.insert((from, item)) {
+                    self.faults.duplicate_requests_ignored += 1;
+                    return;
+                }
                 let dk = DownlinkKind::DataItem { item };
                 let bits = dk.size_bits(&self.sp);
                 self.send_downlink(
@@ -889,7 +1071,26 @@ impl<'p> Simulation<'p> {
                 let bits = kind.size_bits(&self.sp);
                 let class = kind.class();
                 self.tx_bits += bits;
-                let completion = self.uplink.send(now, bits, class, (c, kind));
+                // Uplink-fault coin, drawn from the sender's dedicated
+                // stream — `apply_action` only ever runs in the serial
+                // phases, so the schedule is thread-invariant. A lost
+                // message still charges the radio and the channel.
+                let p = self.cfg.faults.p_uplink_loss;
+                let lost = p > 0.0 && self.rng_faults[c.index()].coin(p);
+                if lost {
+                    self.faults.uplink_losses += 1;
+                    self.emit(now, ProbeEvent::UplinkLost { client: c });
+                }
+                let completion = self.uplink.send(
+                    now,
+                    bits,
+                    class,
+                    UpMsg {
+                        from: c,
+                        kind,
+                        lost,
+                    },
+                );
                 if let Some(comp) = completion {
                     self.sched.schedule(comp.at, Ev::UplinkDone(comp.token));
                 }
@@ -1051,6 +1252,7 @@ impl<'p> Simulation<'p> {
         let mut hits = 0u64;
         let mut misses = 0u64;
         let mut evictions = 0u64;
+        let mut faults = self.faults;
         for client in &self.clients {
             let c = client.counters();
             clients.absorb(&c);
@@ -1059,7 +1261,22 @@ impl<'p> Simulation<'p> {
             hits += c.item_hits;
             misses += c.item_misses;
             evictions += client.cache().evictions();
+            faults.retries_sent += c.retries_sent;
+            faults.backoff_exhaustions += c.backoff_exhaustions;
         }
+        if self.cfg.faults.is_active() {
+            // Duplicate Tlbs also occur naturally (two clients sharing a
+            // last-report time reconnect in one interval); they only
+            // belong in the *fault* report when a fault plan could have
+            // caused them — and recording them unconditionally would
+            // surface a `faults` field in fault-free legacy renderings.
+            faults.duplicate_tlbs_ignored = self.server.counters().duplicate_tlbs;
+        }
+        faults.mean_recovery_latency_secs = if faults.recoveries == 0 {
+            0.0
+        } else {
+            self.recovery_latency_sum / faults.recoveries as f64
+        };
         // Aggregate downlink accounting across channels; utilization is
         // bandwidth-weighted so a Shared run and a Dedicated run report
         // comparable figures.
@@ -1119,6 +1336,7 @@ impl<'p> Simulation<'p> {
             disconnections: self.disconnections,
             events_processed: self.sched.events_delivered(),
             sim_time_secs: self.cfg.sim_time_secs,
+            faults,
         };
         RunResult {
             config: self.cfg,
@@ -1387,6 +1605,13 @@ mod tests {
                 .unwrap_or_else(|e| panic!("{scheme:?}: {e}"));
             assert!(result.metrics.reports_lost > 0, "{scheme:?}");
             assert!(result.metrics.queries_answered > 0, "{scheme:?}");
+            // The legacy knob rides the fault layer as a degenerate
+            // (burst-free) chain: every loss is a good-state loss.
+            let f = result.metrics.faults;
+            assert_eq!(f.downlink_losses_good, result.metrics.reports_lost);
+            assert_eq!(f.downlink_losses_burst, 0, "{scheme:?}");
+            // No fault *plan*: the legacy knob must not arm retries.
+            assert_eq!(f.retries_sent, 0, "{scheme:?}");
         }
     }
 
@@ -1396,6 +1621,150 @@ mod tests {
         let cfg = short_cfg(Scheme::Aaw);
         let a = run(&cfg, RunOptions::default()).unwrap();
         assert_eq!(a.metrics.reports_lost, 0);
+    }
+
+    #[test]
+    fn fault_free_runs_report_no_fault_metrics() {
+        // The guard behind the golden digests: without faults no fault
+        // stream is touched, every tally is zero, and the Debug
+        // rendering (the digest input) does not mention faults at all.
+        let result = run(&short_cfg(Scheme::Aaw), RunOptions::default()).unwrap();
+        assert_eq!(
+            result.metrics.faults,
+            crate::metrics::FaultMetrics::default()
+        );
+        assert!(!format!("{:?}", result.metrics).contains("faults"));
+    }
+
+    fn faulty_cfg(scheme: Scheme) -> SimConfig {
+        use mobicache_model::FaultPlan;
+        let mut cfg = short_cfg(scheme);
+        cfg.faults = FaultPlan {
+            downlink: ChannelFaults {
+                p_enter_burst: 0.1,
+                mean_burst_intervals: 4.0,
+                p_loss_good: 0.02,
+                p_loss_bad: 0.9,
+            },
+            p_uplink_loss: 0.2,
+            crashes: vec![1_000.0, 2_500.0],
+            recovery_secs: 60.0,
+            ..FaultPlan::none()
+        };
+        cfg
+    }
+
+    #[test]
+    fn bursty_loss_uplink_loss_and_crashes_are_survivable() {
+        for scheme in [Scheme::Aaw, Scheme::Afw, Scheme::SimpleChecking, Scheme::Bs] {
+            let result = run(
+                &faulty_cfg(scheme),
+                RunOptions::new().check_consistency(true),
+            )
+            .unwrap_or_else(|e| panic!("{scheme:?}: {e}"));
+            let m = &result.metrics;
+            let f = m.faults;
+            assert!(m.queries_answered > 0, "{scheme:?} starved under faults");
+            assert!(
+                f.downlink_losses_burst > 0,
+                "{scheme:?} never lost in a burst"
+            );
+            assert!(f.downlink_losses_good > 0, "{scheme:?}");
+            assert_eq!(
+                f.downlink_losses_good + f.downlink_losses_burst,
+                m.reports_lost,
+                "{scheme:?}: loss classification must cover every loss"
+            );
+            assert!(f.uplink_losses > 0, "{scheme:?}");
+            assert_eq!(f.server_crashes, 2, "{scheme:?}");
+            assert_eq!(f.recoveries, 2, "{scheme:?}");
+            // Clients measure recovery to the first post-recovery
+            // broadcast, so it can never undercut the outage itself.
+            assert!(
+                f.mean_recovery_latency_secs >= 60.0,
+                "{scheme:?}: {}",
+                f.mean_recovery_latency_secs
+            );
+            assert!(f.queries_stretched > 0, "{scheme:?}");
+        }
+    }
+
+    #[test]
+    fn uplink_loss_arms_the_retry_machinery() {
+        let mut cfg = faulty_cfg(Scheme::Afw);
+        cfg.p_disconnect = 0.3; // plenty of gaps → plenty of Tlb uplinks
+        let result = run(&cfg, RunOptions::new().check_consistency(true)).unwrap();
+        let f = result.metrics.faults;
+        assert!(f.retries_sent > 0, "lost uplinks must trigger re-sends");
+        assert!(
+            result.metrics.clients.tlbs_sent > 0,
+            "adaptive clients still report Tlbs under faults"
+        );
+    }
+
+    #[test]
+    fn duplicate_requests_are_deduped_not_reanswered() {
+        // The downlink is saturated by design, so data responses take
+        // longer than any aggressive retry timeout: the retries must be
+        // absorbed by the in-flight dedup instead of re-sending full
+        // items (which collapses goodput — this pins the fix).
+        use mobicache_model::RetryPolicy;
+        let mut cfg = faulty_cfg(Scheme::Aaw);
+        cfg.faults.retry = RetryPolicy {
+            timeout_intervals: 1,
+            max_retries: 2,
+            backoff_cap_intervals: 1,
+        };
+        let result = run(&cfg, RunOptions::new().check_consistency(true)).unwrap();
+        let f = result.metrics.faults;
+        assert!(f.retries_sent > 0);
+        assert!(
+            f.duplicate_requests_ignored > 0,
+            "1-interval retries against a saturated downlink must hit the dedup"
+        );
+        // Goodput survives the retry storm: most issued queries answer.
+        let m = &result.metrics;
+        assert!(
+            m.queries_answered * 2 > m.queries_issued,
+            "answered {} of {} issued",
+            m.queries_answered,
+            m.queries_issued
+        );
+    }
+
+    #[test]
+    fn fault_injection_is_bit_identical_across_thread_counts() {
+        for scheme in [Scheme::Aaw, Scheme::Afw, Scheme::SimpleChecking, Scheme::Bs] {
+            let mut cfg = faulty_cfg(scheme);
+            cfg.p_disconnect = 0.3;
+            let serial = run(&cfg, RunOptions::default()).unwrap();
+            for threads in [2, 4, 0] {
+                let sharded =
+                    run(&cfg.clone().with_threads(threads), RunOptions::default()).unwrap();
+                assert_eq!(
+                    format!("{:?}", serial.metrics),
+                    format!("{:?}", sharded.metrics),
+                    "{scheme:?} fault coins diverged at threads={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn crash_during_recovery_window_nests() {
+        // Overlapping crash windows: the second crash lands while the
+        // first is still recovering; the server must stay down until the
+        // *last* recovery completes and the run must stay consistent.
+        let mut cfg = short_cfg(Scheme::Aaw);
+        cfg.faults.crashes = vec![1_000.0, 1_050.0];
+        cfg.faults.recovery_secs = 200.0;
+        let result = run(&cfg, RunOptions::new().check_consistency(true)).unwrap();
+        let f = result.metrics.faults;
+        assert_eq!(f.server_crashes, 2);
+        // One outage from the clients' point of view.
+        assert_eq!(f.recoveries, 1);
+        assert!(f.mean_recovery_latency_secs >= 250.0, "{f:?}");
+        assert!(result.metrics.queries_answered > 0);
     }
 
     #[test]

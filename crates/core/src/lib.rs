@@ -41,7 +41,7 @@ pub mod oracle;
 pub mod probe;
 
 pub use engine::{run, RunOptions, RunResult, Simulation};
-pub use metrics::Metrics;
+pub use metrics::{FaultMetrics, Metrics};
 pub use probe::{
     CacheEventKind, IntervalSampler, IntervalSnapshot, NullProbe, Probe, ProbeEvent, ReportKind,
     RunTotals,
@@ -50,7 +50,8 @@ pub use probe::{
 // Re-export the configuration vocabulary so downstream users need only
 // this crate plus `mobicache-model`.
 pub use mobicache_model::{
-    CheckingMode, ConfigError, DownlinkTopology, Pattern, Scheme, SimConfig, Workload,
+    ChannelFaults, CheckingMode, ConfigError, DownlinkTopology, FaultPlan, Pattern, RetryPolicy,
+    Scheme, SimConfig, Workload,
 };
 // Adaptive decisions surface in probe events; re-export so observers
 // can match on them without depending on `mobicache-server`.

@@ -9,9 +9,18 @@
 
 use mobicache_client::ClientCounters;
 use mobicache_server::ServerCounters;
+use std::fmt;
 
 /// Aggregated results of one simulation run.
-#[derive(Clone, Debug, Default)]
+///
+/// `Debug` is implemented by hand (not derived) so that the [`faults`]
+/// section only appears when fault injection actually recorded
+/// something: the golden-digest determinism suite hashes the `Debug`
+/// rendering, and fault-free runs must reproduce historical digests
+/// byte-for-byte.
+///
+/// [`faults`]: Metrics::faults
+#[derive(Clone, Default)]
 pub struct Metrics {
     // ---- the paper's headline metrics ----
     /// Queries fully answered within the horizon (Figures 5, 7, 9, 11,
@@ -81,6 +90,91 @@ pub struct Metrics {
     pub events_processed: u64,
     /// Simulated horizon, seconds.
     pub sim_time_secs: f64,
+
+    // ---- fault injection (robustness extension) ----
+    /// Fault-injection outcomes; all-zero unless the run's
+    /// [`FaultPlan`](mobicache_model::FaultPlan) injected something.
+    pub faults: FaultMetrics,
+}
+
+impl fmt::Debug for Metrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Mirrors the derived output field-for-field; `faults` is
+        // appended only when non-default so fault-free renderings (and
+        // therefore golden digests) are unchanged from before the fault
+        // layer existed.
+        let mut s = f.debug_struct("Metrics");
+        s.field("queries_answered", &self.queries_answered)
+            .field(
+                "uplink_validity_bits_per_query",
+                &self.uplink_validity_bits_per_query,
+            )
+            .field("queries_issued", &self.queries_issued)
+            .field("item_hits", &self.item_hits)
+            .field("item_misses", &self.item_misses)
+            .field("hit_ratio", &self.hit_ratio)
+            .field("mean_query_latency_secs", &self.mean_query_latency_secs)
+            .field("p95_query_latency_secs", &self.p95_query_latency_secs)
+            .field("uplink_validity_bits", &self.uplink_validity_bits)
+            .field("uplink_total_bits", &self.uplink_total_bits)
+            .field("downlink_report_bits", &self.downlink_report_bits)
+            .field("downlink_validity_bits", &self.downlink_validity_bits)
+            .field("downlink_data_bits", &self.downlink_data_bits)
+            .field("downlink_utilization", &self.downlink_utilization)
+            .field("uplink_utilization", &self.uplink_utilization)
+            .field("downlink_preemptions", &self.downlink_preemptions)
+            .field("client_tx_bits", &self.client_tx_bits)
+            .field("client_rx_bits", &self.client_rx_bits)
+            .field("energy_total", &self.energy_total)
+            .field("energy_per_query", &self.energy_per_query)
+            .field("reports_lost", &self.reports_lost)
+            .field("server", &self.server)
+            .field("clients", &self.clients)
+            .field("cache_evictions", &self.cache_evictions)
+            .field("disconnections", &self.disconnections)
+            .field("events_processed", &self.events_processed)
+            .field("sim_time_secs", &self.sim_time_secs);
+        if self.faults != FaultMetrics::default() {
+            s.field("faults", &self.faults);
+        }
+        s.finish()
+    }
+}
+
+/// Outcomes of fault injection over one run. All-zero when the fault
+/// plan is inactive.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct FaultMetrics {
+    /// Broadcasts lost while a client's channel was in the good state.
+    pub downlink_losses_good: u64,
+    /// Broadcasts lost inside a Gilbert–Elliott loss burst.
+    pub downlink_losses_burst: u64,
+    /// Uplink messages lost in flight.
+    pub uplink_losses: u64,
+    /// Uplink messages that arrived while the server was crashed and
+    /// were dropped.
+    pub crash_dropped_uplinks: u64,
+    /// Client re-uplinks triggered by retry timeouts.
+    pub retries_sent: u64,
+    /// Retry episodes that exhausted `max_retries` and degraded to a
+    /// full cache drop.
+    pub backoff_exhaustions: u64,
+    /// Scheduled server crashes executed.
+    pub server_crashes: u64,
+    /// Pending `Tlb` registrations wiped by crashes.
+    pub crash_dropped_tlbs: u64,
+    /// Duplicate `Tlb` arrivals the server ignored idempotently.
+    pub duplicate_tlbs_ignored: u64,
+    /// Duplicate data requests ignored because the response was already
+    /// on the downlink (a retry racing queueing delay, not loss).
+    pub duplicate_requests_ignored: u64,
+    /// Server recoveries completed (first broadcast after rebuild).
+    pub recoveries: u64,
+    /// Mean crash → first-post-recovery-broadcast latency, seconds.
+    pub mean_recovery_latency_secs: f64,
+    /// Queries that were pending at the moment a fault hit their client
+    /// (a lost broadcast) — the paper's "stretch" population.
+    pub queries_stretched: u64,
 }
 
 /// Serializable mirror of [`ServerCounters`].
@@ -177,6 +271,27 @@ impl Metrics {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn debug_hides_default_faults_and_shows_real_ones() {
+        let clean = Metrics {
+            queries_answered: 7,
+            ..Metrics::default()
+        };
+        let rendered = format!("{clean:?}");
+        assert!(
+            !rendered.contains("faults"),
+            "fault-free metrics must render exactly as before the fault layer: {rendered}"
+        );
+        assert!(rendered.starts_with("Metrics { queries_answered: 7,"));
+        assert!(rendered.ends_with("sim_time_secs: 0.0 }"));
+
+        let mut faulty = clean;
+        faulty.faults.uplink_losses = 3;
+        let rendered = format!("{faulty:?}");
+        assert!(rendered.contains("faults: FaultMetrics"));
+        assert!(rendered.contains("uplink_losses: 3"));
+    }
 
     #[test]
     fn throughput_math() {

@@ -125,6 +125,28 @@ pub enum ProbeEvent {
         /// Items fetched from the server.
         misses: u32,
     },
+    /// Fault injection dropped a broadcast for one client.
+    ReportLost {
+        /// Whose downlink faded.
+        client: ClientId,
+        /// `true` if the channel was inside a Gilbert–Elliott burst.
+        in_burst: bool,
+    },
+    /// Fault injection dropped an uplink message in flight.
+    UplinkLost {
+        /// Whose message.
+        client: ClientId,
+    },
+    /// A scheduled server crash wiped the server's volatile state.
+    ServerCrash {
+        /// Pending `Tlb` registrations lost with the crash.
+        dropped_tlbs: u64,
+    },
+    /// A crashed server finished rebuilding from its durable update log.
+    ServerRecovered {
+        /// How long the server was down, seconds.
+        offline_secs: f64,
+    },
 }
 
 /// Cumulative run counters, sampled at snapshot boundaries.
@@ -153,6 +175,12 @@ pub struct RunTotals {
     pub disconnections: u64,
     /// Broadcast reports individually missed to fading.
     pub reports_lost: u64,
+    /// Uplink messages lost to fault injection.
+    pub uplink_losses: u64,
+    /// Client re-uplinks triggered by retry timeouts.
+    pub fault_retries: u64,
+    /// Scheduled server crashes executed.
+    pub server_crashes: u64,
     /// Bits transmitted by client radios.
     pub client_tx_bits: f64,
     /// Bits received by client radios.
@@ -177,6 +205,9 @@ impl RunTotals {
             cache_evictions: self.cache_evictions - prev.cache_evictions,
             disconnections: self.disconnections - prev.disconnections,
             reports_lost: self.reports_lost - prev.reports_lost,
+            uplink_losses: self.uplink_losses - prev.uplink_losses,
+            fault_retries: self.fault_retries - prev.fault_retries,
+            server_crashes: self.server_crashes - prev.server_crashes,
             client_tx_bits: self.client_tx_bits - prev.client_tx_bits,
             client_rx_bits: self.client_rx_bits - prev.client_rx_bits,
             events_scheduled: self.events_scheduled - prev.events_scheduled,
@@ -196,6 +227,9 @@ impl RunTotals {
         self.cache_evictions += d.cache_evictions;
         self.disconnections += d.disconnections;
         self.reports_lost += d.reports_lost;
+        self.uplink_losses += d.uplink_losses;
+        self.fault_retries += d.fault_retries;
+        self.server_crashes += d.server_crashes;
         self.client_tx_bits += d.client_tx_bits;
         self.client_rx_bits += d.client_rx_bits;
         self.events_scheduled += d.events_scheduled;
@@ -233,6 +267,8 @@ impl IntervalSnapshot {
                 "\"reports_broadcast\":{},\"tlbs_received\":{},",
                 "\"checks_processed\":{},\"cache_evictions\":{},",
                 "\"disconnections\":{},\"reports_lost\":{},",
+                "\"uplink_losses\":{},\"fault_retries\":{},",
+                "\"server_crashes\":{},",
                 "\"client_tx_bits\":{},\"client_rx_bits\":{},",
                 "\"events_scheduled\":{},\"events_delivered\":{},",
                 "\"queue_high_water\":{}}}"
@@ -250,6 +286,9 @@ impl IntervalSnapshot {
             d.cache_evictions,
             d.disconnections,
             d.reports_lost,
+            d.uplink_losses,
+            d.fault_retries,
+            d.server_crashes,
             d.client_tx_bits,
             d.client_rx_bits,
             d.events_scheduled,
@@ -444,6 +483,9 @@ mod tests {
         assert!(lines[1].contains("\"queries_answered\":5"));
         assert!(lines[1].contains("\"client_tx_bits\":20.5"));
         assert!(lines[0].contains("\"queue_high_water\":7"));
+        assert!(lines[0].contains("\"uplink_losses\":0"));
+        assert!(lines[0].contains("\"fault_retries\":0"));
+        assert!(lines[0].contains("\"server_crashes\":0"));
     }
 
     #[test]

@@ -3,6 +3,9 @@
 //! Core vocabulary shared by every crate in the workspace:
 //!
 //! * [`error`] — typed configuration errors ([`ConfigError`]).
+//! * [`faults`] — the declarative fault-injection plan ([`FaultPlan`]):
+//!   bursty downlink loss, uplink loss with retry/backoff, and scheduled
+//!   server crashes.
 //! * [`ids`] — strongly typed item and client identifiers.
 //! * [`params`] — the simulation parameter set, encoding the paper's
 //!   Table 1 defaults, plus the [`params::Scheme`] enumeration of
@@ -13,12 +16,14 @@
 //! * [`units`] — small helpers for bits/bytes/bandwidth conversions.
 
 pub mod error;
+pub mod faults;
 pub mod ids;
 pub mod msg;
 pub mod params;
 pub mod units;
 
 pub use error::ConfigError;
+pub use faults::{ChannelFaults, FaultPlan, RetryPolicy};
 pub use ids::{ClientId, ItemId};
 pub use msg::{DownlinkKind, SizeParams, UplinkKind};
 pub use params::{CheckingMode, DownlinkTopology, Pattern, Scheme, SimConfig, Workload};

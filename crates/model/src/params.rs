@@ -18,6 +18,7 @@
 //!   only reading of §4 consistent with the reported magnitudes.
 
 use crate::error::ConfigError;
+use crate::faults::FaultPlan;
 use crate::units::Bits;
 use std::fmt;
 
@@ -301,6 +302,12 @@ pub struct SimConfig {
     /// bit-sequences index build is sharded over the pool. Purely a
     /// wall-time knob — results are bit-identical at any value.
     pub pool_min_shard_items: u32,
+    /// Fault-injection plan: bursty downlink loss (generalising
+    /// [`SimConfig::p_report_loss`]), uplink loss with client
+    /// retry/backoff, and scheduled server crashes. The default
+    /// ([`FaultPlan::none`]) injects nothing and reproduces pre-fault
+    /// results bit-for-bit.
+    pub faults: FaultPlan,
     /// Master RNG seed; every stochastic process derives its own stream.
     pub seed: u64,
 }
@@ -357,6 +364,7 @@ impl SimConfig {
             threads: 1,
             pool_min_shard_clients: 1,
             pool_min_shard_items: 1024,
+            faults: FaultPlan::none(),
             seed: 0x1997_AD07,
         }
     }
@@ -417,6 +425,12 @@ impl SimConfig {
     /// [`SimConfig::pool_min_shard_items`]). Wall-time only.
     pub fn with_pool_min_shard_items(mut self, min: u32) -> Self {
         self.pool_min_shard_items = min;
+        self
+    }
+
+    /// Builder-style fault-plan override.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
         self
     }
 
@@ -499,6 +513,7 @@ impl SimConfig {
                 bounds: "[0, 1]",
             });
         }
+        self.faults.validate()?;
         if let DownlinkTopology::Dedicated { broadcast_share } = self.downlink_topology {
             if !(broadcast_share > 0.0 && broadcast_share < 1.0) {
                 return Err(ConfigError::OutOfRange {
@@ -689,6 +704,18 @@ mod tests {
 
         let mut c = base();
         c.p_report_loss = 1.5;
+        assert!(c.validate().is_err());
+
+        let mut c = base();
+        c.faults.p_uplink_loss = -0.1;
+        assert!(c.validate().is_err());
+
+        let mut c = base();
+        c.faults.downlink.mean_burst_intervals = 0.5;
+        assert!(c.validate().is_err());
+
+        let mut c = base();
+        c.faults.recovery_secs = f64::NAN;
         assert!(c.validate().is_err());
 
         let mut c = base();

@@ -207,6 +207,49 @@ mod tests {
     }
 
     #[test]
+    fn lost_broadcast_still_charges_the_channel() {
+        // Fault injection drops reports in the *receivers*, never in the
+        // ether: a broadcast nobody hears still occupies the channel for
+        // its full service time and is charged like any other message.
+        let mut ch: Channel<(&str, bool)> = Channel::new(1000.0);
+        let c = ch
+            .send(t(0.0), 400.0, CLASS_REPORT, ("report", true))
+            .expect("idle start");
+        let d = ch.complete(c.at, c.token).expect("valid completion");
+        assert!(d.msg.1, "loss rides the payload; the channel cannot tell");
+        assert!((c.at.as_secs() - 0.4).abs() < 1e-9);
+        let s = ch.stats(t(10.0));
+        assert_eq!(s.bits_by_class[CLASS_REPORT], 400.0);
+        assert_eq!(s.msgs_by_class[CLASS_REPORT], 1);
+        assert!((s.utilization - 0.04).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lost_report_still_preempts_and_is_fully_charged() {
+        // Preemption and loss interplay: a report destined to be dropped
+        // by every receiver still preempts in-flight data and shows up in
+        // every counter at full price.
+        let mut ch: Channel<(u32, bool)> = Channel::new(10_000.0);
+        let c_data = ch.send(t(0.0), 65_536.0, CLASS_DATA, (1, false)).unwrap();
+        let c_ir = ch.send(t(2.0), 1_000.0, CLASS_REPORT, (2, true)).unwrap();
+        assert!((c_ir.at.as_secs() - 2.1).abs() < 1e-9);
+        assert!(ch.complete(c_data.at, c_data.token).is_none());
+        let d = ch.complete(c_ir.at, c_ir.token).unwrap();
+        assert!(d.msg.1, "the dropped report was still transmitted");
+        let resumed = d.next.expect("preempted data resumes");
+        assert!((resumed.at.as_secs() - 6.6536).abs() < 1e-6);
+        ch.complete(resumed.at, resumed.token).unwrap();
+        let s = ch.stats(t(10.0));
+        assert_eq!(s.bits_by_class[CLASS_REPORT], 1_000.0);
+        assert_eq!(s.bits_by_class[CLASS_DATA], 65_536.0);
+        assert_eq!(s.msgs_by_class[CLASS_REPORT], 1);
+        assert_eq!(s.msgs_by_class[CLASS_DATA], 1);
+        assert_eq!(s.preemptions, 1);
+        // 0.1 s of report plus 6.5536 s of data over 10 s of wall clock.
+        assert!((s.utilization - 0.66536).abs() < 1e-9);
+    }
+
+    #[test]
     fn backlog_counts_waiting_messages() {
         let mut ch: Channel<u32> = Channel::new(1000.0);
         ch.send(t(0.0), 1000.0, CLASS_DATA, 1).unwrap();

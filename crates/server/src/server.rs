@@ -22,6 +22,9 @@ pub struct ServerCounters {
     pub sig_reports: u64,
     /// `Tlb` messages received from clients.
     pub tlbs_received: u64,
+    /// Duplicate `Tlb` arrivals ignored idempotently (a retrying client
+    /// whose original uplink did arrive re-sends the same `Tlb`).
+    pub duplicate_tlbs: u64,
     /// Validity-check requests processed.
     pub checks_processed: u64,
     /// Update transactions applied.
@@ -261,9 +264,53 @@ impl Server {
     }
 
     /// Records a `Tlb` uplinked by a reconnecting adaptive-scheme client.
+    ///
+    /// Idempotent under duplicates: a retrying client may re-send a `Tlb`
+    /// whose original did arrive (the *report* was what it missed), and
+    /// uplink reordering can deliver both copies in one period.
+    /// Registering the timestamp once is enough — the adaptive decision
+    /// depends only on the set of pending `Tlb`s, so dropping the
+    /// duplicate changes nothing while keeping the pending list from
+    /// growing with the retry rate.
     pub fn receive_tlb(&mut self, tlb: SimTime) {
         self.counters.tlbs_received += 1;
-        self.pending_tlbs.push(tlb);
+        if self.pending_tlbs.contains(&tlb) {
+            self.counters.duplicate_tlbs += 1;
+        } else {
+            self.pending_tlbs.push(tlb);
+        }
+    }
+
+    /// Simulates a server crash: every piece of **volatile** state is
+    /// wiped — the pending-`Tlb` list, the cached report payload, the
+    /// incremental signature index, and the previous-broadcast watermark.
+    /// The update log survives (it is the durable store the paper's
+    /// stateless-server argument rests on). Returns the number of pending
+    /// `Tlb` registrations lost.
+    pub fn crash(&mut self) -> u64 {
+        let dropped = self.pending_tlbs.len() as u64;
+        self.pending_tlbs.clear();
+        self.cached_report = None;
+        self.combined = None;
+        // Forgetting the last broadcast makes the next AT report cover
+        // the whole history — conservative (clients invalidate more than
+        // strictly needed) but never unsafe.
+        self.prev_broadcast = SimTime::ZERO;
+        dropped
+    }
+
+    /// Rebuilds the volatile state wiped by [`Server::crash`] from the
+    /// durable update log. Report caches repopulate lazily on the next
+    /// broadcast; only the `SIG` combined-signature index needs an eager
+    /// rebuild (it is maintained incrementally in steady state).
+    pub fn recover(&mut self) {
+        if self.scheme == Scheme::Sig {
+            let mut versions = vec![SimTime::ZERO; self.log.db_size() as usize];
+            for (item, version) in self.log.recency_desc() {
+                versions[item.0 as usize] = version;
+            }
+            self.combined = Some(self.signer.combine(&versions));
+        }
     }
 
     /// Answers a simple-checking validity request: which of the client's
@@ -1051,5 +1098,88 @@ mod tests {
         // Same Tlb not re-broadcast: buffer is per-period.
         assert!(!s.build_report(t(1020.0)).is_bitseq());
         assert_eq!(s.counters().tlbs_received, 1);
+    }
+
+    #[test]
+    fn duplicate_tlb_in_one_interval_is_idempotent() {
+        // A retrying client re-sends the same Tlb; both copies land in
+        // one period. The server must register it once: same adaptive
+        // choice, same report, one pending entry.
+        for scheme in [Scheme::Afw, Scheme::Aaw] {
+            let mut s = server(scheme, 100);
+            s.apply_txn(t(500.0), &[ItemId(1)]);
+            s.receive_tlb(t(300.0));
+            s.receive_tlb(t(300.0));
+            assert_eq!(s.counters().tlbs_received, 2, "{scheme:?}");
+            assert_eq!(s.counters().duplicate_tlbs, 1, "{scheme:?}");
+            assert_eq!(s.pending_tlbs, vec![t(300.0)], "{scheme:?}");
+            let (r, d) = s.build_report_observed(t(1000.0));
+            match scheme {
+                Scheme::Afw => {
+                    assert!(r.is_bitseq(), "{scheme:?}: one BS trigger, not two");
+                    let Some(AdaptiveDecision::AfwBsTrigger { eligible, .. }) = d else {
+                        panic!("{scheme:?}: expected BS trigger, got {d:?}");
+                    };
+                    assert_eq!(eligible, 1, "duplicate must not inflate eligibility");
+                }
+                _ => {
+                    let ReportPayload::Window(w) = &r else {
+                        panic!("{scheme:?}: expected enlarged window, got {r:?}");
+                    };
+                    assert_eq!(w.dummy, Some(t(300.0)));
+                }
+            }
+            // Consumed as usual: next period reverts to the plain window.
+            assert!(matches!(
+                s.build_report(t(1020.0)),
+                ReportPayload::Window(_)
+            ));
+        }
+    }
+
+    #[test]
+    fn distinct_tlbs_are_not_deduplicated() {
+        let mut s = server(Scheme::Afw, 100);
+        s.receive_tlb(t(300.0));
+        s.receive_tlb(t(310.0));
+        assert_eq!(s.counters().duplicate_tlbs, 0);
+        assert_eq!(s.pending_tlbs.len(), 2);
+    }
+
+    #[test]
+    fn crash_wipes_volatile_state_only() {
+        let mut s = server(Scheme::Afw, 100);
+        s.apply_txn(t(500.0), &[ItemId(1)]);
+        s.receive_tlb(t(300.0));
+        s.build_report_shared(t(1000.0)); // BS, cached
+        s.receive_tlb(t(310.0));
+        assert_eq!(s.crash(), 1, "one pending Tlb lost");
+        // Volatile: pending Tlbs and the report cache are gone — the next
+        // broadcast is a freshly built plain window.
+        let (r, _) = s.build_report_shared(t(1020.0));
+        assert!(matches!(&*r, ReportPayload::Window(_)));
+        assert_eq!(s.report_cache_hits(), 0);
+        // Durable: the update log survives the crash.
+        assert_eq!(s.version(ItemId(1)), t(500.0));
+        assert_eq!(s.log().total_updates(), 1);
+    }
+
+    #[test]
+    fn sig_recovery_rebuilds_combined_from_the_log() {
+        let mut s = server(Scheme::Sig, 50);
+        s.apply_txn(t(5.0), &[ItemId(1), ItemId(30)]);
+        s.apply_txn(t(9.0), &[ItemId(1)]);
+        s.crash();
+        s.recover();
+        let r = s.build_report(t(20.0));
+        let ReportPayload::Sig(sig, signer) = r else {
+            panic!("expected SIG")
+        };
+        // The rebuilt index matches a batch recomputation over the
+        // durable versions — the incremental state was fully recovered.
+        let mut versions = vec![SimTime::ZERO; 50];
+        versions[1] = t(9.0);
+        versions[30] = t(5.0);
+        assert_eq!(sig.combined, signer.combine(&versions));
     }
 }

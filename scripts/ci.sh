@@ -31,6 +31,18 @@ for profile in "" "--release"; do
   done
 done
 
+# Fault matrix: the high-fault digest must be thread-invariant too (the
+# fault coins ride dedicated streams in the serial phases), and the
+# any-fault-schedule proptests run the oracle under arbitrary fault
+# plans. Timeout because their failure mode includes a retry loop that
+# never terminates.
+for t in 1 4; do
+  echo "==> fault determinism leg, threads=$t (release)"
+  MOBICACHE_THREADS=$t cargo test -q --release --test determinism fault
+done
+echo "==> fault-schedule proptest suite (under timeout)"
+timeout 600 cargo test -q --release --test faults
+
 # Pool lifecycle tests under a hard timeout: their failure mode is a
 # wedged barrier or an unjoined worker, which must fail fast instead of
 # hanging the suite.

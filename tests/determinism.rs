@@ -145,6 +145,44 @@ fn golden_digest_across_thread_matrix() {
     );
 }
 
+/// Fault injection draws every coin in the serial tick phases on
+/// per-client streams, so a high-fault run must be bit-identical across
+/// thread counts too — CI runs this leg at `MOBICACHE_THREADS` 1 and 4.
+#[test]
+fn fault_injection_digests_are_thread_invariant() {
+    use mobicache_model::{ChannelFaults, FaultPlan};
+    let plan = FaultPlan {
+        downlink: ChannelFaults {
+            p_enter_burst: 0.15,
+            mean_burst_intervals: 4.0,
+            p_loss_good: 0.05,
+            p_loss_bad: 0.9,
+        },
+        p_uplink_loss: 0.3,
+        crashes: vec![800.0, 2_200.0],
+        recovery_secs: 90.0,
+        ..FaultPlan::none()
+    };
+    for scheme in Scheme::ALL {
+        let mut cfg = short_cfg(scheme);
+        cfg.faults = plan.clone();
+        cfg.p_disconnect = 0.3;
+        let digest_at = |threads: u32| {
+            let result = run(&cfg.clone().with_threads(threads), RunOptions::default())
+                .expect("valid config");
+            fnv1a(format!("{:?}", result.metrics).as_bytes())
+        };
+        let serial = digest_at(1);
+        for threads in [2, 4, 0] {
+            assert_eq!(
+                serial,
+                digest_at(threads),
+                "{scheme:?} fault digests diverged between threads=1 and threads={threads}"
+            );
+        }
+    }
+}
+
 /// The pool's work-thinning knobs only decide which phases fan out —
 /// never what they compute. A knob large enough to force every phase
 /// serial must reproduce the pinned digest at any thread count.

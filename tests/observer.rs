@@ -90,6 +90,13 @@ impl Probe for OrderProbe {
                 assert!(hits + misses > 0);
                 self.queries += 1;
             }
+            // No fault plan in these runs: fault events must never fire.
+            ProbeEvent::ReportLost { .. }
+            | ProbeEvent::UplinkLost { .. }
+            | ProbeEvent::ServerCrash { .. }
+            | ProbeEvent::ServerRecovered { .. } => {
+                panic!("fault event without a fault plan: {event:?}")
+            }
         }
     }
 }
