@@ -20,11 +20,22 @@
 //!   handshake rather than thread creation. `host_cores` is recorded
 //!   alongside: with a single hardware core, threads > 1 exercise
 //!   concurrency (the determinism contract) without parallel speedup.
+//! * **popscale** — the struct-of-arrays population sweep: one AAW run
+//!   at 10 k, 100 k and 1 M clients (shortening the horizon as the
+//!   population grows), pinning events/second *and* peak RSS per
+//!   population. Runs first and in ascending order because the RSS
+//!   figure is `VmHWM` — the process high-water mark, which only ever
+//!   rises.
 //!
 //! Run via `scripts/bench.sh`, which writes the JSON to the repo root.
 //! `--quick` shrinks every section for the CI smoke step; `--out PATH`
 //! writes the JSON file (otherwise it goes to stdout); `--threads N`
-//! runs the e2e/stress sections with `N` engine worker threads.
+//! runs the e2e/stress/popscale sections with `N` engine worker threads.
+//!
+//! `--smoke-popscale CLIENTS --check-against PATH` is the CI regression
+//! gate: it runs only the popscale configuration at `CLIENTS`, compares
+//! events/second against the matching row of the committed JSON at
+//! `PATH`, and exits non-zero on a >10 % throughput regression.
 
 use mobicache::{run, RunOptions};
 use mobicache_experiments::figures::fig05;
@@ -237,7 +248,7 @@ fn bench_fanout(quick: bool) -> Vec<FanoutRow> {
 }
 
 struct ScalingRow {
-    clients: u16,
+    clients: u32,
     threads: u32,
     wall_secs: f64,
     events: u64,
@@ -251,7 +262,7 @@ struct ScalingRow {
 /// Sweeps the client population × thread count and reports each cell's
 /// speedup against its own threads=1 row.
 fn bench_scaling(quick: bool) -> Vec<ScalingRow> {
-    let client_counts: &[u16] = if quick {
+    let client_counts: &[u32] = if quick {
         &[100, 1_000]
     } else {
         &[100, 1_000, 10_000]
@@ -299,6 +310,117 @@ fn bench_scaling(quick: bool) -> Vec<ScalingRow> {
     rows
 }
 
+struct PopRow {
+    clients: u32,
+    threads: u32,
+    wall_secs: f64,
+    events: u64,
+    events_per_sec: f64,
+    peak_rss_mb: f64,
+}
+
+/// The process peak resident set (`VmHWM`) in KiB. Monotone over the
+/// process lifetime — callers that want per-phase peaks must order
+/// phases by expected footprint.
+fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+/// The pinned popscale configuration for one population size. The
+/// horizon shrinks as the population grows so every row costs seconds,
+/// not minutes, while still spanning many broadcast periods.
+fn popscale_cfg(clients: u32, threads: u32) -> SimConfig {
+    let mut cfg = SimConfig::paper_default()
+        .with_scheme(Scheme::Aaw)
+        .with_threads(threads);
+    cfg.db_size = 1_000;
+    cfg.num_clients = clients;
+    cfg.sim_time_secs = match clients {
+        c if c >= 1_000_000 => 60.0,
+        c if c >= 100_000 => 200.0,
+        _ => 600.0,
+    };
+    cfg
+}
+
+fn run_popscale_once(clients: u32, threads: u32) -> PopRow {
+    let cfg = popscale_cfg(clients, threads);
+    let started = Instant::now();
+    let result = run(&cfg, RunOptions::default()).expect("popscale config validates");
+    let wall = started.elapsed().as_secs_f64();
+    let events = result.metrics.events_processed;
+    let peak_rss_mb = peak_rss_kb().map_or(f64::NAN, |kb| kb as f64 / 1024.0);
+    eprintln!(
+        "popscale {clients}c x {threads}t: {wall:.3}s wall, {events} events \
+         ({:.0} ev/s), peak RSS {peak_rss_mb:.0} MiB",
+        events as f64 / wall
+    );
+    PopRow {
+        clients,
+        threads,
+        wall_secs: wall,
+        events,
+        events_per_sec: events as f64 / wall,
+        peak_rss_mb,
+    }
+}
+
+/// Ascending populations so each row's `VmHWM` reading is its own peak;
+/// this section must run before the others for the same reason.
+fn bench_popscale(quick: bool, threads: u32) -> Vec<PopRow> {
+    let pops: &[u32] = if quick {
+        &[10_000, 100_000]
+    } else {
+        &[10_000, 100_000, 1_000_000]
+    };
+    pops.iter()
+        .map(|&clients| run_popscale_once(clients, threads))
+        .collect()
+}
+
+/// The committed events/second for `clients` in the popscale section of
+/// the JSON at `path`. A hand-rolled scan — the repo vendors no JSON
+/// parser and the bench file's shape is ours to pin.
+fn committed_popscale_rate(path: &str, clients: u32) -> Option<f64> {
+    let body = std::fs::read_to_string(path).ok()?;
+    let section = &body[body.find("\"popscale\"")?..];
+    let needle = format!("\"clients\": {clients},");
+    let row = &section[section.find(&needle)?..];
+    let row = &row[..row.find('}')?];
+    let rate = &row[row.find("\"events_per_sec\":")? + "\"events_per_sec\":".len()..];
+    rate.trim_start()
+        .split(|c: char| c != '.' && !c.is_ascii_digit())
+        .next()?
+        .parse()
+        .ok()
+}
+
+/// The CI regression gate: one popscale run vs the committed rate.
+/// Returns the process exit code.
+fn smoke_popscale(clients: u32, threads: u32, check_against: &str) -> i32 {
+    let row = run_popscale_once(clients, threads);
+    let Some(committed) = committed_popscale_rate(check_against, clients) else {
+        eprintln!("smoke-popscale: no committed {clients}-client row in {check_against}");
+        return 1;
+    };
+    let floor = committed * 0.9;
+    if row.events_per_sec < floor {
+        eprintln!(
+            "smoke-popscale: REGRESSION — {:.0} ev/s is below 90% of the committed \
+             {committed:.0} ev/s (floor {floor:.0})",
+            row.events_per_sec
+        );
+        return 1;
+    }
+    eprintln!(
+        "smoke-popscale: ok — {:.0} ev/s vs committed {committed:.0} ev/s (floor {floor:.0})",
+        row.events_per_sec
+    );
+    0
+}
+
 fn write_rows(out: &mut String, rows: &[E2eRow]) {
     for (i, r) in rows.iter().enumerate() {
         let _ = write!(
@@ -312,6 +434,7 @@ fn write_rows(out: &mut String, rows: &[E2eRow]) {
 }
 
 fn json(
+    popscale: &[PopRow],
     e2e: &[E2eRow],
     stress: &[E2eRow],
     fanout: &[FanoutRow],
@@ -332,6 +455,26 @@ fn json(
         if quick { 0.01 } else { 0.05 }
     );
     out.push_str(BASELINE_BEFORE);
+    out.push_str("  \"popscale\": {\n");
+    let _ = writeln!(
+        out,
+        "    \"note\": \"struct-of-arrays population sweep: one AAW run per \
+         population (horizon shrinks as clients grow), pinning throughput and \
+         peak RSS. Runs first, populations ascending, because peak_rss_mb is \
+         VmHWM — the process-lifetime high-water mark.\","
+    );
+    let _ = writeln!(out, "    \"scheme\": \"Aaw\",");
+    out.push_str("    \"rows\": [\n");
+    for (i, r) in popscale.iter().enumerate() {
+        let _ = write!(
+            out,
+            "      {{ \"clients\": {}, \"threads\": {}, \"wall_secs\": {:.3}, \
+             \"events\": {}, \"events_per_sec\": {:.0}, \"peak_rss_mb\": {:.0} }}",
+            r.clients, r.threads, r.wall_secs, r.events, r.events_per_sec, r.peak_rss_mb
+        );
+        out.push_str(if i + 1 < popscale.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("    ]\n  },\n");
     out.push_str("  \"e2e\": [\n");
     write_rows(&mut out, e2e);
     out.push_str("  ],\n");
@@ -392,11 +535,34 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .map_or(1, |v| v.parse().expect("--threads takes a number"));
 
+    if let Some(i) = args.iter().position(|a| a == "--smoke-popscale") {
+        let clients: u32 = args
+            .get(i + 1)
+            .map(|v| v.parse().expect("--smoke-popscale takes a client count"))
+            .expect("--smoke-popscale takes a client count");
+        let check_against = args
+            .iter()
+            .position(|a| a == "--check-against")
+            .and_then(|i| args.get(i + 1))
+            .expect("--smoke-popscale requires --check-against PATH");
+        std::process::exit(smoke_popscale(clients, engine_threads, check_against));
+    }
+
+    // popscale first, ascending: its peak-RSS column reads VmHWM.
+    let popscale = bench_popscale(quick, engine_threads);
     let e2e = bench_e2e(quick);
     let stress = bench_stress(quick, engine_threads);
     let fanout = bench_fanout(quick);
     let scaling = bench_scaling(quick);
-    let body = json(&e2e, &stress, &fanout, &scaling, quick, engine_threads);
+    let body = json(
+        &popscale,
+        &e2e,
+        &stress,
+        &fanout,
+        &scaling,
+        quick,
+        engine_threads,
+    );
     match out_path {
         Some(path) => {
             std::fs::write(path, &body).expect("write bench json");

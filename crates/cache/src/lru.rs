@@ -113,14 +113,20 @@ pub struct LruCache {
 impl LruCache {
     /// A cache holding at most `capacity` items.
     ///
+    /// Allocation is lazy: a fresh cache owns no slab and no table until
+    /// the first insert, so a million-client population of mostly-cold
+    /// caches costs a few machine words each, not `capacity` slots each.
+    /// The eviction gate compares against `len()`, never the allocated
+    /// capacity, so laziness is invisible to behaviour.
+    ///
     /// # Panics
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "cache capacity must be at least 1");
         LruCache {
             capacity,
-            slots: Vec::with_capacity(capacity),
-            index: HashMap::with_capacity_and_hasher(capacity, IdBuildHasher::default()),
+            slots: Vec::new(),
+            index: HashMap::with_hasher(IdBuildHasher::default()),
             head: NIL,
             tail: NIL,
             evictions: 0,

@@ -25,9 +25,27 @@
 //! While entries are limbo they never answer queries; queries on limbo or
 //! absent items go uplink (checking lazily first under
 //! [`CheckingMode::QueriedItems`](mobicache_model::CheckingMode)).
+//!
+//! ## Scaling: the struct-of-arrays population
+//!
+//! The per-client layer is columnar: a [`ClientPop`] stores the whole
+//! cell's client state as parallel columns plus one shared
+//! [`PendingArena`] of pending-query nodes, and the scheme handlers run
+//! against [`ClientMut`] accessor views (or read-only [`ClientRef`]s).
+//! The engine's sharded phases walk contiguous column ranges through a
+//! [`PopPtr`]. [`Client`] remains as a single-client facade over a
+//! population of one.
+//!
+//! Migration note: the owning `QueryState` type was removed with this
+//! redesign — per-item progress lives in the arena and the per-query
+//! scalars in the Copy [`QueryHeader`]. Snapshot-style accessors that
+//! cloned per-client vectors are gone with it; iterate the columns
+//! (`caches_col`, `counters_col`) or use the view types instead.
 
 mod machine;
+mod pop;
 mod query;
 
 pub use machine::{Client, ClientAction, ClientConfig, ClientCounters};
-pub use query::{PendingItem, PendingState, QueryOutcome, QueryState};
+pub use pop::{ClientMut, ClientPop, ClientRef, PendingArena, PopPtr};
+pub use query::{PendingItem, PendingState, QueryHeader, QueryOutcome};

@@ -1,11 +1,20 @@
 //! The per-scheme client state machine.
+//!
+//! Since the struct-of-arrays redesign the scheme logic itself lives in
+//! [`crate::pop`], written once against the [`ClientMut`] accessor
+//! view. This module keeps the shared configuration/action/counter
+//! types and the classic single-client [`Client`] facade — a
+//! one-element [`ClientPop`] under the hood, so a standalone client and
+//! a population member are the same code path by construction.
+//!
+//! [`ClientMut`]: crate::pop::ClientMut
 
-use crate::query::{PendingState, QueryOutcome, QueryState};
-use mobicache_cache::{EntryState, LruCache};
+use crate::pop::ClientPop;
+use crate::query::QueryOutcome;
+use mobicache_cache::LruCache;
 use mobicache_model::{CheckingMode, ClientId, ItemId, RetryPolicy, Scheme, UplinkKind};
-use mobicache_reports::{BsSelect, PreparedReport, ReportPayload, SigDecision};
+use mobicache_reports::{PreparedReport, ReportPayload};
 use mobicache_sim::SimTime;
-use std::collections::HashSet;
 
 /// Static client configuration.
 #[derive(Clone, Copy, Debug)]
@@ -66,41 +75,14 @@ pub struct ClientCounters {
     pub backoff_exhaustions: u64,
 }
 
-/// A reconnection gap: the period of history the client missed and has
-/// not yet been vouched for.
-#[derive(Clone, Copy, Debug)]
-struct GapState {
-    /// `Tlb` at the moment the gap was detected — coverage target for
-    /// salvage.
-    since: SimTime,
-    /// When the `Tlb`/check message was sent, if it was.
-    sent_at: Option<SimTime>,
-    /// Re-sends of the gap's `Tlb`/check so far (capped backoff).
-    retries: u32,
-}
-
-/// One mobile host.
+/// One mobile host: the single-client facade over [`ClientPop`].
+///
+/// Engine code scales by holding one [`ClientPop`] for the whole cell;
+/// this wrapper keeps the ergonomic per-client API for tests, examples
+/// and small harnesses, delegating every call to a population of one.
 pub struct Client {
     id: ClientId,
-    cfg: ClientConfig,
-    cache: LruCache,
-    /// Timestamp of the last invalidation report received.
-    tlb: SimTime,
-    connected: bool,
-    gap: Option<GapState>,
-    /// Set on reconnection, consumed by the first report heard after it:
-    /// signals that a fresh unvouched period may have to be folded into
-    /// an already-open gap.
-    reconnect_pending: bool,
-    /// When the current doze period started, while disconnected.
-    disconnected_at: Option<SimTime>,
-    query: Option<QueryState>,
-    /// Stored combined signatures (SIG scheme).
-    sig_baseline: Option<Vec<u64>>,
-    /// Reusable buffer for per-report stale item lists — always drained
-    /// back to empty before a handler returns.
-    stale_scratch: Vec<ItemId>,
-    counters: ClientCounters,
+    pop: ClientPop,
 }
 
 impl Client {
@@ -108,17 +90,7 @@ impl Client {
     pub fn new(id: ClientId, cfg: ClientConfig) -> Self {
         Client {
             id,
-            cache: LruCache::new(cfg.cache_capacity),
-            cfg,
-            tlb: SimTime::ZERO,
-            connected: true,
-            gap: None,
-            reconnect_pending: false,
-            disconnected_at: None,
-            query: None,
-            sig_baseline: None,
-            stale_scratch: Vec::new(),
-            counters: ClientCounters::default(),
+            pop: ClientPop::new(cfg, 1),
         }
     }
 
@@ -129,33 +101,27 @@ impl Client {
 
     /// Behaviour counters.
     pub fn counters(&self) -> ClientCounters {
-        self.counters
+        self.pop.counters(0)
     }
 
     /// Read access to the cache (tests and the consistency oracle).
     pub fn cache(&self) -> &LruCache {
-        &self.cache
+        self.pop.cache(0)
     }
 
     /// `true` while listening to broadcasts.
     pub fn is_connected(&self) -> bool {
-        self.connected
+        self.pop.is_connected(0)
     }
 
     /// Timestamp of the last report received.
     pub fn tlb(&self) -> SimTime {
-        self.tlb
+        self.pop.tlb(0)
     }
 
     /// `true` while a query is being resolved.
     pub fn has_pending_query(&self) -> bool {
-        self.query.is_some()
-    }
-
-    /// The coverage target: with an open gap, reports must reach back to
-    /// the gap start; otherwise to the last report heard.
-    fn effective_tlb(&self) -> SimTime {
-        self.gap.map_or(self.tlb, |g| g.since)
+        self.pop.has_pending_query(0)
     }
 
     /// Enters doze mode. The caller must not route broadcasts here while
@@ -165,20 +131,14 @@ impl Client {
     /// Panics if a query is still in flight (the model only disconnects
     /// between queries).
     pub fn disconnect(&mut self, now: SimTime) {
-        assert!(self.query.is_none(), "disconnect with a query in flight");
-        assert!(self.connected, "already disconnected");
-        self.connected = false;
-        self.disconnected_at = Some(now);
+        self.pop.client_mut(0).disconnect(now);
     }
 
     /// Wakes up from doze mode, returning the length of the doze period
     /// in seconds. Cache reconciliation happens at the next broadcast
     /// report.
     pub fn reconnect(&mut self, now: SimTime) -> f64 {
-        assert!(!self.connected, "already connected");
-        self.connected = true;
-        self.reconnect_pending = true;
-        self.disconnected_at.take().map_or(0.0, |at| now - at)
+        self.pop.client_mut(0).reconnect(now)
     }
 
     /// Issues a query referencing `items`. The query waits for the next
@@ -188,10 +148,7 @@ impl Client {
     /// Panics if a query is already in flight or the client is
     /// disconnected.
     pub fn start_query(&mut self, now: SimTime, items: Vec<ItemId>) {
-        assert!(self.connected, "query while disconnected");
-        assert!(self.query.is_none(), "overlapping queries");
-        self.counters.queries_issued += 1;
-        self.query = Some(QueryState::new(now, items));
+        self.pop.start_query(0, now, &items);
     }
 
     /// Processes a broadcast invalidation report.
@@ -209,22 +166,15 @@ impl Client {
     /// Processes a broadcast invalidation report through a shared
     /// [`PreparedReport`], appending the resulting actions to `actions`
     /// (which is *not* cleared).
-    ///
-    /// The fan-out hot path: one report is applied by every connected
-    /// client, so with the index built once this pass is
-    /// `O(|cache| · log |report|)` and allocation-free (stale lists land
-    /// in a buffer owned by the client, actions in the caller's).
     pub fn on_report_into(
         &mut self,
         now: SimTime,
         prepared: &PreparedReport<'_>,
         actions: &mut Vec<ClientAction>,
     ) {
-        assert!(self.connected, "report delivered to a disconnected client");
-        self.apply_report(now, prepared, actions);
-        self.tlb = prepared.payload().broadcast_at();
-        self.resolve_query(now, actions);
-        self.retry_pending_requests(now, actions);
+        self.pop
+            .client_mut(0)
+            .on_report_into(now, prepared, actions);
     }
 
     /// Processes a downloaded data item (`version` = the update timestamp
@@ -246,29 +196,17 @@ impl Client {
         version: SimTime,
         actions: &mut Vec<ClientAction>,
     ) {
-        self.cache.insert(item, version, now);
-        if let Some(q) = &mut self.query {
-            q.resolve(item, PendingState::WaitData, false);
-        }
-        self.try_finish(now, actions);
+        self.pop
+            .client_mut(0)
+            .on_data_into(now, item, version, actions);
     }
 
     /// Opportunistically caches a data item overheard on the broadcast
     /// downlink (snooping extension). Unlike [`Client::on_data`] this
     /// never touches the pending query — the item was addressed to
-    /// someone else. Items already cached and valid are refreshed; items
-    /// the client is itself waiting for are left to the addressed
-    /// delivery.
+    /// someone else.
     pub fn on_snooped_data(&mut self, now: SimTime, item: ItemId, version: SimTime) {
-        // Don't interfere with an in-flight fetch of the same item.
-        let awaiting = self.query.as_ref().is_some_and(|q| {
-            q.items
-                .iter()
-                .any(|p| p.item == item && p.state != PendingState::Done)
-        });
-        if !awaiting {
-            self.cache.insert(item, version, now);
-        }
+        self.pop.client_mut(0).on_snooped_data(now, item, version);
     }
 
     /// Processes a validity report (answer to a check request): `valid`
@@ -295,69 +233,9 @@ impl Client {
         valid: &[ItemId],
         actions: &mut Vec<ClientAction>,
     ) {
-        let valid_set: HashSet<ItemId> = valid.iter().copied().collect();
-        match self.cfg.checking_mode {
-            CheckingMode::FullCache => {
-                // The check covered the whole cache: every limbo entry
-                // gets a verdict.
-                let (salvaged, dropped) = self
-                    .cache
-                    .salvage_limbo(asof, |item| valid_set.contains(&item));
-                self.counters.salvaged += salvaged as u64;
-                self.counters.limbo_dropped += dropped as u64;
-                self.gap = None;
-            }
-            CheckingMode::QueriedItems => {
-                // Only the pending query's items were checked.
-                let checked: Vec<ItemId> = self
-                    .query
-                    .as_ref()
-                    .map(|q| {
-                        q.items
-                            .iter()
-                            .filter(|p| p.state == PendingState::WaitValidity)
-                            .map(|p| p.item)
-                            .collect()
-                    })
-                    .unwrap_or_default();
-                for item in checked {
-                    let ok = valid_set.contains(&item);
-                    if self.cache.salvage_item(item, ok, asof) {
-                        if ok {
-                            self.counters.salvaged += 1;
-                        } else {
-                            self.counters.limbo_dropped += 1;
-                        }
-                    }
-                }
-                if !self.cache.has_limbo() {
-                    self.gap = None;
-                }
-            }
-        }
-        // Resolve query items that were waiting on this verdict.
-        if let Some(q) = &mut self.query {
-            let waiting: Vec<ItemId> = q
-                .items
-                .iter()
-                .filter(|p| p.state == PendingState::WaitValidity)
-                .map(|p| p.item)
-                .collect();
-            for item in waiting {
-                if self.cache.get_valid(item).is_some() {
-                    q.resolve(item, PendingState::WaitValidity, true);
-                } else {
-                    q.transition_at(
-                        item,
-                        PendingState::WaitValidity,
-                        PendingState::WaitData,
-                        now,
-                    );
-                    actions.push(ClientAction::Uplink(UplinkKind::QueryRequest { item }));
-                }
-            }
-        }
-        self.try_finish(now, actions);
+        self.pop
+            .client_mut(0)
+            .on_validity_into(now, asof, valid, actions);
     }
 
     /// Processes a grouped-checking verdict (answer to a
@@ -389,462 +267,9 @@ impl Client {
         stale: &[ItemId],
         actions: &mut Vec<ClientAction>,
     ) {
-        if !covered {
-            if !self.cache.is_empty() {
-                self.counters.full_drops += 1;
-            }
-            self.cache.clear();
-            self.gap = None;
-        } else {
-            // Stale items go regardless of state; surviving limbo
-            // entries are vouched for as of the verdict.
-            self.cache.invalidate_many(stale.iter().copied());
-            let (salvaged, dropped) = self.cache.salvage_limbo(asof, |_| true);
-            self.counters.salvaged += salvaged as u64;
-            self.counters.limbo_dropped += dropped as u64;
-            self.gap = None;
-        }
-        // Resolve query items that were waiting on this verdict.
-        if let Some(q) = &mut self.query {
-            let waiting: Vec<ItemId> = q
-                .items
-                .iter()
-                .filter(|p| p.state == PendingState::WaitValidity)
-                .map(|p| p.item)
-                .collect();
-            for item in waiting {
-                if self.cache.get_valid(item).is_some() {
-                    q.resolve(item, PendingState::WaitValidity, true);
-                } else {
-                    q.transition_at(
-                        item,
-                        PendingState::WaitValidity,
-                        PendingState::WaitData,
-                        now,
-                    );
-                    actions.push(ClientAction::Uplink(UplinkKind::QueryRequest { item }));
-                }
-            }
-        }
-        self.try_finish(now, actions);
-    }
-
-    fn enter_gap(&mut self, _now: SimTime) {
-        if self.gap.is_none() {
-            self.gap = Some(GapState {
-                since: self.tlb,
-                sent_at: None,
-                retries: 0,
-            });
-            if !self.cache.is_empty() {
-                self.cache.mark_all_limbo();
-                self.counters.limbo_episodes += 1;
-            }
-        }
-    }
-
-    fn resolve_gap(&mut self) {
-        if self.gap.take().is_some() {
-            // Whatever is still cached survived the covering report.
-            let kept = self.cache.limbo_iter().count();
-            self.counters.salvaged += kept as u64;
-        }
-    }
-
-    fn apply_report(
-        &mut self,
-        now: SimTime,
-        prepared: &PreparedReport<'_>,
-        actions: &mut Vec<ClientAction>,
-    ) {
-        let payload = prepared.payload();
-        let etlb = self.effective_tlb();
-        debug_assert!(self.stale_scratch.is_empty(), "scratch not drained");
-        // A report vouches for the database state at its *broadcast* time,
-        // not its delivery time — updates can land while the report is on
-        // the air, so revalidating "as of delivery" would silently cover
-        // them (caught by the consistency oracle).
-        let report_asof = payload.broadcast_at();
-        // Second disconnection while an earlier gap is still unresolved:
-        // entries fetched (and thus vouched) *during* that gap are only
-        // vouched up to the last report heard. If this first report after
-        // the reconnection does not cover `tlb`, those entries have an
-        // unvouched period of their own — fold them into the gap (back to
-        // limbo) and re-arm the salvage request. Without this, a valid
-        // entry could sail past updates broadcast while the client dozed
-        // (caught by the consistency oracle).
-        if std::mem::take(&mut self.reconnect_pending) {
-            if let Some(gap) = &mut self.gap {
-                let covers_tlb = match payload {
-                    // BS / AT / SIG reports give a verdict for the whole
-                    // missed period by construction.
-                    ReportPayload::Window(w) => w.covers(self.tlb),
-                    _ => true,
-                };
-                if !covers_tlb {
-                    self.cache.mark_all_limbo();
-                    gap.sent_at = None;
-                    // A fresh unvouched period restarts the retry budget.
-                    gap.retries = 0;
-                }
-            }
-        }
-        match payload {
-            ReportPayload::Window(w) => {
-                // Provably stale entries always go, covered or not.
-                let idx = prepared.window_index().expect("window report was prepared");
-                idx.stale_into(self.cache.items_iter(), &mut self.stale_scratch);
-                self.cache.invalidate_many(self.stale_scratch.drain(..));
-                if w.covers(etlb) {
-                    self.resolve_gap();
-                    self.cache.revalidate_all(report_asof);
-                } else {
-                    self.on_uncovered_window(now, payload.broadcast_at(), actions);
-                }
-            }
-            ReportPayload::BitSeq(bs) => {
-                let idx = prepared.bs_index().expect("BS report was prepared");
-                let cached = self.cache.items_iter().map(|(i, _)| i);
-                match bs.decide_with(idx, etlb, cached, &mut self.stale_scratch) {
-                    BsSelect::Clean => {
-                        self.resolve_gap();
-                        self.cache.revalidate_all(report_asof);
-                    }
-                    BsSelect::DropAll => {
-                        self.gap = None;
-                        if !self.cache.is_empty() {
-                            self.counters.full_drops += 1;
-                        }
-                        self.cache.clear();
-                    }
-                    BsSelect::Prefix(_) => {
-                        self.cache.invalidate_many(self.stale_scratch.drain(..));
-                        self.resolve_gap();
-                        self.cache.revalidate_all(report_asof);
-                    }
-                }
-            }
-            ReportPayload::At(at) => {
-                let idx = prepared.at_index().expect("AT report was prepared");
-                let cached = self.cache.items_iter().map(|(i, _)| i);
-                if at.decide_with(idx, etlb, cached, &mut self.stale_scratch) {
-                    self.cache.invalidate_many(self.stale_scratch.drain(..));
-                    self.resolve_gap();
-                    self.cache.revalidate_all(report_asof);
-                } else {
-                    // Amnesic: nothing to salvage, ever.
-                    self.gap = None;
-                    if !self.cache.is_empty() {
-                        self.counters.full_drops += 1;
-                    }
-                    self.cache.clear();
-                }
-            }
-            ReportPayload::Sig(sig, signer) => {
-                let cached = self.cache.items_iter().map(|(i, _)| i);
-                match sig.decide(signer, self.sig_baseline.as_deref(), cached) {
-                    SigDecision::NoBaseline => {
-                        self.gap = None;
-                        if !self.cache.is_empty() {
-                            self.counters.full_drops += 1;
-                            self.cache.clear();
-                        }
-                    }
-                    SigDecision::Invalidate(flagged) => {
-                        self.cache.invalidate_many(flagged);
-                        self.resolve_gap();
-                        self.cache.revalidate_all(report_asof);
-                    }
-                }
-                self.sig_baseline = Some(sig.combined.clone());
-            }
-        }
-    }
-
-    /// How long after an uplinked `Tlb`/check the client keeps waiting
-    /// for a covering report before concluding the request (or its
-    /// reply) was lost. Legacy behaviour is a fixed two periods; a
-    /// fault-injection [`RetryPolicy`] doubles the wait per retry up to
-    /// its cap.
-    fn gap_grace_secs(cfg: &ClientConfig, retries: u32) -> f64 {
-        let intervals = match cfg.retry {
-            None => 2.0,
-            Some(p) => f64::from(p.timeout_intervals_for(retries)),
-        };
-        intervals * cfg.broadcast_period_secs
-    }
-
-    /// The retry budget ran out: paper-faithful graceful degradation —
-    /// drop the whole cache and start cold, closing the gap.
-    fn degrade_exhausted(&mut self) {
-        self.counters.backoff_exhaustions += 1;
-        if !self.cache.is_empty() {
-            self.counters.full_drops += 1;
-        }
-        self.cache.clear();
-        self.gap = None;
-    }
-
-    /// A window report arrived that does not reach back to the gap —
-    /// the scheme-defining moment (see the crate docs table).
-    fn on_uncovered_window(
-        &mut self,
-        now: SimTime,
-        report_built_at: SimTime,
-        actions: &mut Vec<ClientAction>,
-    ) {
-        match self.cfg.scheme {
-            Scheme::TsNoCheck => {
-                // Figure 1: drop the entire cache.
-                if !self.cache.is_empty() {
-                    self.counters.full_drops += 1;
-                }
-                self.cache.clear();
-                self.gap = None;
-            }
-            Scheme::Gcore => {
-                self.enter_gap(now);
-                let gap = self.gap.as_mut().expect("just entered");
-                let mut retried = false;
-                // Same lost-reply re-arm as simple checking.
-                if let Some(sent_at) = gap.sent_at {
-                    let grace = Self::gap_grace_secs(&self.cfg, gap.retries);
-                    if report_built_at.as_secs() >= sent_at.as_secs() + grace {
-                        match self.cfg.retry {
-                            Some(p) if gap.retries >= p.max_retries => {
-                                self.degrade_exhausted();
-                                return;
-                            }
-                            policy => {
-                                gap.sent_at = None;
-                                if policy.is_some() {
-                                    gap.retries += 1;
-                                    retried = true;
-                                }
-                            }
-                        }
-                    }
-                }
-                if gap.sent_at.is_none() && !self.cache.is_empty() {
-                    let since = gap.since;
-                    // One (group, Tlb) record per cached group — the
-                    // whole point of grouping: the uplink scales with the
-                    // number of groups touched, not the cache size.
-                    let mut groups: Vec<(u32, f64)> = self
-                        .cache
-                        .items_iter()
-                        .map(|(item, _)| item.0 % self.cfg.gcore_groups)
-                        .collect::<std::collections::BTreeSet<u32>>()
-                        .into_iter()
-                        .map(|g| (g, since.as_secs()))
-                        .collect();
-                    groups.sort_unstable_by_key(|&(g, _)| g);
-                    actions.push(ClientAction::Uplink(UplinkKind::GroupCheckRequest {
-                        groups,
-                    }));
-                    let gap = self.gap.as_mut().expect("still open");
-                    gap.sent_at = Some(now);
-                    self.counters.checks_sent += 1;
-                    self.counters.retries_sent += u64::from(retried);
-                }
-                if self.cache.is_empty() {
-                    self.gap = None;
-                }
-            }
-            Scheme::SimpleChecking => {
-                self.enter_gap(now);
-                let gap = self.gap.as_mut().expect("just entered");
-                let mut retried = false;
-                // Re-arm a check whose validity report was lost (e.g. the
-                // client dozed off while the reply was in flight): after a
-                // grace of two periods (or the fault policy's backoff
-                // schedule) with limbo still unresolved, send the check
-                // again.
-                if let Some(sent_at) = gap.sent_at {
-                    let grace = Self::gap_grace_secs(&self.cfg, gap.retries);
-                    if report_built_at.as_secs() >= sent_at.as_secs() + grace {
-                        match self.cfg.retry {
-                            Some(p) if gap.retries >= p.max_retries => {
-                                self.degrade_exhausted();
-                                return;
-                            }
-                            policy => {
-                                gap.sent_at = None;
-                                if policy.is_some() {
-                                    gap.retries += 1;
-                                    retried = true;
-                                }
-                            }
-                        }
-                    }
-                }
-                if self.cfg.checking_mode == CheckingMode::FullCache
-                    && gap.sent_at.is_none()
-                    && !self.cache.is_empty()
-                {
-                    let entries: Vec<(ItemId, f64)> = self
-                        .cache
-                        .items_iter()
-                        .map(|(i, v)| (i, v.as_secs()))
-                        .collect();
-                    actions.push(ClientAction::Uplink(UplinkKind::CheckRequest { entries }));
-                    gap.sent_at = Some(now);
-                    self.counters.checks_sent += 1;
-                    self.counters.retries_sent += u64::from(retried);
-                }
-                if self.cache.is_empty() {
-                    // Nothing to salvage; the gap is moot.
-                    self.gap = None;
-                }
-            }
-            Scheme::Afw | Scheme::Aaw => {
-                self.enter_gap(now);
-                let gap = self.gap.as_mut().expect("just entered");
-                match gap.sent_at {
-                    None => {
-                        if self.cache.is_empty() {
-                            self.gap = None;
-                        } else {
-                            actions.push(ClientAction::Uplink(UplinkKind::TlbReport {
-                                tlb_secs: gap.since.as_secs(),
-                            }));
-                            gap.sent_at = Some(now);
-                            self.counters.tlbs_sent += 1;
-                        }
-                    }
-                    Some(sent_at) => {
-                        // Legacy: give up once a report built comfortably
-                        // after our Tlb reached the server still does not
-                        // cover us — the server judged BS unable to help
-                        // (our Tlb predates TS(B_n)), so the limbo entries
-                        // are unsalvageable. Under fault injection the
-                        // uncovering report may instead mean the Tlb was
-                        // *lost* on the uplink, so the policy re-sends it
-                        // (idempotent at the server) with capped
-                        // exponential backoff before degrading.
-                        let grace = Self::gap_grace_secs(&self.cfg, gap.retries);
-                        if report_built_at.as_secs() >= sent_at.as_secs() + grace {
-                            match self.cfg.retry {
-                                None => {
-                                    let dropped = self.cache.drop_limbo();
-                                    self.counters.limbo_dropped += dropped as u64;
-                                    self.gap = None;
-                                }
-                                Some(p) if gap.retries >= p.max_retries => {
-                                    self.degrade_exhausted();
-                                }
-                                Some(_) => {
-                                    actions.push(ClientAction::Uplink(UplinkKind::TlbReport {
-                                        tlb_secs: gap.since.as_secs(),
-                                    }));
-                                    gap.sent_at = Some(now);
-                                    gap.retries += 1;
-                                    self.counters.tlbs_sent += 1;
-                                    self.counters.retries_sent += 1;
-                                }
-                            }
-                        }
-                    }
-                }
-            }
-            // BS / AT / SIG clients never receive window reports.
-            other => panic!("window report under scheme {other:?}"),
-        }
-    }
-
-    /// After the cache has been reconciled with a report, move the
-    /// pending query forward.
-    fn resolve_query(&mut self, now: SimTime, actions: &mut Vec<ClientAction>) {
-        let Some(q) = &mut self.query else { return };
-        let mut check_entries: Vec<(ItemId, f64)> = Vec::new();
-        let waiting: Vec<ItemId> = q
-            .items
-            .iter()
-            .filter(|p| p.state == PendingState::WaitReport)
-            .map(|p| p.item)
-            .collect();
-        for item in waiting {
-            if self.cache.get_valid(item).is_some() {
-                q.resolve(item, PendingState::WaitReport, true);
-                continue;
-            }
-            let limbo = self
-                .cache
-                .peek(item)
-                .is_some_and(|e| e.state == EntryState::Limbo);
-            if limbo && matches!(self.cfg.scheme, Scheme::SimpleChecking | Scheme::Gcore) {
-                // A verdict is (or will be) on its way: under FullCache
-                // the gap check already covers this item; under
-                // QueriedItems we check it now, targeted.
-                q.transition_at(
-                    item,
-                    PendingState::WaitReport,
-                    PendingState::WaitValidity,
-                    now,
-                );
-                if self.cfg.checking_mode == CheckingMode::QueriedItems {
-                    let version = self.cache.peek(item).expect("limbo entry").version;
-                    check_entries.push((item, version.as_secs()));
-                }
-            } else {
-                // Absent, or limbo under a scheme that fetches fresh.
-                q.transition_at(item, PendingState::WaitReport, PendingState::WaitData, now);
-                actions.push(ClientAction::Uplink(UplinkKind::QueryRequest { item }));
-            }
-        }
-        if !check_entries.is_empty() {
-            actions.push(ClientAction::Uplink(UplinkKind::CheckRequest {
-                entries: check_entries,
-            }));
-            self.counters.checks_sent += 1;
-        }
-        self.try_finish(now, actions);
-    }
-
-    /// Fault-injection safety net for per-item requests: a data request
-    /// (or validity check) whose uplink or reply was lost would park the
-    /// query forever. With a [`RetryPolicy`] configured, re-send after
-    /// the backoff schedule's wait; a stuck validity wait falls back to
-    /// fetching fresh data, which is always safe. At most one re-send
-    /// per item per report keeps the retry traffic bounded by the
-    /// broadcast clock. Requests are re-sent even past `max_retries`
-    /// (at the capped interval): dropping the cache cannot answer a
-    /// query, so the repeat request is the only route forward and it
-    /// terminates once the channel heals or the server recovers.
-    fn retry_pending_requests(&mut self, now: SimTime, actions: &mut Vec<ClientAction>) {
-        let Some(policy) = self.cfg.retry else { return };
-        let Some(q) = &mut self.query else { return };
-        let l = self.cfg.broadcast_period_secs;
-        for p in &mut q.items {
-            let Some(at) = p.requested_at else { continue };
-            let wait = f64::from(policy.timeout_intervals_for(p.retries)) * l;
-            if now.as_secs() < at.as_secs() + wait {
-                continue;
-            }
-            match p.state {
-                PendingState::WaitData | PendingState::WaitValidity => {
-                    p.state = PendingState::WaitData;
-                    p.requested_at = Some(now);
-                    p.retries = p.retries.saturating_add(1);
-                    actions.push(ClientAction::Uplink(UplinkKind::QueryRequest {
-                        item: p.item,
-                    }));
-                    self.counters.retries_sent += 1;
-                }
-                PendingState::WaitReport | PendingState::Done => {}
-            }
-        }
-    }
-
-    fn try_finish(&mut self, now: SimTime, actions: &mut Vec<ClientAction>) {
-        if self.query.as_ref().is_some_and(|q| q.is_complete()) {
-            let q = self.query.take().expect("checked above");
-            let outcome = q.outcome(now);
-            self.counters.queries_answered += 1;
-            self.counters.item_hits += outcome.hits as u64;
-            self.counters.item_misses += outcome.misses as u64;
-            actions.push(ClientAction::QueryDone(outcome));
-        }
+        self.pop
+            .client_mut(0)
+            .on_group_validity_into(now, asof, covered, stale, actions);
     }
 }
 

@@ -1,4 +1,12 @@
 //! Pending query bookkeeping.
+//!
+//! Since the struct-of-arrays client core, per-item progress lives in a
+//! shared [`PendingArena`](crate::PendingArena) (one contiguous block
+//! per client) and the per-query scalars live in a small Copy
+//! [`QueryHeader`]. The header's methods take the client's item slice
+//! as a parameter instead of owning a `Vec<PendingItem>`, so a million
+//! concurrent queries cost zero per-query allocations. (The previous
+//! owning `QueryState` type was removed in this redesign.)
 
 use mobicache_model::ItemId;
 use mobicache_sim::SimTime;
@@ -32,6 +40,19 @@ pub struct PendingItem {
     pub retries: u32,
 }
 
+impl PendingItem {
+    /// A fresh wait-for-report entry for `item`.
+    #[inline]
+    pub fn fresh(item: ItemId) -> Self {
+        PendingItem {
+            item,
+            state: PendingState::WaitReport,
+            requested_at: None,
+            retries: 0,
+        }
+    }
+}
+
 /// Summary of a completed query.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct QueryOutcome {
@@ -45,51 +66,53 @@ pub struct QueryOutcome {
     pub misses: u32,
 }
 
-/// A query in progress.
-#[derive(Clone, Debug)]
-pub struct QueryState {
+/// The per-query scalars of a query in progress.
+///
+/// The referenced items themselves live in the owning population's
+/// pending arena; the header only knows how many there are. Every
+/// method that inspects or advances per-item state takes the client's
+/// item slice (exactly `len` entries) as a parameter.
+#[derive(Clone, Copy, Debug)]
+pub struct QueryHeader {
     /// When the query was issued.
     pub issued_at: SimTime,
-    /// Per-item progress.
-    pub items: Vec<PendingItem>,
+    /// Number of referenced items (the length of the arena block's
+    /// active prefix).
+    pub len: u32,
     /// Cache hits so far.
     pub hits: u32,
     /// Downloads so far.
     pub misses: u32,
 }
 
-impl QueryState {
-    /// A fresh query over `items`.
-    pub fn new(issued_at: SimTime, items: Vec<ItemId>) -> Self {
-        assert!(
-            !items.is_empty(),
-            "a query must reference at least one item"
-        );
-        QueryState {
+impl QueryHeader {
+    /// A fresh header over `len` items.
+    pub fn new(issued_at: SimTime, len: u32) -> Self {
+        assert!(len > 0, "a query must reference at least one item");
+        QueryHeader {
             issued_at,
-            items: items
-                .into_iter()
-                .map(|item| PendingItem {
-                    item,
-                    state: PendingState::WaitReport,
-                    requested_at: None,
-                    retries: 0,
-                })
-                .collect(),
+            len,
             hits: 0,
             misses: 0,
         }
     }
 
     /// `true` when every referenced item is resolved.
-    pub fn is_complete(&self) -> bool {
-        self.items.iter().all(|p| p.state == PendingState::Done)
+    pub fn is_complete(&self, items: &[PendingItem]) -> bool {
+        debug_assert_eq!(items.len(), self.len as usize);
+        items.iter().all(|p| p.state == PendingState::Done)
     }
 
     /// Marks `item` done as a hit or miss. Returns `false` if the item is
     /// not pending in the expected state.
-    pub fn resolve(&mut self, item: ItemId, from: PendingState, hit: bool) -> bool {
-        for p in &mut self.items {
+    pub fn resolve(
+        &mut self,
+        items: &mut [PendingItem],
+        item: ItemId,
+        from: PendingState,
+        hit: bool,
+    ) -> bool {
+        for p in items {
             if p.item == item && p.state == from {
                 p.state = PendingState::Done;
                 if hit {
@@ -105,8 +128,14 @@ impl QueryState {
 
     /// Moves `item` from one pending state to another. Returns `false` if
     /// it is not in the expected state.
-    pub fn transition(&mut self, item: ItemId, from: PendingState, to: PendingState) -> bool {
-        for p in &mut self.items {
+    pub fn transition(
+        &mut self,
+        items: &mut [PendingItem],
+        item: ItemId,
+        from: PendingState,
+        to: PendingState,
+    ) -> bool {
+        for p in items {
             if p.item == item && p.state == from {
                 p.state = to;
                 return true;
@@ -115,18 +144,19 @@ impl QueryState {
         false
     }
 
-    /// Like [`QueryState::transition`], but also stamps the transitioned
+    /// Like [`QueryHeader::transition`], but also stamps the transitioned
     /// item's request timestamp (and resets its retry count) — used when
     /// the transition puts a request on the uplink, so the
     /// fault-injection retry timer knows when it went up.
     pub fn transition_at(
         &mut self,
+        items: &mut [PendingItem],
         item: ItemId,
         from: PendingState,
         to: PendingState,
         now: SimTime,
     ) -> bool {
-        for p in &mut self.items {
+        for p in items {
             if p.item == item && p.state == from {
                 p.state = to;
                 p.requested_at = Some(now);
@@ -138,8 +168,8 @@ impl QueryState {
     }
 
     /// Finishes the query into an outcome summary.
-    pub fn outcome(&self, completed_at: SimTime) -> QueryOutcome {
-        debug_assert!(self.is_complete());
+    pub fn outcome(&self, items: &[PendingItem], completed_at: SimTime) -> QueryOutcome {
+        debug_assert!(self.is_complete(items));
         QueryOutcome {
             issued_at: self.issued_at,
             completed_at,
@@ -157,13 +187,18 @@ mod tests {
         SimTime::from_secs(s)
     }
 
+    fn query(issued_at: SimTime, ids: &[u32]) -> (QueryHeader, Vec<PendingItem>) {
+        let items: Vec<PendingItem> = ids.iter().map(|&i| PendingItem::fresh(ItemId(i))).collect();
+        (QueryHeader::new(issued_at, items.len() as u32), items)
+    }
+
     #[test]
     fn lifecycle_single_item_hit() {
-        let mut q = QueryState::new(t(1.0), vec![ItemId(4)]);
-        assert!(!q.is_complete());
-        assert!(q.resolve(ItemId(4), PendingState::WaitReport, true));
-        assert!(q.is_complete());
-        let o = q.outcome(t(5.0));
+        let (mut q, mut items) = query(t(1.0), &[4]);
+        assert!(!q.is_complete(&items));
+        assert!(q.resolve(&mut items, ItemId(4), PendingState::WaitReport, true));
+        assert!(q.is_complete(&items));
+        let o = q.outcome(&items, t(5.0));
         assert_eq!((o.hits, o.misses), (1, 0));
         assert_eq!(o.issued_at, t(1.0));
         assert_eq!(o.completed_at, t(5.0));
@@ -171,32 +206,52 @@ mod tests {
 
     #[test]
     fn lifecycle_multi_item_mixed() {
-        let mut q = QueryState::new(t(0.0), vec![ItemId(1), ItemId(2), ItemId(3)]);
-        assert!(q.resolve(ItemId(1), PendingState::WaitReport, true));
-        assert!(q.transition(ItemId(2), PendingState::WaitReport, PendingState::WaitData));
+        let (mut q, mut items) = query(t(0.0), &[1, 2, 3]);
+        assert!(q.resolve(&mut items, ItemId(1), PendingState::WaitReport, true));
         assert!(q.transition(
+            &mut items,
+            ItemId(2),
+            PendingState::WaitReport,
+            PendingState::WaitData
+        ));
+        assert!(q.transition(
+            &mut items,
             ItemId(3),
             PendingState::WaitReport,
             PendingState::WaitValidity
         ));
-        assert!(!q.is_complete());
-        assert!(q.resolve(ItemId(2), PendingState::WaitData, false));
-        assert!(q.resolve(ItemId(3), PendingState::WaitValidity, true));
-        assert!(q.is_complete());
-        let o = q.outcome(t(9.0));
+        assert!(!q.is_complete(&items));
+        assert!(q.resolve(&mut items, ItemId(2), PendingState::WaitData, false));
+        assert!(q.resolve(&mut items, ItemId(3), PendingState::WaitValidity, true));
+        assert!(q.is_complete(&items));
+        let o = q.outcome(&items, t(9.0));
         assert_eq!((o.hits, o.misses), (2, 1));
     }
 
     #[test]
     fn resolve_rejects_wrong_state() {
-        let mut q = QueryState::new(t(0.0), vec![ItemId(1)]);
-        assert!(!q.resolve(ItemId(1), PendingState::WaitData, false));
-        assert!(!q.resolve(ItemId(9), PendingState::WaitReport, false));
+        let (mut q, mut items) = query(t(0.0), &[1]);
+        assert!(!q.resolve(&mut items, ItemId(1), PendingState::WaitData, false));
+        assert!(!q.resolve(&mut items, ItemId(9), PendingState::WaitReport, false));
+    }
+
+    #[test]
+    fn transition_at_stamps_retry_timer() {
+        let (mut q, mut items) = query(t(0.0), &[1]);
+        assert!(q.transition_at(
+            &mut items,
+            ItemId(1),
+            PendingState::WaitReport,
+            PendingState::WaitData,
+            t(3.0)
+        ));
+        assert_eq!(items[0].requested_at, Some(t(3.0)));
+        assert_eq!(items[0].retries, 0);
     }
 
     #[test]
     #[should_panic(expected = "at least one item")]
     fn empty_query_rejected() {
-        QueryState::new(t(0.0), vec![]);
+        QueryHeader::new(t(0.0), 0);
     }
 }

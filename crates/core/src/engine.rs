@@ -17,15 +17,14 @@
 use crate::metrics::{ClientStats, FaultMetrics, Metrics};
 use crate::oracle::Oracle;
 use crate::probe::{CacheEventKind, IntervalSnapshot, Probe, ProbeEvent, ReportKind, RunTotals};
-use mobicache_cache::LruCache;
-use mobicache_client::{Client, ClientAction, ClientConfig, ClientCounters};
+use mobicache_client::{ClientAction, ClientConfig, ClientCounters, ClientPop, PopPtr};
 use mobicache_model::msg::{DownlinkKind, SizeParams, UplinkKind, CLASS_CHECK, CLASS_REPORT};
 use mobicache_model::{ChannelFaults, ClientId, ConfigError, DownlinkTopology, ItemId, SimConfig};
 use mobicache_net::Channel;
 use mobicache_reports::{BsIndex, PreparedReport, ReportPayload};
 use mobicache_server::Server;
 use mobicache_sim::pool::{shard_count, SendPtr, WorkerPool};
-use mobicache_sim::{Histogram, OnlineStats, Scheduler, SimRng, SimTime};
+use mobicache_sim::{Histogram, OnlineStats, Scheduler, SimRng, SimTime, StreamId};
 use mobicache_workload::{GapKind, GapProcess, QueryGen, UpdateGen};
 use std::sync::Arc;
 
@@ -181,28 +180,37 @@ struct ShardOutcome {
 }
 
 /// Phase-1 worker for the report fan-out: applies one prepared report
-/// to a contiguous client range. Touches nothing but the clients
-/// themselves and the shard's own scratch — no scheduler, channel, RNG
-/// or stats access — which is what makes the fan-out embarrassingly
-/// parallel and the merged result bit-identical to the serial engine.
+/// to a contiguous client index range of the population. Touches
+/// nothing but the range's own column cells and the shard's own scratch
+/// — no scheduler, channel, RNG or stats access — which is what makes
+/// the fan-out embarrassingly parallel and the merged result
+/// bit-identical to the serial engine.
+///
+/// `deliver` is the chunk's slice of the delivery mask; `start` is the
+/// population index of its first element.
 fn run_report_shard(
     now: SimTime,
-    clients: &mut [Client],
+    pop: PopPtr,
+    start: usize,
     deliver: &[bool],
     prepared: &PreparedReport<'_>,
     probing: bool,
     scratch: &mut ShardScratch,
 ) {
-    for (client, &hears) in clients.iter_mut().zip(deliver) {
+    for (off, &hears) in deliver.iter().enumerate() {
         if !hears {
             continue;
         }
+        let i = start + off;
+        // SAFETY: the fan-out hands each shard a disjoint index range,
+        // and no serial-phase arena growth runs while shards are live.
+        let mut client = unsafe { pop.client_mut(i) };
         let before = probing.then(|| (client.counters(), client.cache().evictions()));
-        let start = scratch.actions.len();
+        let a0 = scratch.actions.len();
         client.on_report_into(now, prepared, &mut scratch.actions);
         scratch.outcomes.push(ShardOutcome {
-            client: client.id().index(),
-            actions: (scratch.actions.len() - start) as u32,
+            client: i,
+            actions: (scratch.actions.len() - a0) as u32,
             before,
         });
     }
@@ -212,13 +220,16 @@ fn run_report_shard(
 /// each client's own cache, so no scratch is needed at all.
 fn run_snoop_shard(
     now: SimTime,
-    clients: &mut [Client],
+    pop: PopPtr,
+    start: usize,
     deliver: &[bool],
     item: ItemId,
     version: SimTime,
 ) {
-    for (client, &hears) in clients.iter_mut().zip(deliver) {
+    for (off, &hears) in deliver.iter().enumerate() {
         if hears {
+            // SAFETY: disjoint index range per shard (see fan-out).
+            let mut client = unsafe { pop.client_mut(start + off) };
             client.on_snooped_data(now, item, version);
         }
     }
@@ -229,27 +240,29 @@ fn run_snoop_shard(
 /// `work` on each through the persistent pool — chunk `i` gets shard
 /// scratch `i`, whichever thread claims it. With one effective shard
 /// this degenerates to a plain serial call that never touches the pool.
+///
+/// `work` receives the chunk's start index and its slice of the
+/// delivery mask; workers reach the columns through a captured
+/// [`PopPtr`], staying inside their own index range.
 fn fan_out_shards<W>(
     pool: &WorkerPool,
     min_per_shard: usize,
-    clients: &mut [Client],
+    len: usize,
     deliver: &[bool],
     shards: &mut [ShardScratch],
     work: W,
 ) where
-    W: Fn(&mut [Client], &[bool], &mut ShardScratch) + Sync,
+    W: Fn(usize, &[bool], &mut ShardScratch) + Sync,
 {
-    if clients.is_empty() {
+    if len == 0 {
         return;
     }
-    let len = clients.len();
     let t = shard_count(shards.len(), len, min_per_shard);
     if t == 1 {
-        work(clients, deliver, &mut shards[0]);
+        work(0, deliver, &mut shards[0]);
         return;
     }
     let chunk = len.div_ceil(t);
-    let clients_ptr = SendPtr(clients.as_mut_ptr());
     let shards_ptr = SendPtr(shards.as_mut_ptr());
     pool.run(t, &|i| {
         let start = i * chunk;
@@ -257,13 +270,11 @@ fn fan_out_shards<W>(
             return;
         }
         let end = (start + chunk).min(len);
-        // SAFETY: chunks are disjoint contiguous client ranges, and
+        // SAFETY: chunks are disjoint contiguous index ranges, and
         // shard scratch `i` is written by chunk `i` alone; the pool's
         // barrier keeps both alive until every chunk has completed.
-        let chunk_clients =
-            unsafe { std::slice::from_raw_parts_mut(clients_ptr.get().add(start), end - start) };
         let shard = unsafe { &mut *shards_ptr.get().add(i) };
-        work(chunk_clients, &deliver[start..end], shard);
+        work(start, &deliver[start..end], shard);
     });
 }
 
@@ -275,7 +286,7 @@ pub struct Simulation<'p> {
     horizon: SimTime,
     sched: Scheduler<Ev>,
     server: Server,
-    clients: Vec<Client>,
+    clients: ClientPop,
     /// One channel ([`DownlinkTopology::Shared`]) or two (broadcast +
     /// point-to-point under [`DownlinkTopology::Dedicated`]).
     downlinks: Vec<Channel<DownPayload>>,
@@ -380,7 +391,7 @@ impl<'p> Simulation<'p> {
         };
         let mut sched = Scheduler::new();
         let mut rng_clients: Vec<SimRng> = (0..cfg.num_clients)
-            .map(|c| SimRng::stream(cfg.seed, 1 + c as u64))
+            .map(|c| SimRng::for_stream(cfg.seed, StreamId::Client(c)))
             .collect();
 
         // First broadcast at t = L; first update per the update process;
@@ -392,7 +403,7 @@ impl<'p> Simulation<'p> {
             cfg.mean_update_interarrival_secs,
             cfg.items_per_update_mean,
         );
-        let mut rng_update = SimRng::stream(cfg.seed, 0);
+        let mut rng_update = SimRng::for_stream(cfg.seed, StreamId::Update);
         sched.schedule(
             SimTime::from_secs(update_gen.next_interarrival(&mut rng_update)),
             Ev::UpdateArrival,
@@ -434,7 +445,7 @@ impl<'p> Simulation<'p> {
             }));
         } else {
             let chunk = n.div_ceil(t);
-            let mut wake: Vec<Vec<(SimTime, u16)>> = (0..t).map(|_| Vec::new()).collect();
+            let mut wake: Vec<Vec<(SimTime, u32)>> = (0..t).map(|_| Vec::new()).collect();
             let wake_ptr = SendPtr(wake.as_mut_ptr());
             let rng_ptr = SendPtr(rng_clients.as_mut_ptr());
             let think_ref = &think;
@@ -453,7 +464,7 @@ impl<'p> Simulation<'p> {
                 out.reserve(end - start);
                 for (off, rng) in rngs.iter_mut().enumerate() {
                     let first = think_ref.sample(rng);
-                    out.push((SimTime::from_secs(first), (start + off) as u16));
+                    out.push((SimTime::from_secs(first), (start + off) as u32));
                 }
             });
             sched.reserve(n);
@@ -484,9 +495,7 @@ impl<'p> Simulation<'p> {
             sp,
             horizon: SimTime::from_secs(cfg.sim_time_secs),
             server,
-            clients: (0..cfg.num_clients)
-                .map(|c| Client::new(ClientId(c), client_cfg))
-                .collect(),
+            clients: ClientPop::new(client_cfg, cfg.num_clients as usize),
             downlinks,
             uplink: Channel::new(cfg.uplink_bps),
             update_gen,
@@ -499,7 +508,7 @@ impl<'p> Simulation<'p> {
             rng_update,
             rng_clients,
             rng_faults: (0..cfg.num_clients)
-                .map(|c| SimRng::stream(cfg.seed, 0xFA17_0000_0000_0000 + u64::from(c)))
+                .map(|c| SimRng::for_stream(cfg.seed, StreamId::Fault(c)))
                 .collect(),
             ge_bad: vec![false; cfg.num_clients as usize],
             eff_downlink: cfg.faults.downlink.with_independent_loss(cfg.p_report_loss),
@@ -556,7 +565,7 @@ impl<'p> Simulation<'p> {
                 Ev::UpdateArrival => self.on_update(now),
                 Ev::QueryArrival(c) => self.on_query_arrival(now, c),
                 Ev::Reconnect(c) => {
-                    let offline_secs = self.clients[c.index()].reconnect(now);
+                    let offline_secs = self.clients.client_mut(c.index()).reconnect(now);
                     self.emit(
                         now,
                         ProbeEvent::Reconnect {
@@ -661,8 +670,11 @@ impl<'p> Simulation<'p> {
         if self.oracle.is_none() {
             return;
         }
-        let all = vec![true; self.clients.len()];
+        let mut all = std::mem::take(&mut self.deliver_scratch);
+        all.clear();
+        all.resize(self.clients.len(), true);
         self.check_consistency_sharded(&all);
+        self.deliver_scratch = all;
     }
 
     /// Forwards a typed event to the attached probe, if any.
@@ -694,14 +706,21 @@ impl<'p> Simulation<'p> {
             events_delivered: self.sched.events_delivered(),
             ..RunTotals::default()
         };
-        for client in &self.clients {
-            let c = client.counters();
+        // Dense column scan: two contiguous slices, no per-client view
+        // construction and no cloning — cheap enough to sample every
+        // interval at a million clients.
+        for (c, cache) in self
+            .clients
+            .counters_col()
+            .iter()
+            .zip(self.clients.caches_col())
+        {
             t.queries_issued += c.queries_issued;
             t.queries_answered += c.queries_answered;
             t.item_hits += c.item_hits;
             t.item_misses += c.item_misses;
             t.fault_retries += c.retries_sent;
-            t.cache_evictions += client.cache().evictions();
+            t.cache_evictions += cache.evictions();
         }
         t
     }
@@ -741,7 +760,7 @@ impl<'p> Simulation<'p> {
         let items = self
             .query_gen
             .next_query_items(&mut self.rng_clients[c.index()]);
-        self.clients[c.index()].start_query(now, items);
+        self.clients.start_query(c.index(), now, &items);
         // The query waits for the next broadcast report (§2).
     }
 
@@ -780,8 +799,8 @@ impl<'p> Simulation<'p> {
                 deliver.clear();
                 deliver.resize(self.clients.len(), false);
                 if !self.eff_downlink.is_active() {
-                    for (i, client) in self.clients.iter().enumerate() {
-                        if !client.is_connected() {
+                    for (i, &connected) in self.clients.connected_col().iter().enumerate() {
+                        if !connected {
                             continue; // dozing clients miss the broadcast
                         }
                         self.rx_bits += delivered.bits;
@@ -802,7 +821,7 @@ impl<'p> Simulation<'p> {
                             df.p_enter_burst > 0.0 && self.rng_faults[i].coin(df.p_enter_burst)
                         };
                         self.ge_bad[i] = bad;
-                        if !self.clients[i].is_connected() {
+                        if !self.clients.is_connected(i) {
                             continue; // dozing clients miss the broadcast
                         }
                         let p = if bad { df.p_loss_bad } else { df.p_loss_good };
@@ -813,7 +832,7 @@ impl<'p> Simulation<'p> {
                             } else {
                                 self.faults.downlink_losses_good += 1;
                             }
-                            if self.clients[i].has_pending_query() {
+                            if self.clients.has_pending_query(i) {
                                 // The query must now wait at least one
                                 // more interval for a report.
                                 self.faults.queries_stretched += 1;
@@ -821,7 +840,7 @@ impl<'p> Simulation<'p> {
                             self.emit(
                                 now,
                                 ProbeEvent::ReportLost {
-                                    client: ClientId(i as u16),
+                                    client: ClientId(i as u32),
                                     in_burst: bad,
                                 },
                             );
@@ -840,14 +859,15 @@ impl<'p> Simulation<'p> {
                     sh.actions.clear();
                     sh.outcomes.clear();
                 }
+                let pop = self.clients.as_ptr();
                 fan_out_shards(
                     &self.pool,
                     self.cfg.pool_min_shard_clients as usize,
-                    &mut self.clients,
+                    self.clients.len(),
                     &deliver,
                     &mut shards,
-                    |cl, dl, sh| {
-                        run_report_shard(now, cl, dl, &prepared, probing, sh);
+                    |start, dl, sh| {
+                        run_report_shard(now, pop, start, dl, &prepared, probing, sh);
                     },
                 );
                 // Phase 2 (serial merge, client-index order): replay
@@ -859,7 +879,7 @@ impl<'p> Simulation<'p> {
                     let ShardScratch { actions, outcomes } = shard;
                     let mut acts = actions.drain(..);
                     for o in outcomes.drain(..) {
-                        let c = ClientId(o.client as u16);
+                        let c = ClientId(o.client as u32);
                         for _ in 0..o.actions {
                             let action = acts.next().expect("shard recorded action count");
                             self.apply_action(now, c, action);
@@ -885,7 +905,12 @@ impl<'p> Simulation<'p> {
                 self.rx_bits += delivered.bits;
                 let before = self.pre_observe(dest.index());
                 let mut actions = std::mem::take(&mut self.action_scratch);
-                self.clients[dest.index()].on_data_into(now, item, version, &mut actions);
+                self.clients.client_mut(dest.index()).on_data_into(
+                    now,
+                    item,
+                    version,
+                    &mut actions,
+                );
                 self.process_actions(now, dest, &mut actions);
                 self.action_scratch = actions;
                 self.post_observe(now, dest, before);
@@ -898,22 +923,23 @@ impl<'p> Simulation<'p> {
                     let mut deliver = std::mem::take(&mut self.deliver_scratch);
                     deliver.clear();
                     deliver.resize(self.clients.len(), false);
-                    for (i, client) in self.clients.iter().enumerate() {
-                        if i == dest.index() || !client.is_connected() {
+                    for (i, &connected) in self.clients.connected_col().iter().enumerate() {
+                        if i == dest.index() || !connected {
                             continue;
                         }
                         self.rx_bits += delivered.bits;
                         deliver[i] = true;
                     }
                     let mut shards = std::mem::take(&mut self.shards);
+                    let pop = self.clients.as_ptr();
                     fan_out_shards(
                         &self.pool,
                         self.cfg.pool_min_shard_clients as usize,
-                        &mut self.clients,
+                        self.clients.len(),
                         &deliver,
                         &mut shards,
-                        |cl, dl, _| {
-                            run_snoop_shard(now, cl, dl, item, version);
+                        |start, dl, _| {
+                            run_snoop_shard(now, pop, start, dl, item, version);
                         },
                     );
                     self.shards = shards;
@@ -922,13 +948,18 @@ impl<'p> Simulation<'p> {
                 }
             }
             DownPayload::Validity { dest, asof, valid } => {
-                if !self.clients[dest.index()].is_connected() {
+                if !self.clients.is_connected(dest.index()) {
                     return; // verdict lost; the client will re-check
                 }
                 self.rx_bits += delivered.bits;
                 let before = self.pre_observe(dest.index());
                 let mut actions = std::mem::take(&mut self.action_scratch);
-                self.clients[dest.index()].on_validity_into(now, asof, &valid, &mut actions);
+                self.clients.client_mut(dest.index()).on_validity_into(
+                    now,
+                    asof,
+                    &valid,
+                    &mut actions,
+                );
                 self.process_actions(now, dest, &mut actions);
                 self.action_scratch = actions;
                 self.post_observe(now, dest, before);
@@ -940,19 +971,15 @@ impl<'p> Simulation<'p> {
                 covered,
                 stale,
             } => {
-                if !self.clients[dest.index()].is_connected() {
+                if !self.clients.is_connected(dest.index()) {
                     return; // verdict lost; the client will re-check
                 }
                 self.rx_bits += delivered.bits;
                 let before = self.pre_observe(dest.index());
                 let mut actions = std::mem::take(&mut self.action_scratch);
-                self.clients[dest.index()].on_group_validity_into(
-                    now,
-                    asof,
-                    covered,
-                    &stale,
-                    &mut actions,
-                );
+                self.clients
+                    .client_mut(dest.index())
+                    .on_group_validity_into(now, asof, covered, &stale, &mut actions);
                 self.process_actions(now, dest, &mut actions);
                 self.action_scratch = actions;
                 self.post_observe(now, dest, before);
@@ -1118,7 +1145,7 @@ impl<'p> Simulation<'p> {
                     }
                     GapKind::Disconnect => {
                         self.disconnections += 1;
-                        self.clients[c.index()].disconnect(now);
+                        self.clients.client_mut(c.index()).disconnect(now);
                         self.emit(
                             now,
                             ProbeEvent::Disconnect {
@@ -1145,8 +1172,8 @@ impl<'p> Simulation<'p> {
     fn pre_observe(&self, idx: usize) -> Option<(ClientCounters, u64)> {
         self.opts.probe.as_ref()?;
         Some((
-            self.clients[idx].counters(),
-            self.clients[idx].cache().evictions(),
+            self.clients.counters(idx),
+            self.clients.cache(idx).evictions(),
         ))
     }
 
@@ -1156,8 +1183,8 @@ impl<'p> Simulation<'p> {
         let Some((before, ev_before)) = before else {
             return;
         };
-        let after = self.clients[c.index()].counters();
-        let ev_after = self.clients[c.index()].cache().evictions();
+        let after = self.clients.counters(c.index());
+        let ev_after = self.clients.cache(c.index()).evictions();
         let salvaged = after.salvaged - before.salvaged;
         let dropped = after.limbo_dropped - before.limbo_dropped;
         if salvaged + dropped > 0 {
@@ -1194,7 +1221,7 @@ impl<'p> Simulation<'p> {
 
     fn check_consistency(&mut self, idx: usize) {
         if let Some(oracle) = &mut self.oracle {
-            oracle.assert_cache_consistent(ClientId(idx as u16), self.clients[idx].cache());
+            oracle.assert_cache_consistent(ClientId(idx as u32), self.clients.cache(idx));
         }
     }
 
@@ -1205,24 +1232,18 @@ impl<'p> Simulation<'p> {
     /// panic, with the same message, the per-client serial check
     /// produced.
     fn check_consistency_sharded(&mut self, deliver: &[bool]) {
-        if self.oracle.is_none() {
+        let Some(oracle) = self.oracle.as_ref() else {
             return;
-        }
-        let caches: Vec<(ClientId, &LruCache)> = self
-            .clients
-            .iter()
-            .enumerate()
-            .filter(|&(i, _)| deliver[i])
-            .map(|(i, client)| (ClientId(i as u16), client.cache()))
-            .collect();
-        let oracle = self.oracle.as_ref().expect("checked above");
-        let (checks, violations) = oracle.scan(
-            &caches,
+        };
+        // Columnar scan: no per-call `(ClientId, &cache)` list — the
+        // oracle walks the cache column directly, masked by `deliver`.
+        let (checks, violations) = oracle.scan_cols(
+            self.clients.caches_col(),
+            deliver,
             &self.pool,
             self.shards.len(),
             self.cfg.pool_min_shard_clients as usize,
         );
-        drop(caches);
         self.oracle
             .as_mut()
             .expect("checked above")
@@ -1253,14 +1274,18 @@ impl<'p> Simulation<'p> {
         let mut misses = 0u64;
         let mut evictions = 0u64;
         let mut faults = self.faults;
-        for client in &self.clients {
-            let c = client.counters();
-            clients.absorb(&c);
+        for (c, cache) in self
+            .clients
+            .counters_col()
+            .iter()
+            .zip(self.clients.caches_col())
+        {
+            clients.absorb(c);
             issued += c.queries_issued;
             answered += c.queries_answered;
             hits += c.item_hits;
             misses += c.item_misses;
-            evictions += client.cache().evictions();
+            evictions += cache.evictions();
             faults.retries_sent += c.retries_sent;
             faults.backoff_exhaustions += c.backoff_exhaustions;
         }

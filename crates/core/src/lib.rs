@@ -47,6 +47,14 @@ pub use probe::{
     RunTotals,
 };
 
+// The struct-of-arrays client population and its accessor views are the
+// public way to inspect per-client state (e.g. from probes). The former
+// `Vec<Client>` snapshot accessors are gone — migrate via
+// `ClientPop`/`ClientRef`: where code held a `&Client`, take a
+// `ClientRef` from `pop.client(i)`; columnar aggregates read the dense
+// columns (`counters_col`, `caches_col`) instead of cloning per-client
+// vectors.
+pub use mobicache_client::{ClientMut, ClientPop, ClientRef};
 // Re-export the configuration vocabulary so downstream users need only
 // this crate plus `mobicache-model`.
 pub use mobicache_model::{

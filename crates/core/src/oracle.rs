@@ -180,6 +180,64 @@ impl Oracle {
         (checks, out)
     }
 
+    /// Scans a whole cache column masked by `deliver`, sharded over
+    /// `pool` in contiguous index chunks. The column index *is* the
+    /// client id, so no `(ClientId, &cache)` pair list is ever built —
+    /// the struct-of-arrays engine calls this straight on its cache
+    /// column every broadcast tick. Returns the total evaluation count
+    /// and every violation in column-index (then cache-entry) order,
+    /// byte-identical to a serial pass whatever the shard geometry.
+    pub fn scan_cols(
+        &self,
+        caches: &[LruCache],
+        deliver: &[bool],
+        pool: &WorkerPool,
+        max_shards: usize,
+        min_per_shard: usize,
+    ) -> (u64, Vec<Violation>) {
+        debug_assert_eq!(caches.len(), deliver.len());
+        let n = caches.len();
+        if n == 0 {
+            return (0, Vec::new());
+        }
+        let t = shard_count(max_shards, n, min_per_shard);
+        if t <= 1 {
+            let mut out = Vec::new();
+            let mut checks = 0;
+            for (i, cache) in caches.iter().enumerate() {
+                if deliver[i] {
+                    checks += self.collect_violations(ClientId(i as u32), cache, &mut out);
+                }
+            }
+            return (checks, out);
+        }
+        let chunk = n.div_ceil(t);
+        let mut parts: Vec<(u64, Vec<Violation>)> = (0..t).map(|_| (0, Vec::new())).collect();
+        let parts_ptr = SendPtr(parts.as_mut_ptr());
+        pool.run(t, &|i| {
+            let start = i * chunk;
+            if start >= n {
+                return;
+            }
+            let end = (start + chunk).min(n);
+            // SAFETY: chunk `i` writes only to slot `i`.
+            let slot = unsafe { &mut *parts_ptr.get().add(i) };
+            for (j, cache) in caches[start..end].iter().enumerate() {
+                if deliver[start + j] {
+                    slot.0 +=
+                        self.collect_violations(ClientId((start + j) as u32), cache, &mut slot.1);
+                }
+            }
+        });
+        let mut checks = 0;
+        let mut out = Vec::new();
+        for (c, mut v) in parts {
+            checks += c;
+            out.append(&mut v);
+        }
+        (checks, out)
+    }
+
     /// Asserts the consistency invariant over one client's cache.
     ///
     /// # Panics
@@ -243,18 +301,18 @@ mod tests {
         }
         // Build 7 caches (non-dividing under 2/3 shards); odd clients
         // hold a stale-valid entry for their own item index.
-        let caches: Vec<LruCache> = (0..7u16)
+        let caches: Vec<LruCache> = (0..7u32)
             .map(|c| {
                 let mut cache = LruCache::new(4);
                 let version = if c % 2 == 1 { SimTime::ZERO } else { t(50.0) };
-                cache.insert(ItemId(c as u32), version, t(40.0));
+                cache.insert(ItemId(c), version, t(40.0));
                 cache
             })
             .collect();
         let refs: Vec<(ClientId, &LruCache)> = caches
             .iter()
             .enumerate()
-            .map(|(i, cache)| (ClientId(i as u16), cache))
+            .map(|(i, cache)| (ClientId(i as u32), cache))
             .collect();
         let pool = WorkerPool::new(3);
         let serial = o.scan(&refs, &pool, 1, 1);
@@ -268,6 +326,20 @@ mod tests {
         }
         // The work threshold only changes who scans, never the result.
         assert_eq!(o.scan(&refs, &pool, 4, 4), serial);
+        // The columnar mask scan agrees with the pair-list scan at every
+        // geometry, including a partial mask.
+        let all = vec![true; caches.len()];
+        for shards in [1usize, 2, 3, 5, 16] {
+            assert_eq!(o.scan_cols(&caches, &all, &pool, shards, 1), serial);
+        }
+        let mut mask = all.clone();
+        mask[1] = false; // hide one violating client
+        let masked = o.scan_cols(&caches, &mask, &pool, 3, 1);
+        assert_eq!(masked.0, 6);
+        assert_eq!(
+            masked.1.iter().map(|v| v.client).collect::<Vec<_>>(),
+            vec![ClientId(3), ClientId(5)]
+        );
     }
 
     #[test]

@@ -75,13 +75,30 @@ proptest! {
         let refs: Vec<(ClientId, &LruCache)> = caches
             .iter()
             .enumerate()
-            .map(|(i, cache)| (ClientId(i as u16), cache))
+            .map(|(i, cache)| (ClientId(i as u32), cache))
             .collect();
         let pool = WorkerPool::new(3);
         let serial = oracle.scan(&refs, &pool, 1, 1);
         let sharded = oracle.scan(&refs, &pool, max_shards, min_per_shard);
         prop_assert_eq!(&serial.0, &sharded.0, "check counts diverged");
         prop_assert_eq!(&serial.1, &sharded.1, "violation lists diverged");
+        // The columnar mask scan (the struct-of-arrays engine's path)
+        // must agree with the pair-list scan: all-true mask equals the
+        // unmasked scan, and a partial mask equals the masked serial
+        // reference, at every geometry.
+        let all = vec![true; caches.len()];
+        let cols = oracle.scan_cols(&caches, &all, &pool, max_shards, min_per_shard);
+        prop_assert_eq!(&serial, &cols, "columnar all-true scan diverged");
+        let mask: Vec<bool> = (0..caches.len()).map(|i| i % 2 == 0).collect();
+        let mut masked_out = Vec::new();
+        let mut masked_checks = 0;
+        for (i, cache) in caches.iter().enumerate() {
+            if mask[i] {
+                masked_checks += oracle.collect_violations(ClientId(i as u32), cache, &mut masked_out);
+            }
+        }
+        let masked = oracle.scan_cols(&caches, &mask, &pool, max_shards, min_per_shard);
+        prop_assert_eq!((masked_checks, masked_out), masked, "masked columnar scan diverged");
         // And the serial scan must agree with the panicking per-client
         // API about whether the state is consistent at all.
         let clean = serial.1.is_empty();

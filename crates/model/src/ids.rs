@@ -2,8 +2,8 @@
 //!
 //! The database is "a collection of N named data items" (§2); items are the
 //! unit of update, query, caching, and invalidation. Clients are the mobile
-//! hosts. Both are dense indices, so `u32`/`u16` newtypes keep hot
-//! structures small (see the type-size guidance in the Rust perf book) while
+//! hosts. Both are dense indices, so `u32` newtypes keep hot structures
+//! small (see the type-size guidance in the Rust perf book) while
 //! preventing accidental cross-use.
 
 use std::fmt;
@@ -40,8 +40,11 @@ impl fmt::Display for ItemId {
 }
 
 /// Identifier of a mobile client, `0 .. num_clients`.
+///
+/// `u32` since the struct-of-arrays client core: million-client
+/// populations overflow the previous `u16` index space.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-pub struct ClientId(pub u16);
+pub struct ClientId(pub u32);
 
 impl ClientId {
     /// The dense index of this client.
@@ -51,9 +54,9 @@ impl ClientId {
     }
 }
 
-impl From<u16> for ClientId {
+impl From<u32> for ClientId {
     #[inline]
-    fn from(v: u16) -> Self {
+    fn from(v: u32) -> Self {
         ClientId(v)
     }
 }
@@ -85,7 +88,7 @@ mod tests {
 
     #[test]
     fn client_id_roundtrip() {
-        let id = ClientId::from(7u16);
+        let id = ClientId::from(7u32);
         assert_eq!(id.index(), 7);
         assert_eq!(format!("{id:?}"), "client#7");
     }
@@ -104,6 +107,6 @@ mod tests {
     fn type_sizes_stay_small() {
         // Hot structures index by these; keep them word-fraction sized.
         assert_eq!(std::mem::size_of::<ItemId>(), 4);
-        assert_eq!(std::mem::size_of::<ClientId>(), 2);
+        assert_eq!(std::mem::size_of::<ClientId>(), 4);
     }
 }

@@ -218,8 +218,9 @@ pub struct SimConfig {
     pub workload: Workload,
     /// Simulated horizon in seconds (Table 1: 100 000).
     pub sim_time_secs: f64,
-    /// Number of mobile clients (Table 1: 100).
-    pub num_clients: u16,
+    /// Number of mobile clients (Table 1: 100; the
+    /// struct-of-arrays client core scales to millions).
+    pub num_clients: u32,
     /// Database size `N` in items (Table 1: 1 000 – 80 000).
     pub db_size: u32,
     /// Size of one data item in bytes (Table 1: 8192).
@@ -400,7 +401,7 @@ impl SimConfig {
     }
 
     /// Builder-style client-population override.
-    pub fn with_num_clients(mut self, num_clients: u16) -> Self {
+    pub fn with_num_clients(mut self, num_clients: u32) -> Self {
         self.num_clients = num_clients;
         self
     }
@@ -488,7 +489,7 @@ impl SimConfig {
                 value: self.header_bits,
             });
         }
-        count("num_clients", self.num_clients as u64)?;
+        count("num_clients", u64::from(self.num_clients))?;
         count("db_size", self.db_size as u64)?;
         count("item_bytes", self.item_bytes)?;
         if !(0.0..=1.0).contains(&self.p_disconnect) {

@@ -9,11 +9,22 @@
 //!   recency-ordered index (`U` = items ever updated, `k` = result size);
 //! * **recency scan** — items ordered most-recently-updated first, for
 //!   bit-sequence construction: iterator over the same index.
+//!
+//! The recency index is a dense sorted `Vec<(SimTime, ItemId)>` rather
+//! than a tree: simulation time only moves forward, so every new entry
+//! lands in (or just inside) the tail, and a re-updated item's old entry
+//! becomes a *tombstone* — it keeps its slot and its sort key, but the
+//! per-item position table no longer points at it. Scans skip dead
+//! entries; when more than half the index is dead it is compacted in
+//! place. Compared to the previous `BTreeSet`, a window extraction is a
+//! binary search plus a contiguous forward walk — no pointer chasing —
+//! and the whole history for a large database sits in two flat arrays.
 
 use mobicache_model::ItemId;
 use mobicache_sim::SimTime;
-use std::collections::BTreeSet;
-use std::ops::Bound;
+
+/// Sentinel for "item has no live recency entry".
+const NIL: u32 = u32::MAX;
 
 /// Per-item last-update times with a recency index.
 pub struct UpdateLog {
@@ -22,8 +33,14 @@ pub struct UpdateLog {
     /// versions are [`SimTime::ZERO`] — matching clients, which treat a
     /// never-updated item's version as zero.
     last_update: Vec<Option<SimTime>>,
-    /// `(last_update, item)` ordered index over ever-updated items.
-    recency: BTreeSet<(SimTime, ItemId)>,
+    /// `(last_update, item)` ordered index over ever-updated items,
+    /// ascending, including tombstones (entries `pos` no longer points
+    /// at). Ties break item-ascending, exactly like the old tree.
+    recency: Vec<(SimTime, ItemId)>,
+    /// Per-item position of the live recency entry (`NIL` if none).
+    pos: Vec<u32>,
+    /// Tombstone count in `recency`.
+    dead: usize,
     total_updates: u64,
 }
 
@@ -34,7 +51,9 @@ impl UpdateLog {
         UpdateLog {
             db_size,
             last_update: vec![None; db_size as usize],
-            recency: BTreeSet::new(),
+            recency: Vec::new(),
+            pos: vec![NIL; db_size as usize],
+            dead: 0,
             total_updates: 0,
         }
     }
@@ -51,7 +70,28 @@ impl UpdateLog {
 
     /// Number of items updated at least once.
     pub fn distinct_updated(&self) -> usize {
-        self.recency.len()
+        self.recency.len() - self.dead
+    }
+
+    /// `true` when the entry at `j` is the live one for its item.
+    #[inline]
+    fn live(&self, j: usize) -> bool {
+        self.pos[self.recency[j].1.index()] == j as u32
+    }
+
+    /// Drops every tombstone, keeping live entries in order.
+    fn compact(&mut self) {
+        let mut w = 0usize;
+        for j in 0..self.recency.len() {
+            if self.live(j) {
+                let e = self.recency[j];
+                self.recency[w] = e;
+                self.pos[e.1.index()] = w as u32;
+                w += 1;
+            }
+        }
+        self.recency.truncate(w);
+        self.dead = 0;
     }
 
     /// Records an update of `item` at time `now`. Returns the item's
@@ -65,14 +105,32 @@ impl UpdateLog {
         let prev = match *slot {
             Some(prev) => {
                 assert!(prev <= now, "update time went backwards for {item:?}");
-                self.recency.remove(&(prev, item));
+                // The old entry becomes a tombstone: it keeps its slot
+                // and key (so the vec stays sorted) but stops being the
+                // item's position.
+                self.dead += 1;
                 prev
             }
             None => SimTime::ZERO,
         };
         *slot = Some(now);
-        self.recency.insert((now, item));
+        // Time is globally monotone, so the insertion point is in the
+        // tail's equal-timestamp run; ties order item-ascending. Only
+        // that run shifts, so only its items' positions need bumping.
+        let key = (now, item);
+        let at = self.recency.partition_point(|e| *e < key);
+        for j in at..self.recency.len() {
+            let it = self.recency[j].1.index();
+            if self.pos[it] == j as u32 {
+                self.pos[it] = (j + 1) as u32;
+            }
+        }
+        self.recency.insert(at, key);
+        self.pos[item.index()] = at as u32;
         self.total_updates += 1;
+        if self.dead * 2 > self.recency.len() {
+            self.compact();
+        }
         prev
     }
 
@@ -91,34 +149,31 @@ impl UpdateLog {
 
     /// Time of the most recent update anywhere, if any (`TS(B_0)`).
     pub fn latest_update(&self) -> Option<SimTime> {
-        self.recency.iter().next_back().map(|&(ts, _)| ts)
+        // The newest entry is always live (tombstones are strictly older
+        // re-updates of the same item, and an equal-time re-update
+        // inserts the live entry at or after the dead one), but walk
+        // defensively anyway — the scan stops at the first live slot.
+        (0..self.recency.len())
+            .rev()
+            .find(|&j| self.live(j))
+            .map(|j| self.recency[j].0)
     }
 
     /// Every item updated strictly after `since`, as `(item, ts)` pairs
-    /// (ascending timestamp), without allocating: `O(log U + k)` for `k`
-    /// results. The allocation-free spine under [`UpdateLog::updates_since`]
-    /// and the scratch-buffer variant [`UpdateLog::updates_since_into`].
+    /// (ascending timestamp, item-ascending within ties), without
+    /// allocating: one binary search plus a contiguous forward walk —
+    /// `O(log U + k)` for `k` results plus skipped tombstones.
     pub fn updates_since_iter(
         &self,
         since: SimTime,
     ) -> impl Iterator<Item = (ItemId, SimTime)> + '_ {
-        self.recency
-            .range((Bound::Excluded((since, ItemId(u32::MAX))), Bound::Unbounded))
-            .map(|&(ts, item)| (item, ts))
-    }
-
-    /// Every item updated strictly after `since`, as `(item, ts)` pairs
-    /// (unordered): `O(log U + k)` plus one allocation for the result.
-    pub fn updates_since(&self, since: SimTime) -> Vec<(ItemId, SimTime)> {
-        self.updates_since_iter(since).collect()
-    }
-
-    /// Appends every item updated strictly after `since` to `out` (which
-    /// is *not* cleared): the scratch-buffer form of
-    /// [`UpdateLog::updates_since`] for callers that extract a window
-    /// every period and want to reuse one allocation.
-    pub fn updates_since_into(&self, since: SimTime, out: &mut Vec<(ItemId, SimTime)>) {
-        out.extend(self.updates_since_iter(since));
+        let start = self.recency.partition_point(|&(ts, _)| ts <= since);
+        self.recency[start..]
+            .iter()
+            .enumerate()
+            .filter_map(move |(k, &(ts, item))| {
+                (self.pos[item.index()] == (start + k) as u32).then_some((item, ts))
+            })
     }
 
     /// Number of items updated strictly after `since`: `O(log U + k)` —
@@ -140,7 +195,13 @@ impl UpdateLog {
 
     /// Items ordered most recently updated first.
     pub fn recency_desc(&self) -> impl Iterator<Item = (ItemId, SimTime)> + '_ {
-        self.recency.iter().rev().map(|&(ts, item)| (item, ts))
+        self.recency
+            .iter()
+            .enumerate()
+            .rev()
+            .filter_map(|(j, &(ts, item))| {
+                (self.pos[item.index()] == j as u32).then_some((item, ts))
+            })
     }
 }
 
@@ -180,8 +241,7 @@ mod tests {
         log.apply_update(t(1.0), ItemId(1));
         log.apply_update(t(2.0), ItemId(2));
         log.apply_update(t(3.0), ItemId(3));
-        let mut got = log.updates_since(t(2.0));
-        got.sort_unstable_by_key(|&(i, _)| i);
+        let got: Vec<_> = log.updates_since_iter(t(2.0)).collect();
         assert_eq!(got, vec![(ItemId(3), t(3.0))]);
         assert_eq!(log.count_since(t(0.0)), 3);
         assert_eq!(log.count_since(t(3.0)), 0);
@@ -195,7 +255,7 @@ mod tests {
         log.apply_update(t(3.0), ItemId(1));
         let order: Vec<ItemId> = log.recency_desc().map(|(i, _)| i).collect();
         assert_eq!(order, vec![ItemId(1), ItemId(2)]);
-        // The stale (1.0, item1) entry must be gone.
+        // The stale (1.0, item1) entry must be dead.
         assert_eq!(log.count_since(t(0.0)), 2);
         assert_eq!(log.latest_update(), Some(t(3.0)));
     }
@@ -226,18 +286,34 @@ mod tests {
     }
 
     #[test]
-    fn scratch_extraction_appends_without_clearing() {
-        let mut log = UpdateLog::new(10);
+    fn tombstones_are_skipped_and_compacted() {
+        let mut log = UpdateLog::new(4);
+        // Hammer two items so re-updates pile up tombstones and force
+        // compactions; the views must never show a dead entry.
+        for k in 0..50u32 {
+            log.apply_update(t(1.0 + f64::from(k)), ItemId(k % 2));
+            assert_eq!(log.distinct_updated(), 1 + (k > 0) as usize);
+            let desc: Vec<ItemId> = log.recency_desc().map(|(i, _)| i).collect();
+            assert_eq!(desc.len(), log.distinct_updated());
+            assert_eq!(desc[0], ItemId(k % 2), "newest first");
+        }
+        assert_eq!(log.total_updates(), 50);
+        assert_eq!(log.count_since(SimTime::ZERO), 2);
+        // Compaction kept the index smaller than the update count.
+        assert!(log.recency.len() <= 4, "tombstones never compacted");
+    }
+
+    #[test]
+    fn equal_time_reupdate_stays_live() {
+        let mut log = UpdateLog::new(4);
         log.apply_update(t(1.0), ItemId(1));
-        log.apply_update(t(2.0), ItemId(2));
-        let mut out = vec![(ItemId(9), t(99.0))];
-        log.updates_since_into(t(1.0), &mut out);
-        assert_eq!(out, vec![(ItemId(9), t(99.0)), (ItemId(2), t(2.0))]);
-        out.clear();
-        log.updates_since_into(t(0.0), &mut out);
-        let mut sorted = out.clone();
-        sorted.sort_unstable_by_key(|&(i, _)| i);
-        assert_eq!(sorted, log.updates_since(t(0.0)));
+        log.apply_update(t(1.0), ItemId(1)); // prev == now is allowed
+        assert_eq!(log.distinct_updated(), 1);
+        assert_eq!(log.latest_update(), Some(t(1.0)));
+        assert_eq!(
+            log.updates_since_iter(SimTime::ZERO).collect::<Vec<_>>(),
+            vec![(ItemId(1), t(1.0))]
+        );
     }
 
     #[test]

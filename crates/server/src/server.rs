@@ -376,7 +376,7 @@ impl Server {
             cache.history_since = history_since;
             return payload;
         }
-        let records = self.log.updates_since(history_since);
+        let records: Vec<(ItemId, SimTime)> = self.log.updates_since_iter(history_since).collect();
         let min_record = records.iter().map(|&(_, ts)| ts).min();
         let payload = Arc::new(ReportPayload::Window(WindowReport {
             broadcast_at: now,

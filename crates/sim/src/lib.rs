@@ -41,6 +41,6 @@ pub use dist::{Bernoulli, Exp, Poisson, UniformRange, Zipf};
 pub use event::Scheduler;
 pub use facility::{Completion, Facility, FacilityConfig, Job};
 pub use pool::WorkerPool;
-pub use rng::SimRng;
+pub use rng::{SimRng, StreamId};
 pub use stats::{Counter, Histogram, OnlineStats, TimeWeighted};
 pub use time::SimTime;

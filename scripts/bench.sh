@@ -6,14 +6,20 @@
 #                                 # best-of-30 fan-out passes)
 #   ./scripts/bench.sh --quick    # reduced iterations, used by ci.sh
 #
-# The JSON has five sections:
+# The JSON has six sections:
 #   baseline_before — pre-refactor numbers frozen into the binary
+#   popscale        — struct-of-arrays population sweep (10k/100k/1M AAW
+#                     clients, ascending): events/sec and peak RSS (VmHWM)
 #   e2e             — fig05 sweep per scheme: wall secs, events, events/sec
 #   stress          — heavy single-run config per scheme (40k db, 200 clients)
 #   fanout          — one report x 200 clients: linear vs shared-index, speedup
 #   scaling         — full AAW runs, clients x engine worker threads
 #                     (host_cores recorded; on a 1-core host ~1.0x is the
 #                     expected ceiling)
+#
+# The popscale 100k row doubles as the CI regression floor: ci.sh re-runs
+# it via `report_pipeline --smoke-popscale 100000 --check-against
+# BENCH_report_pipeline.json` and fails on a >10% events/sec drop.
 #
 # Criterion micro-benchmarks (including the `fanout` group) live
 # separately under `cargo bench -p mobicache-bench --bench micro`.

@@ -49,9 +49,23 @@ timeout 600 cargo test -q --release --test faults
 echo "==> pool lifecycle suite (under timeout)"
 timeout 300 cargo test -q --release --test pool
 
+# Population-scale legs for the struct-of-arrays client core. The
+# 100k-client determinism pin is #[ignore]d (debug would crawl), so run
+# it explicitly in release; the popscale smoke re-runs the committed
+# 100k bench row and fails on a >10% events/sec regression against
+# BENCH_report_pipeline.json. Both under timeout: their failure mode
+# includes a wedged shard barrier.
+echo "==> 100k-client thread-invariance pin (release, under timeout)"
+timeout 600 cargo test -q --release --test determinism \
+  hundred_k_clients_digest_is_thread_invariant -- --ignored
+
 echo "==> bench smoke: report_pipeline --quick --threads 2"
 cargo build --release -p mobicache-bench
 ./target/release/report_pipeline --quick --threads 2 --out /tmp/bench_smoke.json
 rm -f /tmp/bench_smoke.json
+
+echo "==> popscale smoke: 100k clients vs committed BENCH_report_pipeline.json"
+timeout 300 ./target/release/report_pipeline \
+  --smoke-popscale 100000 --check-against BENCH_report_pipeline.json
 
 echo "CI OK"

@@ -2,6 +2,11 @@
 //! examples and cross-crate integration tests in this repository have a
 //! single import root. Library users should depend on the `mobicache`
 //! crate directly.
+//!
+//! Since the struct-of-arrays client refactor, per-client state is
+//! exposed through the columnar [`ClientPop`] population and its
+//! [`ClientRef`]/[`ClientMut`] accessor views (re-exported here); the
+//! old snapshot-style `Vec<Client>` accessors no longer exist.
 
 pub use mobicache::*;
 pub use mobicache_experiments as experiments;

@@ -183,6 +183,33 @@ fn fault_injection_digests_are_thread_invariant() {
     }
 }
 
+/// The determinism contract at population scale: a 100 000-client run on
+/// the struct-of-arrays client core must produce bit-identical metrics
+/// whether the column scans run serial or sharded across the pool.
+///
+/// `#[ignore]`d because it needs a release build to finish promptly;
+/// `scripts/ci.sh` runs it explicitly (release, under `timeout`) as the
+/// population-scale smoke leg.
+#[test]
+#[ignore = "population-scale leg: run in release via scripts/ci.sh"]
+fn hundred_k_clients_digest_is_thread_invariant() {
+    let mut cfg = SimConfig::paper_default().with_scheme(Scheme::Aaw);
+    cfg.sim_time_secs = 400.0;
+    cfg.db_size = 1_000;
+    cfg.num_clients = 100_000;
+    let digest_at = |threads: u32| {
+        let result =
+            run(&cfg.clone().with_threads(threads), RunOptions::default()).expect("valid config");
+        fnv1a(format!("{:?}", result.metrics).as_bytes())
+    };
+    let serial = digest_at(1);
+    assert_eq!(
+        serial,
+        digest_at(4),
+        "100k-client AAW digest diverged between threads=1 and threads=4"
+    );
+}
+
 /// The pool's work-thinning knobs only decide which phases fan out —
 /// never what they compute. A knob large enough to force every phase
 /// serial must reproduce the pinned digest at any thread count.
