@@ -26,23 +26,35 @@
 //!   population. Runs first and in ascending order because the RSS
 //!   figure is `VmHWM` — the process high-water mark, which only ever
 //!   rises.
+//! * **sched** — the future-event-list micro-benchmark: the retired
+//!   `BinaryHeap` scheduler (kept here as a local baseline) vs the live
+//!   hierarchical timing wheel on a deterministic fill/churn/drain
+//!   workload at 10 k, 100 k and 1 M pending events, in ns per push/pop
+//!   operation.
 //!
 //! Run via `scripts/bench.sh`, which writes the JSON to the repo root.
 //! `--quick` shrinks every section for the CI smoke step; `--out PATH`
 //! writes the JSON file (otherwise it goes to stdout); `--threads N`
 //! runs the e2e/stress/popscale sections with `N` engine worker threads.
 //!
-//! `--smoke-popscale CLIENTS --check-against PATH` is the CI regression
-//! gate: it runs only the popscale configuration at `CLIENTS`, compares
-//! events/second against the matching row of the committed JSON at
-//! `PATH`, and exits non-zero on a >10 % throughput regression.
+//! CI regression gates (each runs one section and exits non-zero on a
+//! miss):
+//! * `--smoke-popscale CLIENTS --check-against PATH` — the popscale
+//!   configuration at `CLIENTS` vs the committed JSON's matching row;
+//!   fails on a >10 % events/second regression.
+//! * `--smoke-stress --check-against PATH` — the heavy AAW stress point
+//!   vs the committed top-level stress row; fails on a >10 % regression.
+//! * `--smoke-sched` — the 10 k-pending sched row; fails if the wheel
+//!   drops below the heap baseline.
 
 use mobicache::{run, RunOptions};
 use mobicache_experiments::figures::fig05;
-use mobicache_experiments::{run_figure_with, RunReporting, RunScale};
+use mobicache_experiments::{run_figure_with, CoreSplitPolicy, RunReporting, RunScale};
 use mobicache_model::{ItemId, Scheme, SimConfig};
 use mobicache_reports::WindowReport;
-use mobicache_sim::SimTime;
+use mobicache_sim::{Scheduler, SimTime};
+use std::cmp::Ordering as CmpOrdering;
+use std::collections::BinaryHeap;
 use std::fmt::Write as _;
 use std::hint::black_box;
 use std::time::Instant;
@@ -81,6 +93,8 @@ fn bench_e2e(quick: bool) -> Vec<E2eRow> {
         time_factor: if quick { 0.01 } else { 0.05 },
         max_threads: Some(1),
         replications: 1,
+        // Serial engines, as every committed e2e number was measured.
+        split: CoreSplitPolicy::PointsOnly,
     };
     let mut rows = Vec::new();
     for scheme in schemes {
@@ -380,6 +394,160 @@ fn bench_popscale(quick: bool, threads: u32) -> Vec<PopRow> {
         .collect()
 }
 
+/// The pre-wheel future-event list, verbatim: a `BinaryHeap` with the
+/// `(at, seq)` comparator reversed for min-first pops. Kept here as the
+/// `sched` section's baseline now that the live scheduler is a timing
+/// wheel.
+struct HeapSched {
+    heap: BinaryHeap<HeapEntry>,
+    now: SimTime,
+    seq: u64,
+}
+
+struct HeapEntry {
+    at: SimTime,
+    seq: u64,
+    value: u64,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        (self.at, self.seq) == (other.at, other.seq)
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<CmpOrdering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> CmpOrdering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// The push/pop surface the `sched` section drives — implemented by the
+/// heap baseline and the live timing wheel.
+trait EventList {
+    fn push(&mut self, at: SimTime, value: u64);
+    fn pop(&mut self) -> Option<(SimTime, u64)>;
+}
+
+impl EventList for HeapSched {
+    fn push(&mut self, at: SimTime, value: u64) {
+        assert!(at >= self.now);
+        self.heap.push(HeapEntry {
+            at,
+            seq: self.seq,
+            value,
+        });
+        self.seq += 1;
+    }
+    fn pop(&mut self) -> Option<(SimTime, u64)> {
+        let e = self.heap.pop()?;
+        self.now = e.at;
+        Some((e.at, e.value))
+    }
+}
+
+impl EventList for Scheduler<u64> {
+    fn push(&mut self, at: SimTime, value: u64) {
+        self.schedule(at, value);
+    }
+    fn pop(&mut self) -> Option<(SimTime, u64)> {
+        Scheduler::pop(self)
+    }
+}
+
+/// The simulator-shaped scheduler workload: fill `n` events over a
+/// 10 000 s horizon, then `n` pop → re-push churn steps (the steady
+/// state: every delivery schedules a successor a bounded delay out),
+/// then drain. 4·n push/pop operations total.
+fn drive_event_list(s: &mut impl EventList, n: usize) {
+    let mut state = 0x9E37_79B9_7F4A_7C15u64;
+    let mut unit = move || {
+        state = state
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    for i in 0..n {
+        s.push(SimTime::from_secs(unit() * 10_000.0), i as u64);
+    }
+    for i in 0..n {
+        let (at, v) = s.pop().expect("list is full");
+        black_box(v);
+        s.push(at + (1.0 + unit() * 99.0), (n + i) as u64);
+    }
+    while let Some((_, v)) = s.pop() {
+        black_box(v);
+    }
+}
+
+struct SchedRow {
+    pending: usize,
+    heap_ns_per_op: f64,
+    wheel_ns_per_op: f64,
+    speedup: f64,
+}
+
+/// Scheduler micro-benchmark: the heap baseline vs the timing wheel on
+/// the same deterministic workload, at several steady-state sizes. Best
+/// of `reps` full passes; ns amortized over all 4·n operations.
+fn bench_sched(quick: bool) -> Vec<SchedRow> {
+    let sizes: &[usize] = if quick {
+        &[10_000]
+    } else {
+        &[10_000, 100_000, 1_000_000]
+    };
+    let reps = if quick { 2 } else { 3 };
+    let mut rows = Vec::new();
+    for &n in sizes {
+        let ops = (4 * n) as f64;
+        let mut heap_ns = f64::INFINITY;
+        let mut wheel_ns = f64::INFINITY;
+        for _ in 0..reps {
+            let mut heap = HeapSched {
+                heap: BinaryHeap::new(),
+                now: SimTime::ZERO,
+                seq: 0,
+            };
+            let started = Instant::now();
+            drive_event_list(&mut heap, n);
+            heap_ns = heap_ns.min(started.elapsed().as_nanos() as f64);
+
+            let mut wheel: Scheduler<u64> = Scheduler::new();
+            let started = Instant::now();
+            drive_event_list(&mut wheel, n);
+            wheel_ns = wheel_ns.min(started.elapsed().as_nanos() as f64);
+        }
+        let speedup = heap_ns / wheel_ns;
+        eprintln!(
+            "sched {n} pending: heap {:.1} ns/op, wheel {:.1} ns/op ({speedup:.2}x)",
+            heap_ns / ops,
+            wheel_ns / ops
+        );
+        rows.push(SchedRow {
+            pending: n,
+            heap_ns_per_op: heap_ns / ops,
+            wheel_ns_per_op: wheel_ns / ops,
+            speedup,
+        });
+    }
+    rows
+}
+
+/// The `events_per_sec` number inside one JSON row fragment.
+fn rate_in_row(row: &str) -> Option<f64> {
+    let rate = &row[row.find("\"events_per_sec\":")? + "\"events_per_sec\":".len()..];
+    rate.trim_start()
+        .split(|c: char| c != '.' && !c.is_ascii_digit())
+        .next()?
+        .parse()
+        .ok()
+}
+
 /// The committed events/second for `clients` in the popscale section of
 /// the JSON at `path`. A hand-rolled scan — the repo vendors no JSON
 /// parser and the bench file's shape is ours to pin.
@@ -388,13 +556,18 @@ fn committed_popscale_rate(path: &str, clients: u32) -> Option<f64> {
     let section = &body[body.find("\"popscale\"")?..];
     let needle = format!("\"clients\": {clients},");
     let row = &section[section.find(&needle)?..];
-    let row = &row[..row.find('}')?];
-    let rate = &row[row.find("\"events_per_sec\":")? + "\"events_per_sec\":".len()..];
-    rate.trim_start()
-        .split(|c: char| c != '.' && !c.is_ascii_digit())
-        .next()?
-        .parse()
-        .ok()
+    rate_in_row(&row[..row.find('}')?])
+}
+
+/// The committed events/second for `scheme` in the *top-level* stress
+/// section of the JSON at `path`. `baseline_before` embeds an earlier
+/// `"stress"` key, so the top-level section is the last occurrence.
+fn committed_stress_rate(path: &str, scheme: Scheme) -> Option<f64> {
+    let body = std::fs::read_to_string(path).ok()?;
+    let section = &body[body.rfind("\"stress\"")?..];
+    let needle = format!("\"scheme\": \"{scheme:?}\"");
+    let row = &section[section.find(&needle)?..];
+    rate_in_row(&row[..row.find('}')?])
 }
 
 /// The CI regression gate: one popscale run vs the committed rate.
@@ -421,6 +594,60 @@ fn smoke_popscale(clients: u32, threads: u32, check_against: &str) -> i32 {
     0
 }
 
+/// The stress-section CI regression gate: one heavy AAW run (the
+/// scheme most sensitive to scheduler and report-pipeline throughput)
+/// vs the committed rate. Returns the process exit code.
+fn smoke_stress(threads: u32, check_against: &str) -> i32 {
+    let scheme = Scheme::Aaw;
+    let cfg = stress_cfg(scheme, false).with_threads(threads);
+    let mut best_wall = f64::INFINITY;
+    let mut events = 0u64;
+    for _ in 0..2 {
+        let started = Instant::now();
+        let result = run(&cfg, RunOptions::default()).expect("stress config validates");
+        best_wall = best_wall.min(started.elapsed().as_secs_f64());
+        events = result.metrics.events_processed;
+    }
+    let rate = events as f64 / best_wall;
+    let Some(committed) = committed_stress_rate(check_against, scheme) else {
+        eprintln!("smoke-stress: no committed {scheme:?} stress row in {check_against}");
+        return 1;
+    };
+    let floor = committed * 0.9;
+    if rate < floor {
+        eprintln!(
+            "smoke-stress: REGRESSION — {rate:.0} ev/s is below 90% of the committed \
+             {committed:.0} ev/s (floor {floor:.0})"
+        );
+        return 1;
+    }
+    eprintln!(
+        "smoke-stress: ok — {rate:.0} ev/s vs committed {committed:.0} ev/s (floor {floor:.0})"
+    );
+    0
+}
+
+/// The scheduler CI smoke: the 10k-pending `sched` row must show the
+/// wheel at least matching the heap baseline (the committed full run
+/// pins the ≥2x margin at 1M pending; this leg catches a wheel that
+/// regressed to worse-than-heap without burning CI minutes).
+fn smoke_sched() -> i32 {
+    let rows = bench_sched(true);
+    let row = &rows[0];
+    if row.speedup < 1.0 {
+        eprintln!(
+            "smoke-sched: REGRESSION — wheel {:.1} ns/op vs heap {:.1} ns/op ({:.2}x)",
+            row.wheel_ns_per_op, row.heap_ns_per_op, row.speedup
+        );
+        return 1;
+    }
+    eprintln!(
+        "smoke-sched: ok — wheel {:.1} ns/op vs heap {:.1} ns/op ({:.2}x)",
+        row.wheel_ns_per_op, row.heap_ns_per_op, row.speedup
+    );
+    0
+}
+
 fn write_rows(out: &mut String, rows: &[E2eRow]) {
     for (i, r) in rows.iter().enumerate() {
         let _ = write!(
@@ -433,8 +660,10 @@ fn write_rows(out: &mut String, rows: &[E2eRow]) {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn json(
     popscale: &[PopRow],
+    sched: &[SchedRow],
     e2e: &[E2eRow],
     stress: &[E2eRow],
     fanout: &[FanoutRow],
@@ -473,6 +702,25 @@ fn json(
             r.clients, r.threads, r.wall_secs, r.events, r.events_per_sec, r.peak_rss_mb
         );
         out.push_str(if i + 1 < popscale.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("    ]\n  },\n");
+    out.push_str("  \"sched\": {\n");
+    let _ = writeln!(
+        out,
+        "    \"note\": \"future-event-list micro-benchmark: the retired \
+         BinaryHeap scheduler vs the live hierarchical timing wheel on the \
+         same deterministic fill/churn/drain workload (4n ops at n pending, \
+         10000 s horizon). ns amortized per push/pop op, best-of-reps.\","
+    );
+    out.push_str("    \"rows\": [\n");
+    for (i, r) in sched.iter().enumerate() {
+        let _ = write!(
+            out,
+            "      {{ \"pending\": {}, \"heap_ns_per_op\": {:.1}, \
+             \"wheel_ns_per_op\": {:.1}, \"speedup\": {:.2} }}",
+            r.pending, r.heap_ns_per_op, r.wheel_ns_per_op, r.speedup
+        );
+        out.push_str(if i + 1 < sched.len() { ",\n" } else { "\n" });
     }
     out.push_str("    ]\n  },\n");
     out.push_str("  \"e2e\": [\n");
@@ -547,15 +795,28 @@ fn main() {
             .expect("--smoke-popscale requires --check-against PATH");
         std::process::exit(smoke_popscale(clients, engine_threads, check_against));
     }
+    if args.iter().any(|a| a == "--smoke-stress") {
+        let check_against = args
+            .iter()
+            .position(|a| a == "--check-against")
+            .and_then(|i| args.get(i + 1))
+            .expect("--smoke-stress requires --check-against PATH");
+        std::process::exit(smoke_stress(engine_threads, check_against));
+    }
+    if args.iter().any(|a| a == "--smoke-sched") {
+        std::process::exit(smoke_sched());
+    }
 
     // popscale first, ascending: its peak-RSS column reads VmHWM.
     let popscale = bench_popscale(quick, engine_threads);
+    let sched = bench_sched(quick);
     let e2e = bench_e2e(quick);
     let stress = bench_stress(quick, engine_threads);
     let fanout = bench_fanout(quick);
     let scaling = bench_scaling(quick);
     let body = json(
         &popscale,
+        &sched,
         &e2e,
         &stress,
         &fanout,

@@ -735,6 +735,8 @@ impl<'p> Simulation<'p> {
             end_secs,
             delta: totals.delta_since(&self.snap_prev),
             queue_high_water: self.sched.queue_high_water(),
+            slot_high_water: self.sched.slot_high_water(),
+            sched_cascades: self.sched.cascades(),
         };
         if let Some(p) = self.opts.probe.as_mut() {
             p.on_snapshot(&snap);

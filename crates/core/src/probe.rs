@@ -251,6 +251,15 @@ pub struct IntervalSnapshot {
     /// Largest pending-event-list depth seen so far (absolute, not a
     /// delta — a high-water mark only ratchets up).
     pub queue_high_water: usize,
+    /// Largest single timing-wheel slot occupancy seen so far (absolute
+    /// high-water mark, like `queue_high_water`) — how bursty the
+    /// schedule is at slot granularity.
+    pub slot_high_water: usize,
+    /// Timing-wheel overflow cascades performed so far (absolute,
+    /// cumulative): coarse slots redistributed into finer levels as the
+    /// clock crossed window boundaries. Structural work only — cascades
+    /// never reorder deliveries.
+    pub sched_cascades: u64,
 }
 
 impl IntervalSnapshot {
@@ -271,7 +280,8 @@ impl IntervalSnapshot {
                 "\"server_crashes\":{},",
                 "\"client_tx_bits\":{},\"client_rx_bits\":{},",
                 "\"events_scheduled\":{},\"events_delivered\":{},",
-                "\"queue_high_water\":{}}}"
+                "\"queue_high_water\":{},\"slot_high_water\":{},",
+                "\"sched_cascades\":{}}}"
             ),
             self.index,
             self.start_secs,
@@ -294,6 +304,8 @@ impl IntervalSnapshot {
             d.events_scheduled,
             d.events_delivered,
             self.queue_high_water,
+            self.slot_high_water,
+            self.sched_cascades,
         )
     }
 }
@@ -435,6 +447,8 @@ mod tests {
                 ..RunTotals::default()
             },
             queue_high_water: 7,
+            slot_high_water: 5,
+            sched_cascades: 2,
         }
     }
 
@@ -483,6 +497,8 @@ mod tests {
         assert!(lines[1].contains("\"queries_answered\":5"));
         assert!(lines[1].contains("\"client_tx_bits\":20.5"));
         assert!(lines[0].contains("\"queue_high_water\":7"));
+        assert!(lines[0].contains("\"slot_high_water\":5"));
+        assert!(lines[0].contains("\"sched_cascades\":2"));
         assert!(lines[0].contains("\"uplink_losses\":0"));
         assert!(lines[0].contains("\"fault_retries\":0"));
         assert!(lines[0].contains("\"server_crashes\":0"));

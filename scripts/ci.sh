@@ -68,4 +68,17 @@ echo "==> popscale smoke: 100k clients vs committed BENCH_report_pipeline.json"
 timeout 300 ./target/release/report_pipeline \
   --smoke-popscale 100000 --check-against BENCH_report_pipeline.json
 
+# Scheduler legs for the timing wheel: the stress smoke re-runs the
+# heavy AAW point against the committed stress row (a scheduler or
+# report-pipeline throughput regression fails here, not just a
+# population-scaling one), and the sched smoke re-runs the 10k-pending
+# heap-vs-wheel micro-benchmark, failing if the wheel drops below the
+# heap baseline.
+echo "==> stress smoke: heavy AAW point vs committed BENCH_report_pipeline.json"
+timeout 300 ./target/release/report_pipeline \
+  --smoke-stress --check-against BENCH_report_pipeline.json
+
+echo "==> sched smoke: heap-vs-wheel micro-benchmark"
+timeout 300 ./target/release/report_pipeline --smoke-sched
+
 echo "CI OK"
