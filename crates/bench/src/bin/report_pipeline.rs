@@ -31,6 +31,12 @@
 //!   hierarchical timing wheel on a deterministic fill/churn/drain
 //!   workload at 10 k, 100 k and 1 M pending events, in ns per push/pop
 //!   operation.
+//! * **invplan** — the invalidation-plan micro-benchmark: one AAW-shaped
+//!   window report applied to 10 k / 100 k / 1 M real `LruCache`s,
+//!   comparing the per-item `stale_into` walk against the decode-once
+//!   `PlanCache` bitmap intersection, in ns per client; plus a short
+//!   probed AAW run recording the plan-cache hit rate and the number of
+//!   all-zero fan-out words skipped.
 //!
 //! Run via `scripts/bench.sh`, which writes the JSON to the repo root.
 //! `--quick` shrinks every section for the CI smoke step; `--out PATH`
@@ -46,12 +52,21 @@
 //!   vs the committed top-level stress row; fails on a >10 % regression.
 //! * `--smoke-sched` — the 10 k-pending sched row; fails if the wheel
 //!   drops below the heap baseline.
+//! * `--smoke-invplan --check-against PATH` — the 100 k-client invplan
+//!   row; fails if the plan path stops beating the per-item path or its
+//!   speedup falls below half the committed ratio (a ratio of two timed
+//!   paths carries both runs' noise, hence the wider margin).
+//! * `--smoke-e2e --check-against PATH` — the full AAW `fig05` sweep vs
+//!   the committed e2e row; fails on a >20 % regression (e2e wall times
+//!   are tens of milliseconds, so scheduling noise is proportionally
+//!   larger than in the stress/popscale gates).
 
-use mobicache::{run, RunOptions};
+use mobicache::{run, IntervalSampler, RunOptions};
+use mobicache_cache::LruCache;
 use mobicache_experiments::figures::fig05;
 use mobicache_experiments::{run_figure_with, CoreSplitPolicy, RunReporting, RunScale};
 use mobicache_model::{ItemId, Scheme, SimConfig};
-use mobicache_reports::WindowReport;
+use mobicache_reports::{PlanCache, ReportPayload, WindowReport};
 use mobicache_sim::{Scheduler, SimTime};
 use std::cmp::Ordering as CmpOrdering;
 use std::collections::BinaryHeap;
@@ -538,14 +553,190 @@ fn bench_sched(quick: bool) -> Vec<SchedRow> {
     rows
 }
 
-/// The `events_per_sec` number inside one JSON row fragment.
-fn rate_in_row(row: &str) -> Option<f64> {
-    let rate = &row[row.find("\"events_per_sec\":")? + "\"events_per_sec\":".len()..];
-    rate.trim_start()
+struct InvplanRow {
+    clients: u32,
+    cache_len: u32,
+    per_item_ns_per_client: f64,
+    plan_ns_per_client: f64,
+    speedup: f64,
+}
+
+/// Plan-cache effectiveness observed by a probed short AAW run.
+struct InvplanProbe {
+    clients: u32,
+    sim_secs: f64,
+    plan_decodes: u64,
+    plan_hits: u64,
+    plan_misses: u64,
+    hit_rate: f64,
+    fanout_words_skipped: u64,
+}
+
+/// The AAW stress shape (`stress_cfg`: db 40 000, paper cache fraction →
+/// 800-item caches, updates every 5 s → a 200 s window lists ~40 items)
+/// frozen at one tick. Caches are real `LruCache`s so both paths pay
+/// their true costs — the per-item walk its ~25 KB slab iteration +
+/// binary searches, the plan path its 5 KB membership-bitmap AND +
+/// `peek` per surviving candidate.
+fn invplan_fixture(clients: u32, records: u32, db: u32) -> (WindowReport, Vec<LruCache>) {
+    let cache_len = (db as f64 * 0.02) as u32;
+    let report = WindowReport {
+        broadcast_at: SimTime::from_secs(1_000.0),
+        window_start: SimTime::from_secs(800.0),
+        records: (0..records)
+            .map(|k| {
+                (
+                    ItemId(k * (db / records)),
+                    SimTime::from_secs(810.0 + f64::from(k) * 0.01),
+                )
+            })
+            .collect(),
+        dummy: None,
+    };
+    // A prime stride coprime to `db` makes each cache's ids distinct
+    // and spreads record overlap evenly across clients; the client
+    // offset rotates each footprint across the database.
+    let stride = 53u32;
+    assert!(
+        !db.is_multiple_of(stride) && cache_len < db,
+        "ids must stay distinct"
+    );
+    let caches: Vec<LruCache> = (0..clients)
+        .map(|cl| {
+            let mut c = LruCache::new(cache_len as usize);
+            for i in 0..cache_len {
+                // Half the entries predate the window (stale if listed),
+                // half postdate every record (fresh either way).
+                let version = if (cl + i) % 2 == 0 { 805.0 } else { 999.0 };
+                c.insert(
+                    ItemId((cl.wrapping_mul(4099) + i * stride) % db),
+                    SimTime::from_secs(version),
+                    SimTime::from_secs(version),
+                );
+            }
+            c
+        })
+        .collect();
+    (report, caches)
+}
+
+/// One timed invplan cell: full fan-out passes over every cache, best of
+/// `reps`, both paths producing the identical stale set per client.
+fn run_invplan_once(clients: u32, reps: usize) -> InvplanRow {
+    let db = 40_000u32;
+    let (report, caches) = invplan_fixture(clients, 40, db);
+
+    let mut per_item_ns = f64::INFINITY;
+    let mut stale = Vec::new();
+    for _ in 0..reps {
+        let idx = report.index();
+        let started = Instant::now();
+        for cache in &caches {
+            stale.clear();
+            idx.stale_into(cache.items_iter(), &mut stale);
+            black_box(stale.len());
+        }
+        per_item_ns = per_item_ns.min(started.elapsed().as_nanos() as f64);
+    }
+
+    let mut plan_ns = f64::INFINITY;
+    let mut plan = PlanCache::new();
+    let payload = ReportPayload::Window(report);
+    for _ in 0..reps {
+        let started = Instant::now();
+        plan.decode_for_tick(&payload, SimTime::ZERO, db);
+        for cache in &caches {
+            stale.clear();
+            plan.intersect_into(cache.member_words(), &mut stale, |item| {
+                cache
+                    .peek(item)
+                    .is_some_and(|e| e.version < plan.listed_ts(item))
+            });
+            black_box(stale.len());
+        }
+        plan_ns = plan_ns.min(started.elapsed().as_nanos() as f64);
+    }
+
+    let n = f64::from(clients);
+    let row = InvplanRow {
+        clients,
+        cache_len: (db as f64 * 0.02) as u32,
+        per_item_ns_per_client: per_item_ns / n,
+        plan_ns_per_client: plan_ns / n,
+        speedup: per_item_ns / plan_ns,
+    };
+    eprintln!(
+        "invplan {clients}c: per-item {:.0} ns/client, plan {:.0} ns/client ({:.1}x)",
+        row.per_item_ns_per_client, row.plan_ns_per_client, row.speedup
+    );
+    row
+}
+
+/// The plan hit rate in vivo: a probed AAW run at the popscale shape,
+/// reading the cumulative plan counters off the last interval snapshot.
+fn invplan_probe(quick: bool, threads: u32) -> InvplanProbe {
+    let clients = 10_000u32;
+    let mut cfg = popscale_cfg(clients, threads);
+    cfg.sim_time_secs = if quick { 100.0 } else { 600.0 };
+    let mut sampler = IntervalSampler::every(5);
+    run(&cfg, RunOptions::new().probe(&mut sampler)).expect("invplan probe config validates");
+    let last = sampler
+        .snapshots()
+        .last()
+        .expect("probed run emits snapshots");
+    let applied = last.plan_hits + last.plan_misses;
+    let probe = InvplanProbe {
+        clients,
+        sim_secs: cfg.sim_time_secs,
+        plan_decodes: last.plan_decodes,
+        plan_hits: last.plan_hits,
+        plan_misses: last.plan_misses,
+        hit_rate: if applied == 0 {
+            0.0
+        } else {
+            last.plan_hits as f64 / applied as f64
+        },
+        fanout_words_skipped: last.fanout_words_skipped,
+    };
+    eprintln!(
+        "invplan probe {clients}c x {:.0}s: {} decodes, {} hits / {} misses \
+         (hit rate {:.4}), {} fan-out words skipped",
+        probe.sim_secs,
+        probe.plan_decodes,
+        probe.plan_hits,
+        probe.plan_misses,
+        probe.hit_rate,
+        probe.fanout_words_skipped
+    );
+    probe
+}
+
+fn bench_invplan(quick: bool) -> Vec<InvplanRow> {
+    let pops: &[u32] = if quick {
+        &[10_000]
+    } else {
+        &[10_000, 100_000, 1_000_000]
+    };
+    let reps = if quick { 3 } else { 5 };
+    pops.iter()
+        .map(|&clients| run_invplan_once(clients, reps))
+        .collect()
+}
+
+/// The number after `"key":` inside one JSON row fragment.
+fn num_in_row(row: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let v = &row[row.find(&needle)? + needle.len()..];
+    v.trim_start()
         .split(|c: char| c != '.' && !c.is_ascii_digit())
         .next()?
         .parse()
         .ok()
+}
+
+/// The `events_per_sec` number inside one JSON row fragment.
+fn rate_in_row(row: &str) -> Option<f64> {
+    num_in_row(row, "events_per_sec")
 }
 
 /// The committed events/second for `clients` in the popscale section of
@@ -565,6 +756,27 @@ fn committed_popscale_rate(path: &str, clients: u32) -> Option<f64> {
 fn committed_stress_rate(path: &str, scheme: Scheme) -> Option<f64> {
     let body = std::fs::read_to_string(path).ok()?;
     let section = &body[body.rfind("\"stress\"")?..];
+    let needle = format!("\"scheme\": \"{scheme:?}\"");
+    let row = &section[section.find(&needle)?..];
+    rate_in_row(&row[..row.find('}')?])
+}
+
+/// The committed plan-vs-per-item speedup for `clients` in the invplan
+/// section of the JSON at `path`.
+fn committed_invplan_speedup(path: &str, clients: u32) -> Option<f64> {
+    let body = std::fs::read_to_string(path).ok()?;
+    let section = &body[body.find("\"invplan\"")?..];
+    let needle = format!("\"clients\": {clients},");
+    let row = &section[section.find(&needle)?..];
+    num_in_row(&row[..row.find('}')?], "speedup")
+}
+
+/// The committed events/second for `scheme` in the *top-level* e2e
+/// section of the JSON at `path`. `baseline_before` embeds an earlier
+/// `"e2e"` key, so the top-level section is the last occurrence.
+fn committed_e2e_rate(path: &str, scheme: Scheme) -> Option<f64> {
+    let body = std::fs::read_to_string(path).ok()?;
+    let section = &body[body.rfind("\"e2e\"")?..];
     let needle = format!("\"scheme\": \"{scheme:?}\"");
     let row = &section[section.find(&needle)?..];
     rate_in_row(&row[..row.find('}')?])
@@ -627,6 +839,81 @@ fn smoke_stress(threads: u32, check_against: &str) -> i32 {
     0
 }
 
+/// The invalidation-plan CI smoke: the 100k-client invplan row. The
+/// metric is a ratio of two timed paths, so it carries both runs'
+/// noise — the gate requires the plan path to still beat per-item
+/// outright *and* to hold at least half the committed speedup (a real
+/// regression — the AND degenerating to per-item work — collapses the
+/// ratio toward 1x, far below any committed margin).
+fn smoke_invplan(check_against: &str) -> i32 {
+    let clients = 100_000;
+    let row = run_invplan_once(clients, 3);
+    let Some(committed) = committed_invplan_speedup(check_against, clients) else {
+        eprintln!("smoke-invplan: no committed {clients}-client invplan row in {check_against}");
+        return 1;
+    };
+    let floor = (committed * 0.5).max(1.0);
+    if row.speedup < floor {
+        eprintln!(
+            "smoke-invplan: REGRESSION — {:.1}x speedup is below the floor {floor:.1}x \
+             (committed {committed:.1}x)",
+            row.speedup
+        );
+        return 1;
+    }
+    eprintln!(
+        "smoke-invplan: ok — {:.1}x speedup vs committed {committed:.1}x (floor {floor:.1}x)",
+        row.speedup
+    );
+    0
+}
+
+/// The e2e CI regression gate: the full AAW `fig05` sweep (the committed
+/// rows were measured non-quick, serial, best-of-3; this reruns one
+/// scheme best-of-2) vs the committed e2e row. e2e wall times are tens
+/// of milliseconds, so the floor is 80% rather than the stress gate's
+/// 90% — proportional scheduling noise is larger here.
+fn smoke_e2e(check_against: &str) -> i32 {
+    let scheme = Scheme::Aaw;
+    let scale = RunScale {
+        time_factor: 0.05,
+        max_threads: Some(1),
+        replications: 1,
+        split: CoreSplitPolicy::PointsOnly,
+    };
+    let mut spec = fig05::spec();
+    spec.schemes = vec![scheme];
+    let mut best_wall = f64::INFINITY;
+    let mut events = 0u64;
+    for _ in 0..2 {
+        let started = Instant::now();
+        let result =
+            run_figure_with(&spec, scale, RunReporting::default()).expect("fig05 spec validates");
+        best_wall = best_wall.min(started.elapsed().as_secs_f64());
+        events = result
+            .series
+            .iter()
+            .flat_map(|s| &s.points)
+            .map(|p| p.metrics.events_processed)
+            .sum();
+    }
+    let rate = events as f64 / best_wall;
+    let Some(committed) = committed_e2e_rate(check_against, scheme) else {
+        eprintln!("smoke-e2e: no committed {scheme:?} e2e row in {check_against}");
+        return 1;
+    };
+    let floor = committed * 0.8;
+    if rate < floor {
+        eprintln!(
+            "smoke-e2e: REGRESSION — {rate:.0} ev/s is below 80% of the committed \
+             {committed:.0} ev/s (floor {floor:.0})"
+        );
+        return 1;
+    }
+    eprintln!("smoke-e2e: ok — {rate:.0} ev/s vs committed {committed:.0} ev/s (floor {floor:.0})");
+    0
+}
+
 /// The scheduler CI smoke: the 10k-pending `sched` row must show the
 /// wheel at least matching the heap baseline (the committed full run
 /// pins the ≥2x margin at 1M pending; this leg catches a wheel that
@@ -667,6 +954,8 @@ fn json(
     e2e: &[E2eRow],
     stress: &[E2eRow],
     fanout: &[FanoutRow],
+    invplan: &[InvplanRow],
+    invprobe: &InvplanProbe,
     scaling: &[ScalingRow],
     quick: bool,
     engine_threads: u32,
@@ -744,6 +1033,42 @@ fn json(
         out.push_str(if i + 1 < fanout.len() { ",\n" } else { "\n" });
     }
     out.push_str("  ],\n");
+    out.push_str("  \"invplan\": {\n");
+    let _ = writeln!(
+        out,
+        "    \"note\": \"invalidation-plan micro-benchmark: one AAW-shaped window \
+         report at the stress shape (db 40000, 40 records, 800-item caches) \
+         applied to N real LruCaches, per-item stale_into walk vs decode-once \
+         PlanCache bitmap intersection, ns per client best-of-reps. \
+         hit_rate_probe is a probed AAW run at the popscale shape reading the \
+         cumulative plan counters off the last interval snapshot.\","
+    );
+    out.push_str("    \"rows\": [\n");
+    for (i, r) in invplan.iter().enumerate() {
+        let _ = write!(
+            out,
+            "      {{ \"clients\": {}, \"cache_len\": {}, \
+             \"per_item_ns_per_client\": {:.1}, \"plan_ns_per_client\": {:.1}, \
+             \"speedup\": {:.2} }}",
+            r.clients, r.cache_len, r.per_item_ns_per_client, r.plan_ns_per_client, r.speedup
+        );
+        out.push_str(if i + 1 < invplan.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("    ],\n");
+    let _ = writeln!(
+        out,
+        "    \"hit_rate_probe\": {{ \"clients\": {}, \"sim_secs\": {:.0}, \
+         \"plan_decodes\": {}, \"plan_hits\": {}, \"plan_misses\": {}, \
+         \"hit_rate\": {:.4}, \"fanout_words_skipped\": {} }}",
+        invprobe.clients,
+        invprobe.sim_secs,
+        invprobe.plan_decodes,
+        invprobe.plan_hits,
+        invprobe.plan_misses,
+        invprobe.hit_rate,
+        invprobe.fanout_words_skipped
+    );
+    out.push_str("  },\n");
     out.push_str("  \"scaling\": {\n");
     let _ = writeln!(
         out,
@@ -806,6 +1131,22 @@ fn main() {
     if args.iter().any(|a| a == "--smoke-sched") {
         std::process::exit(smoke_sched());
     }
+    if args.iter().any(|a| a == "--smoke-invplan") {
+        let check_against = args
+            .iter()
+            .position(|a| a == "--check-against")
+            .and_then(|i| args.get(i + 1))
+            .expect("--smoke-invplan requires --check-against PATH");
+        std::process::exit(smoke_invplan(check_against));
+    }
+    if args.iter().any(|a| a == "--smoke-e2e") {
+        let check_against = args
+            .iter()
+            .position(|a| a == "--check-against")
+            .and_then(|i| args.get(i + 1))
+            .expect("--smoke-e2e requires --check-against PATH");
+        std::process::exit(smoke_e2e(check_against));
+    }
 
     // popscale first, ascending: its peak-RSS column reads VmHWM.
     let popscale = bench_popscale(quick, engine_threads);
@@ -813,6 +1154,8 @@ fn main() {
     let e2e = bench_e2e(quick);
     let stress = bench_stress(quick, engine_threads);
     let fanout = bench_fanout(quick);
+    let invplan = bench_invplan(quick);
+    let invprobe = invplan_probe(quick, engine_threads);
     let scaling = bench_scaling(quick);
     let body = json(
         &popscale,
@@ -820,6 +1163,8 @@ fn main() {
         &e2e,
         &stress,
         &fanout,
+        &invplan,
+        &invprobe,
         &scaling,
         quick,
         engine_threads,

@@ -107,6 +107,11 @@ pub struct LruCache {
     head: u32,
     /// Least recently used slot (`NIL` when empty).
     tail: u32,
+    /// Membership bitmap: bit `item.0` is set iff the item is resident
+    /// (any state). Grown lazily to the highest word ever touched, so a
+    /// cold cache costs nothing; invalidation plans AND this against a
+    /// report's stale bitmap word-wise instead of walking the slab.
+    member: Vec<u64>,
     evictions: u64,
 }
 
@@ -129,8 +134,32 @@ impl LruCache {
             index: HashMap::with_hasher(IdBuildHasher::default()),
             head: NIL,
             tail: NIL,
+            member: Vec::new(),
             evictions: 0,
         }
+    }
+
+    /// Sets `item`'s membership bit, growing the bitmap to reach it.
+    #[inline]
+    fn member_set(&mut self, item: ItemId) {
+        let w = item.0 as usize / 64;
+        if w >= self.member.len() {
+            self.member.resize(w + 1, 0);
+        }
+        self.member[w] |= 1u64 << (item.0 % 64);
+    }
+
+    /// Clears `item`'s membership bit (always within the grown range).
+    #[inline]
+    fn member_clear(&mut self, item: ItemId) {
+        self.member[item.0 as usize / 64] &= !(1u64 << (item.0 % 64));
+    }
+
+    /// The membership bitmap words (bit `i` = `ItemId(i)` resident). May
+    /// be shorter than `db_size.div_ceil(64)` — absent words mean no
+    /// residents in that id range.
+    pub fn member_words(&self) -> &[u64] {
+        &self.member
     }
 
     /// Maximum number of entries.
@@ -205,7 +234,9 @@ impl LruCache {
     /// links and table entry are rewired).
     fn remove_slot(&mut self, i: u32) {
         self.unlink(i);
-        self.index.remove(&self.slots[i as usize].item);
+        let gone = self.slots[i as usize].item;
+        self.member_clear(gone);
+        self.index.remove(&gone);
         let last = (self.slots.len() - 1) as u32;
         self.slots.swap_remove(i as usize);
         if i != last {
@@ -276,6 +307,7 @@ impl LruCache {
         });
         self.push_front(i);
         self.index.insert(item, i);
+        self.member_set(item);
     }
 
     /// Drops a single entry (invalidation). Returns `true` if it was
@@ -305,6 +337,7 @@ impl LruCache {
         self.index.clear();
         self.head = NIL;
         self.tail = NIL;
+        self.member.fill(0);
     }
 
     /// Marks every entry limbo (validity unknown after reconnection).
@@ -405,7 +438,6 @@ impl LruCache {
     pub fn entries_iter(&self) -> impl Iterator<Item = (ItemId, &CacheEntry)> + '_ {
         self.slots.iter().map(|s| (s.item, &s.entry))
     }
-
     /// Items currently in limbo, without allocating.
     pub fn limbo_iter(&self) -> impl Iterator<Item = ItemId> + '_ {
         self.slots
@@ -449,6 +481,18 @@ impl LruCache {
         }
         assert_eq!(prev, self.tail, "tail out of sync");
         assert_eq!(seen, self.slots.len(), "recency list misses slots");
+        // Membership bitmap ≡ slab: every resident item's bit is set, and
+        // the total popcount matches, so no stray bits survive removals.
+        for slot in &self.slots {
+            let (w, b) = (slot.item.0 as usize / 64, slot.item.0 % 64);
+            assert!(
+                self.member.get(w).is_some_and(|word| word & (1 << b) != 0),
+                "membership bit missing for {:?}",
+                slot.item
+            );
+        }
+        let pop: u32 = self.member.iter().map(|w| w.count_ones()).sum();
+        assert_eq!(pop as usize, self.slots.len(), "stray membership bits");
     }
 }
 

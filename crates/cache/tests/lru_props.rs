@@ -381,4 +381,47 @@ proptest! {
             );
         }
     }
+
+    /// The membership bitmap must equal the slab exactly — same ids, no
+    /// stray bits — after every mutation the public API can express
+    /// (insert/evict, invalidate, invalidate_many, clear, limbo marking,
+    /// both salvage paths and drop_limbo). This is the invariant the
+    /// invalidation-plan fast path relies on: `plan & member` must see
+    /// exactly the resident items.
+    #[test]
+    fn membership_bitmap_matches_items_iter(
+        capacity in 1usize..8,
+        ops in prop::collection::vec(slab_op_strategy(), 0..120),
+    ) {
+        let mut cache = LruCache::new(capacity);
+        let now = SimTime::from_secs(1.0);
+        for (step, op) in ops.iter().enumerate() {
+            match op {
+                SlabOp::Insert(id) => cache.insert(ItemId(*id), now, now),
+                SlabOp::Get(id) => { cache.get_valid(ItemId(*id)); }
+                SlabOp::Invalidate(id) => { cache.invalidate(ItemId(*id)); }
+                SlabOp::InvalidateMany(ids) => {
+                    cache.invalidate_many(ids.iter().map(|&i| ItemId(i)));
+                }
+                SlabOp::MarkAllLimbo => cache.mark_all_limbo(),
+                SlabOp::RevalidateAll => cache.revalidate_all(now),
+                SlabOp::SalvageOdd => { cache.salvage_limbo(now, |i| i.0 % 2 == 1); }
+                SlabOp::SalvageItem(id, valid) => {
+                    cache.salvage_item(ItemId(*id), *valid, now);
+                }
+                SlabOp::DropLimbo => { cache.drop_limbo(); }
+                SlabOp::Clear => cache.clear(),
+            }
+            // Rebuild the expected bitmap from the slab's own view.
+            let mut expect = vec![0u64; cache.member_words().len()];
+            for (item, _) in cache.items_iter() {
+                expect[item.0 as usize / 64] |= 1 << (item.0 % 64);
+            }
+            prop_assert_eq!(
+                cache.member_words(), expect.as_slice(),
+                "bitmap diverged from slab at step {} ({:?})", step, op
+            );
+            cache.check_invariants();
+        }
+    }
 }

@@ -131,14 +131,14 @@ impl Client {
     /// Panics if a query is still in flight (the model only disconnects
     /// between queries).
     pub fn disconnect(&mut self, now: SimTime) {
-        self.pop.client_mut(0).disconnect(now);
+        self.pop.disconnect(0, now);
     }
 
     /// Wakes up from doze mode, returning the length of the doze period
     /// in seconds. Cache reconciliation happens at the next broadcast
     /// report.
     pub fn reconnect(&mut self, now: SimTime) -> f64 {
-        self.pop.client_mut(0).reconnect(now)
+        self.pop.reconnect(0, now)
     }
 
     /// Issues a query referencing `items`. The query waits for the next

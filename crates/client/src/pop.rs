@@ -25,7 +25,9 @@ use crate::machine::{ClientAction, ClientConfig, ClientCounters};
 use crate::query::{PendingItem, PendingState, QueryHeader};
 use mobicache_cache::{EntryState, LruCache};
 use mobicache_model::{CheckingMode, ItemId, Scheme, UplinkKind};
-use mobicache_reports::{BsSelect, PreparedReport, ReportPayload, SigDecision};
+use mobicache_reports::{
+    BsSelect, PlanCache, PlanStats, PreparedReport, ReportPayload, SigDecision,
+};
 use mobicache_sim::SimTime;
 use std::collections::HashSet;
 
@@ -111,6 +113,12 @@ pub struct ClientPop {
     caches: Vec<LruCache>,
     tlb: Vec<SimTime>,
     connected: Vec<bool>,
+    /// Dense mirror of `connected`: bit `i` set iff client `i` listens.
+    /// The fan-out copies this as its delivery-mask seed, so shards skip
+    /// 64 disconnected clients per zero word instead of branching each.
+    /// Maintained only by the pop-level [`ClientPop::disconnect`] /
+    /// [`ClientPop::reconnect`] wrappers (serial phases).
+    connected_bits: Vec<u64>,
     reconnect_pending: Vec<bool>,
     disconnected_at: Vec<Option<SimTime>>,
     gap: Vec<Option<GapState>>,
@@ -130,6 +138,15 @@ impl ClientPop {
             caches: (0..n).map(|_| LruCache::new(cfg.cache_capacity)).collect(),
             tlb: vec![SimTime::ZERO; n],
             connected: vec![true; n],
+            connected_bits: {
+                let mut words = vec![u64::MAX; n.div_ceil(64)];
+                if !n.is_multiple_of(64) {
+                    if let Some(last) = words.last_mut() {
+                        *last = (1u64 << (n % 64)) - 1;
+                    }
+                }
+                words
+            },
             reconnect_pending: vec![false; n],
             disconnected_at: vec![None; n],
             gap: vec![None; n],
@@ -170,6 +187,33 @@ impl ClientPop {
     /// The whole connected column.
     pub fn connected_col(&self) -> &[bool] {
         &self.connected
+    }
+
+    /// The connected set as bitmap words (bit `i` = client `i` listens).
+    /// The last word's tail bits beyond `len()` are zero.
+    pub fn connected_words(&self) -> &[u64] {
+        &self.connected_bits
+    }
+
+    /// Disconnects client `i`, keeping the connected bitmap in sync.
+    /// Serial-phase only (a bitmap word spans 64 clients, so per-client
+    /// sharded views must never touch it).
+    ///
+    /// # Panics
+    /// Panics if already disconnected or a query is in flight.
+    pub fn disconnect(&mut self, i: usize, now: SimTime) {
+        self.connected_bits[i / 64] &= !(1u64 << (i % 64));
+        self.client_mut(i).disconnect(now);
+    }
+
+    /// Reconnects client `i`, keeping the connected bitmap in sync and
+    /// returning the doze period in seconds. Serial-phase only.
+    ///
+    /// # Panics
+    /// Panics if already connected.
+    pub fn reconnect(&mut self, i: usize, now: SimTime) -> f64 {
+        self.connected_bits[i / 64] |= 1u64 << (i % 64);
+        self.client_mut(i).reconnect(now)
     }
 
     /// The whole counters column — snapshot samplers sum straight over
@@ -450,11 +494,40 @@ impl ClientMut<'_> {
         prepared: &PreparedReport<'_>,
         actions: &mut Vec<ClientAction>,
     ) {
+        let mut stats = PlanStats::default();
+        self.on_report_planned(now, prepared, None, actions, &mut stats);
+    }
+
+    /// [`ClientMut::on_report_into`] with an optional pre-decoded
+    /// invalidation plan: when `plan` holds this report's bitmap for the
+    /// client's `Tlb` bucket, the stale set comes from a word-wise
+    /// `plan & member` intersection instead of the per-item index walk —
+    /// same stale set, same actions, same counters (the plan is an
+    /// evaluation strategy, pinned by the `plan ≡ decide` proptests and
+    /// the engine's golden digests). Hit/fallback tallies land in
+    /// `stats` (not cleared).
+    pub fn on_report_planned(
+        &mut self,
+        now: SimTime,
+        prepared: &PreparedReport<'_>,
+        plan: Option<&PlanCache>,
+        actions: &mut Vec<ClientAction>,
+        stats: &mut PlanStats,
+    ) {
         assert!(*self.connected, "report delivered to a disconnected client");
-        self.apply_report(now, prepared, actions);
+        self.apply_report(now, prepared, plan, actions, stats);
         *self.tlb = prepared.payload().broadcast_at();
         self.resolve_query(now, actions);
         self.retry_pending_requests(now, actions);
+    }
+
+    /// Whether applying `plan` beats the per-item walk for this cache:
+    /// the word loop touches `min(|member|, |plan|)` words, the per-item
+    /// walk does `|cache|` binary searches. A pure function of
+    /// client-local state, so the choice is identical at every thread
+    /// count.
+    fn plan_profitable(plan: &PlanCache, cache: &LruCache) -> bool {
+        plan.words().len().min(cache.member_words().len()) <= 8 * cache.len() + 4
     }
 
     /// Processes a downloaded data item, appending the resulting actions
@@ -632,7 +705,9 @@ impl ClientMut<'_> {
         &mut self,
         now: SimTime,
         prepared: &PreparedReport<'_>,
+        plan: Option<&PlanCache>,
         actions: &mut Vec<ClientAction>,
+        stats: &mut PlanStats,
     ) {
         let payload = prepared.payload();
         let etlb = self.effective_tlb();
@@ -668,9 +743,28 @@ impl ClientMut<'_> {
         }
         match payload {
             ReportPayload::Window(w) => {
-                // Provably stale entries always go, covered or not.
+                // Provably stale entries always go, covered or not. The
+                // window plan is Tlb-independent (listed bitmap + dense
+                // timestamps), so every client can take it; the per-item
+                // `is_stale` test (`version < t_listed`) becomes the
+                // `keep` filter over the few intersection survivors.
                 let idx = prepared.window_index().expect("window report was prepared");
-                idx.stale_into(self.cache.items_iter(), self.stale_scratch);
+                match plan {
+                    Some(p) if p.window_active() && Self::plan_profitable(p, self.cache) => {
+                        let cache = &*self.cache;
+                        p.intersect_into(cache.member_words(), self.stale_scratch, |item| {
+                            cache
+                                .peek(item)
+                                .is_some_and(|e| e.version < p.listed_ts(item))
+                        });
+                        stats.hits += 1;
+                    }
+                    Some(_) => {
+                        idx.stale_into(self.cache.items_iter(), self.stale_scratch);
+                        stats.misses += 1;
+                    }
+                    None => idx.stale_into(self.cache.items_iter(), self.stale_scratch),
+                }
                 self.cache.invalidate_many(self.stale_scratch.drain(..));
                 if w.covers(etlb) {
                     self.resolve_gap();
@@ -680,9 +774,42 @@ impl ClientMut<'_> {
                 }
             }
             ReportPayload::BitSeq(bs) => {
+                // BS staleness is pure prefix membership, so the memo key
+                // is the selected prefix length: a client whose `select`
+                // lands on the plan's pre-decoded bucket (the dominant
+                // Tlb — everyone who heard the previous report) takes the
+                // bitmap; other buckets fall back to `is_marked` per
+                // item. Clean/DropAll verdicts are O(1) either way.
                 let idx = prepared.bs_index().expect("BS report was prepared");
-                let cached = self.cache.items_iter().map(|(i, _)| i);
-                match bs.decide_with(idx, etlb, cached, self.stale_scratch) {
+                let sel = match plan {
+                    Some(p) => {
+                        let sel = bs.select(etlb);
+                        if let BsSelect::Prefix(prefix) = sel {
+                            if p.bs_prefix() == Some(prefix) && Self::plan_profitable(p, self.cache)
+                            {
+                                p.intersect_into(
+                                    self.cache.member_words(),
+                                    self.stale_scratch,
+                                    |_| true,
+                                );
+                                stats.hits += 1;
+                            } else {
+                                for (item, _) in self.cache.items_iter() {
+                                    if idx.is_marked(item, prefix) {
+                                        self.stale_scratch.push(item);
+                                    }
+                                }
+                                stats.misses += 1;
+                            }
+                        }
+                        sel
+                    }
+                    None => {
+                        let cached = self.cache.items_iter().map(|(i, _)| i);
+                        bs.decide_with(idx, etlb, cached, self.stale_scratch)
+                    }
+                };
+                match sel {
                     BsSelect::Clean => {
                         self.resolve_gap();
                         self.cache.revalidate_all(report_asof);
@@ -702,9 +829,34 @@ impl ClientMut<'_> {
                 }
             }
             ReportPayload::At(at) => {
+                // The AT listed-item bitmap is Tlb-independent; coverage
+                // stays a scalar check (an uncovered client drops its
+                // whole cache without touching the plan).
                 let idx = prepared.at_index().expect("AT report was prepared");
-                let cached = self.cache.items_iter().map(|(i, _)| i);
-                if at.decide_with(idx, etlb, cached, self.stale_scratch) {
+                let covered = match plan {
+                    Some(p) if at.covers(etlb) => {
+                        if p.at_active() && Self::plan_profitable(p, self.cache) {
+                            p.intersect_into(self.cache.member_words(), self.stale_scratch, |_| {
+                                true
+                            });
+                            stats.hits += 1;
+                        } else {
+                            for (item, _) in self.cache.items_iter() {
+                                if idx.contains(item) {
+                                    self.stale_scratch.push(item);
+                                }
+                            }
+                            stats.misses += 1;
+                        }
+                        true
+                    }
+                    Some(_) => false,
+                    None => {
+                        let cached = self.cache.items_iter().map(|(i, _)| i);
+                        at.decide_with(idx, etlb, cached, self.stale_scratch)
+                    }
+                };
+                if covered {
                     self.cache.invalidate_many(self.stale_scratch.drain(..));
                     self.resolve_gap();
                     self.cache.revalidate_all(report_asof);
@@ -1248,6 +1400,31 @@ mod tests {
         assert_eq!(pop.arena().nodes_allocated(), sized, "capacity reused");
         // Client 0 still tracks its own two items.
         assert!(pop.has_pending_query(0));
+    }
+
+    /// The connected bitmap mirrors the bool column through the
+    /// pop-level disconnect/reconnect wrappers, with tail bits zero.
+    #[test]
+    fn connected_bitmap_mirrors_column() {
+        let n = 70; // crosses a word boundary
+        let mut pop = ClientPop::new(cfg(Scheme::Aaw), n);
+        let check = |pop: &ClientPop| {
+            for (i, &c) in pop.connected_col().iter().enumerate() {
+                let bit = pop.connected_words()[i / 64] & (1 << (i % 64)) != 0;
+                assert_eq!(bit, c, "client {i}");
+            }
+            let tail: u32 = pop.connected_words()[n / 64].count_ones();
+            assert!(tail as usize <= n % 64, "tail bits beyond len set");
+        };
+        check(&pop);
+        pop.disconnect(3, t(1.0));
+        pop.disconnect(64, t(1.0));
+        pop.disconnect(69, t(1.0));
+        check(&pop);
+        assert!(!pop.is_connected(64));
+        pop.reconnect(64, t(5.0));
+        check(&pop);
+        assert!(pop.is_connected(64));
     }
 
     /// `PopPtr` views over disjoint indices mirror `client_mut`.

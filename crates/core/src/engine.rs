@@ -21,7 +21,7 @@ use mobicache_client::{ClientAction, ClientConfig, ClientCounters, ClientPop, Po
 use mobicache_model::msg::{DownlinkKind, SizeParams, UplinkKind, CLASS_CHECK, CLASS_REPORT};
 use mobicache_model::{ChannelFaults, ClientId, ConfigError, DownlinkTopology, ItemId, SimConfig};
 use mobicache_net::Channel;
-use mobicache_reports::{BsIndex, PreparedReport, ReportPayload};
+use mobicache_reports::{BsIndex, PlanCache, PlanStats, PreparedReport, ReportPayload};
 use mobicache_server::Server;
 use mobicache_sim::pool::{shard_count, SendPtr, WorkerPool};
 use mobicache_sim::{Histogram, OnlineStats, Scheduler, SimRng, SimTime, StreamId};
@@ -167,6 +167,10 @@ struct ShardScratch {
     actions: Vec<ClientAction>,
     /// One record per client that processed the message.
     outcomes: Vec<ShardOutcome>,
+    /// Plan-application tallies for this shard's clients; summed into
+    /// the engine counters during the serial merge (u64 sums are
+    /// order-free, so the totals are thread-invariant).
+    plan: PlanStats,
 }
 
 /// What one client's parallel report application produced: how many
@@ -186,50 +190,84 @@ struct ShardOutcome {
 /// the fan-out embarrassingly parallel and the merged result
 /// bit-identical to the serial engine.
 ///
-/// `deliver` is the chunk's slice of the delivery mask; `start` is the
-/// population index of its first element.
+/// `deliver` is the whole population's delivery mask as bitmap words;
+/// the shard walks only its own `[start, end)` range (`start` is
+/// word-aligned — see [`fan_out_shards`]), extracting set bits with
+/// `trailing_zeros` so a word of 64 dozing or unlucky clients costs one
+/// load instead of 64 branches. `plan` is the tick's pre-decoded
+/// invalidation plan, shared immutably across shards (lock-free reads).
+#[allow(clippy::too_many_arguments)]
 fn run_report_shard(
     now: SimTime,
     pop: PopPtr,
     start: usize,
-    deliver: &[bool],
+    end: usize,
+    deliver: &[u64],
     prepared: &PreparedReport<'_>,
+    plan: Option<&PlanCache>,
     probing: bool,
     scratch: &mut ShardScratch,
 ) {
-    for (off, &hears) in deliver.iter().enumerate() {
-        if !hears {
-            continue;
+    debug_assert!(start.is_multiple_of(64), "shard start must be word-aligned");
+    for (wi, &word) in deliver
+        .iter()
+        .enumerate()
+        .take(end.div_ceil(64))
+        .skip(start / 64)
+    {
+        let mut w = word;
+        if (wi + 1) * 64 > end {
+            // Final partial word: bits past `end` belong to the next
+            // shard (or past the population) — mask them off.
+            w &= (1u64 << (end - wi * 64)) - 1;
         }
-        let i = start + off;
-        // SAFETY: the fan-out hands each shard a disjoint index range,
-        // and no serial-phase arena growth runs while shards are live.
-        let mut client = unsafe { pop.client_mut(i) };
-        let before = probing.then(|| (client.counters(), client.cache().evictions()));
-        let a0 = scratch.actions.len();
-        client.on_report_into(now, prepared, &mut scratch.actions);
-        scratch.outcomes.push(ShardOutcome {
-            client: i,
-            actions: (scratch.actions.len() - a0) as u32,
-            before,
-        });
+        while w != 0 {
+            let i = wi * 64 + w.trailing_zeros() as usize;
+            w &= w - 1;
+            // SAFETY: the fan-out hands each shard a disjoint index
+            // range, and no serial-phase arena growth runs while shards
+            // are live.
+            let mut client = unsafe { pop.client_mut(i) };
+            let before = probing.then(|| (client.counters(), client.cache().evictions()));
+            let a0 = scratch.actions.len();
+            client.on_report_planned(now, prepared, plan, &mut scratch.actions, &mut scratch.plan);
+            scratch.outcomes.push(ShardOutcome {
+                client: i,
+                actions: (scratch.actions.len() - a0) as u32,
+                before,
+            });
+        }
     }
 }
 
 /// Phase-1 worker for broadcast snooping: overheard items only touch
-/// each client's own cache, so no scratch is needed at all.
+/// each client's own cache, so no scratch is needed at all. Same
+/// word-wise mask walk as the report shard.
 fn run_snoop_shard(
     now: SimTime,
     pop: PopPtr,
     start: usize,
-    deliver: &[bool],
+    end: usize,
+    deliver: &[u64],
     item: ItemId,
     version: SimTime,
 ) {
-    for (off, &hears) in deliver.iter().enumerate() {
-        if hears {
+    debug_assert!(start.is_multiple_of(64), "shard start must be word-aligned");
+    for (wi, &word) in deliver
+        .iter()
+        .enumerate()
+        .take(end.div_ceil(64))
+        .skip(start / 64)
+    {
+        let mut w = word;
+        if (wi + 1) * 64 > end {
+            w &= (1u64 << (end - wi * 64)) - 1;
+        }
+        while w != 0 {
+            let i = wi * 64 + w.trailing_zeros() as usize;
+            w &= w - 1;
             // SAFETY: disjoint index range per shard (see fan-out).
-            let mut client = unsafe { pop.client_mut(start + off) };
+            let mut client = unsafe { pop.client_mut(i) };
             client.on_snooped_data(now, item, version);
         }
     }
@@ -241,28 +279,31 @@ fn run_snoop_shard(
 /// scratch `i`, whichever thread claims it. With one effective shard
 /// this degenerates to a plain serial call that never touches the pool.
 ///
-/// `work` receives the chunk's start index and its slice of the
-/// delivery mask; workers reach the columns through a captured
+/// `work` receives the chunk's `[start, end)` client index range;
+/// chunks are rounded up to 64-client multiples so every shard starts
+/// on a delivery-bitmap word boundary and the workers can walk whole
+/// words without cross-shard overlap. (Chunk geometry is wall-time
+/// only — the knob-invariance golden tests pin that digests never
+/// depend on it.) Workers reach the columns through a captured
 /// [`PopPtr`], staying inside their own index range.
 fn fan_out_shards<W>(
     pool: &WorkerPool,
     min_per_shard: usize,
     len: usize,
-    deliver: &[bool],
     shards: &mut [ShardScratch],
     work: W,
 ) where
-    W: Fn(usize, &[bool], &mut ShardScratch) + Sync,
+    W: Fn(usize, usize, &mut ShardScratch) + Sync,
 {
     if len == 0 {
         return;
     }
     let t = shard_count(shards.len(), len, min_per_shard);
     if t == 1 {
-        work(0, deliver, &mut shards[0]);
+        work(0, len, &mut shards[0]);
         return;
     }
-    let chunk = len.div_ceil(t);
+    let chunk = len.div_ceil(t).next_multiple_of(64);
     let shards_ptr = SendPtr(shards.as_mut_ptr());
     pool.run(t, &|i| {
         let start = i * chunk;
@@ -274,7 +315,7 @@ fn fan_out_shards<W>(
         // shard scratch `i` is written by chunk `i` alone; the pool's
         // barrier keeps both alive until every chunk has completed.
         let shard = unsafe { &mut *shards_ptr.get().add(i) };
-        work(start, &deliver[start..end], shard);
+        work(start, end, shard);
     });
 }
 
@@ -340,8 +381,27 @@ pub struct Simulation<'p> {
     /// Reusable client-action buffer, threaded through every message
     /// delivery so the hot paths never allocate an action list.
     action_scratch: Vec<ClientAction>,
-    /// Reusable per-client delivery mask for the broadcast phases.
+    /// Reusable per-client delivery mask for the broadcast phases, as
+    /// bitmap words (bit `i` = client `i` hears this transmission).
+    deliver_words: Vec<u64>,
+    /// Reusable bool expansion of a word mask for the oracle's
+    /// `scan_cols`, and the all-true mask of full-population checks.
     deliver_scratch: Vec<bool>,
+    /// The per-tick invalidation-plan cache: one report decoded once
+    /// into a dense stale bitmap in serial phase 0, then shared
+    /// immutably across the fan-out shards (see `mobicache_reports::plan`).
+    plan: PlanCache,
+    /// Broadcast time of the last report handed to the fan-out — the
+    /// dominant `Tlb` bucket for the next plan decode (every client
+    /// that heard it holds exactly this `Tlb`).
+    prev_report_at: SimTime,
+    /// Report applications served by the plan bitmap (cumulative).
+    plan_hits: u64,
+    /// Report applications that fell back to the per-item path.
+    plan_misses: u64,
+    /// Zero delivery-mask words skipped by the broadcast fan-outs —
+    /// 64 clients apiece that cost one word load instead of 64 branches.
+    fanout_words_skipped: u64,
     /// One scratch per worker thread (`shards.len()` is the resolved
     /// thread count); reused across ticks so steady state allocates
     /// nothing.
@@ -529,7 +589,13 @@ impl<'p> Simulation<'p> {
             snap_prev_secs: 0.0,
             snap_index: 0,
             action_scratch: Vec::new(),
+            deliver_words: Vec::new(),
             deliver_scratch: Vec::new(),
+            plan: PlanCache::new(),
+            prev_report_at: SimTime::ZERO,
+            plan_hits: 0,
+            plan_misses: 0,
+            fanout_words_skipped: 0,
             shards: (0..threads).map(|_| ShardScratch::default()).collect(),
             pool,
             sched,
@@ -565,7 +631,7 @@ impl<'p> Simulation<'p> {
                 Ev::UpdateArrival => self.on_update(now),
                 Ev::QueryArrival(c) => self.on_query_arrival(now, c),
                 Ev::Reconnect(c) => {
-                    let offline_secs = self.clients.client_mut(c.index()).reconnect(now);
+                    let offline_secs = self.clients.reconnect(c.index(), now);
                     self.emit(
                         now,
                         ProbeEvent::Reconnect {
@@ -673,7 +739,7 @@ impl<'p> Simulation<'p> {
         let mut all = std::mem::take(&mut self.deliver_scratch);
         all.clear();
         all.resize(self.clients.len(), true);
-        self.check_consistency_sharded(&all);
+        self.check_consistency_masked(&all);
         self.deliver_scratch = all;
     }
 
@@ -737,6 +803,10 @@ impl<'p> Simulation<'p> {
             queue_high_water: self.sched.queue_high_water(),
             slot_high_water: self.sched.slot_high_water(),
             sched_cascades: self.sched.cascades(),
+            plan_decodes: self.plan.decodes(),
+            plan_hits: self.plan_hits,
+            plan_misses: self.plan_misses,
+            fanout_words_skipped: self.fanout_words_skipped,
         };
         if let Some(p) = self.opts.probe.as_mut() {
             p.on_snapshot(&snap);
@@ -792,26 +862,30 @@ impl<'p> Simulation<'p> {
                     ),
                     _ => report.prepare(),
                 };
-                // Phase 0 (serial): decide who hears this broadcast.
-                // Fault coins and the rx-bits accumulation stay in
+                // Phase 0 (serial): decide who hears this broadcast,
+                // building the delivery mask as bitmap words. Fault
+                // coins and the rx-bits accumulation stay in
                 // client-index order on dedicated per-client streams, so
                 // the coin schedule and the float addition order match
                 // the serial engine bit for bit at any thread count.
-                let mut deliver = std::mem::take(&mut self.deliver_scratch);
+                let mut deliver = std::mem::take(&mut self.deliver_words);
                 deliver.clear();
-                deliver.resize(self.clients.len(), false);
+                deliver.resize(self.clients.len().div_ceil(64), 0);
                 if !self.eff_downlink.is_active() {
-                    for (i, &connected) in self.clients.connected_col().iter().enumerate() {
-                        if !connected {
-                            continue; // dozing clients miss the broadcast
+                    // Every connected client hears it: the mask IS the
+                    // connected bitmap. rx-bits accumulates the same
+                    // constant once per set bit — the identical sequence
+                    // of additions the per-client loop performed.
+                    deliver.copy_from_slice(self.clients.connected_words());
+                    for &w in &deliver {
+                        for _ in 0..w.count_ones() {
+                            self.rx_bits += delivered.bits;
                         }
-                        self.rx_bits += delivered.bits;
-                        deliver[i] = true;
                     }
                 } else {
                     let df = self.eff_downlink;
                     let p_exit = df.p_exit_burst();
-                    for (i, slot) in deliver.iter_mut().enumerate() {
+                    for i in 0..self.clients.len() {
                         // The Gilbert–Elliott chain evolves for every
                         // client, listening or not — burstiness is a
                         // property of the radio path, and a draw schedule
@@ -849,9 +923,16 @@ impl<'p> Simulation<'p> {
                             continue;
                         }
                         self.rx_bits += delivered.bits;
-                        *slot = true;
+                        deliver[i / 64] |= 1u64 << (i % 64);
                     }
                 }
+                self.fanout_words_skipped += deliver.iter().filter(|&&w| w == 0).count() as u64;
+                // Decode this tick's invalidation plan once (serial),
+                // keyed by the dominant Tlb bucket: every client that
+                // heard the previous report holds exactly its broadcast
+                // time. Shards then read the plan lock-free.
+                let mut plan = std::mem::take(&mut self.plan);
+                plan.decode_for_tick(&report, self.prev_report_at, self.cfg.db_size);
                 // Phase 1 (parallel): each shard applies the report to
                 // its contiguous client range, touching only its own
                 // clients and scratch.
@@ -860,25 +941,45 @@ impl<'p> Simulation<'p> {
                 for sh in &mut shards {
                     sh.actions.clear();
                     sh.outcomes.clear();
+                    sh.plan = PlanStats::default();
                 }
                 let pop = self.clients.as_ptr();
-                fan_out_shards(
-                    &self.pool,
-                    self.cfg.pool_min_shard_clients as usize,
-                    self.clients.len(),
-                    &deliver,
-                    &mut shards,
-                    |start, dl, sh| {
-                        run_report_shard(now, pop, start, dl, &prepared, probing, sh);
-                    },
-                );
+                {
+                    let plan_ref = &plan;
+                    let deliver_ref = &deliver;
+                    fan_out_shards(
+                        &self.pool,
+                        self.cfg.pool_min_shard_clients as usize,
+                        self.clients.len(),
+                        &mut shards,
+                        |start, end, sh| {
+                            run_report_shard(
+                                now,
+                                pop,
+                                start,
+                                end,
+                                deliver_ref,
+                                &prepared,
+                                Some(plan_ref),
+                                probing,
+                                sh,
+                            );
+                        },
+                    );
+                }
+                self.plan = plan;
+                self.prev_report_at = report.broadcast_at();
                 // Phase 2 (serial merge, client-index order): replay
                 // each client's actions and observations exactly as the
                 // serial loop interleaved them — the scheduler, the
                 // channels, the stats and the per-client RNG streams
                 // are only touched here.
                 for shard in &mut shards {
-                    let ShardScratch { actions, outcomes } = shard;
+                    self.plan_hits += shard.plan.hits;
+                    self.plan_misses += shard.plan.misses;
+                    let ShardScratch {
+                        actions, outcomes, ..
+                    } = shard;
                     let mut acts = actions.drain(..);
                     for o in outcomes.drain(..) {
                         let c = ClientId(o.client as u32);
@@ -894,7 +995,7 @@ impl<'p> Simulation<'p> {
                 // cache, so checking here sees exactly the state the
                 // per-client serial check saw), sharded over the pool.
                 self.check_consistency_sharded(&deliver);
-                self.deliver_scratch = deliver;
+                self.deliver_words = deliver;
             }
             DownPayload::Data { item, dest } => {
                 // The response left the downlink: a later re-request for
@@ -922,31 +1023,36 @@ impl<'p> Simulation<'p> {
                 // Same three-phase split as the report fan-out, minus
                 // the merge: snooped items produce no actions.
                 if self.cfg.snoop_broadcasts {
-                    let mut deliver = std::mem::take(&mut self.deliver_scratch);
+                    // Connected bitmap minus the addressed client; the
+                    // rx-bits additions are the same sequence the
+                    // per-client loop performed (one constant per set
+                    // bit, ascending index).
+                    let mut deliver = std::mem::take(&mut self.deliver_words);
                     deliver.clear();
-                    deliver.resize(self.clients.len(), false);
-                    for (i, &connected) in self.clients.connected_col().iter().enumerate() {
-                        if i == dest.index() || !connected {
-                            continue;
+                    deliver.extend_from_slice(self.clients.connected_words());
+                    let d = dest.index();
+                    deliver[d / 64] &= !(1u64 << (d % 64));
+                    for &w in &deliver {
+                        for _ in 0..w.count_ones() {
+                            self.rx_bits += delivered.bits;
                         }
-                        self.rx_bits += delivered.bits;
-                        deliver[i] = true;
                     }
+                    self.fanout_words_skipped += deliver.iter().filter(|&&w| w == 0).count() as u64;
                     let mut shards = std::mem::take(&mut self.shards);
                     let pop = self.clients.as_ptr();
+                    let deliver_ref = &deliver;
                     fan_out_shards(
                         &self.pool,
                         self.cfg.pool_min_shard_clients as usize,
                         self.clients.len(),
-                        &deliver,
                         &mut shards,
-                        |start, dl, _| {
-                            run_snoop_shard(now, pop, start, dl, item, version);
+                        |start, end, _| {
+                            run_snoop_shard(now, pop, start, end, deliver_ref, item, version);
                         },
                     );
                     self.shards = shards;
                     self.check_consistency_sharded(&deliver);
-                    self.deliver_scratch = deliver;
+                    self.deliver_words = deliver;
                 }
             }
             DownPayload::Validity { dest, asof, valid } => {
@@ -1147,7 +1253,7 @@ impl<'p> Simulation<'p> {
                     }
                     GapKind::Disconnect => {
                         self.disconnections += 1;
-                        self.clients.client_mut(c.index()).disconnect(now);
+                        self.clients.disconnect(c.index(), now);
                         self.emit(
                             now,
                             ProbeEvent::Disconnect {
@@ -1233,7 +1339,25 @@ impl<'p> Simulation<'p> {
     /// shard geometry), so the first one re-raised here is the same
     /// panic, with the same message, the per-client serial check
     /// produced.
-    fn check_consistency_sharded(&mut self, deliver: &[bool]) {
+    fn check_consistency_sharded(&mut self, deliver_words: &[u64]) {
+        if self.oracle.is_none() {
+            return;
+        }
+        // Expand the word mask into the oracle's bool view (the scan
+        // itself branches per client anyway — a full cache walk apiece —
+        // so the expansion is noise there).
+        let mut mask = std::mem::take(&mut self.deliver_scratch);
+        mask.clear();
+        mask.resize(self.clients.len(), false);
+        for (i, b) in mask.iter_mut().enumerate() {
+            *b = deliver_words[i / 64] & (1u64 << (i % 64)) != 0;
+        }
+        self.check_consistency_masked(&mask);
+        self.deliver_scratch = mask;
+    }
+
+    /// The bool-mask core of the sharded oracle pass.
+    fn check_consistency_masked(&mut self, deliver: &[bool]) {
         let Some(oracle) = self.oracle.as_ref() else {
             return;
         };

@@ -260,6 +260,22 @@ pub struct IntervalSnapshot {
     /// clock crossed window boundaries. Structural work only — cascades
     /// never reorder deliveries.
     pub sched_cascades: u64,
+    /// Invalidation-plan bitmap decodes performed so far (absolute,
+    /// cumulative): one per broadcast report whose payload yields a
+    /// plan. Decode-once/apply-many means this stays at ~1 per tick
+    /// regardless of population size.
+    pub plan_decodes: u64,
+    /// Report applications served by a memoized plan bitmap so far
+    /// (absolute, cumulative).
+    pub plan_hits: u64,
+    /// Report applications that fell back to the per-item path so far
+    /// (absolute, cumulative): the client's `Tlb` bucket missed the
+    /// pre-decoded plan, or its cache was too small to profit.
+    pub plan_misses: u64,
+    /// Zero delivery-mask words the broadcast fan-outs skipped so far
+    /// (absolute, cumulative) — 64 dozing/unlucky clients apiece that
+    /// cost one word load instead of 64 per-client branches.
+    pub fanout_words_skipped: u64,
 }
 
 impl IntervalSnapshot {
@@ -281,7 +297,9 @@ impl IntervalSnapshot {
                 "\"client_tx_bits\":{},\"client_rx_bits\":{},",
                 "\"events_scheduled\":{},\"events_delivered\":{},",
                 "\"queue_high_water\":{},\"slot_high_water\":{},",
-                "\"sched_cascades\":{}}}"
+                "\"sched_cascades\":{},",
+                "\"plan_decodes\":{},\"plan_hits\":{},\"plan_misses\":{},",
+                "\"fanout_words_skipped\":{}}}"
             ),
             self.index,
             self.start_secs,
@@ -306,6 +324,10 @@ impl IntervalSnapshot {
             self.queue_high_water,
             self.slot_high_water,
             self.sched_cascades,
+            self.plan_decodes,
+            self.plan_hits,
+            self.plan_misses,
+            self.fanout_words_skipped,
         )
     }
 }
@@ -449,6 +471,10 @@ mod tests {
             queue_high_water: 7,
             slot_high_water: 5,
             sched_cascades: 2,
+            plan_decodes: 4,
+            plan_hits: 90,
+            plan_misses: 3,
+            fanout_words_skipped: 6,
         }
     }
 
@@ -502,6 +528,10 @@ mod tests {
         assert!(lines[0].contains("\"uplink_losses\":0"));
         assert!(lines[0].contains("\"fault_retries\":0"));
         assert!(lines[0].contains("\"server_crashes\":0"));
+        assert!(lines[0].contains("\"plan_decodes\":4"));
+        assert!(lines[0].contains("\"plan_hits\":90"));
+        assert!(lines[0].contains("\"plan_misses\":3"));
+        assert!(lines[0].contains("\"fanout_words_skipped\":6"));
     }
 
     #[test]

@@ -24,11 +24,13 @@
 pub mod at;
 pub mod bitseq;
 pub mod payload;
+pub mod plan;
 pub mod sig;
 pub mod window;
 
 pub use at::{AtDecision, AtIndex, AtReport};
 pub use bitseq::{BitSequences, BsDecision, BsIndex, BsSelect};
 pub use payload::{PreparedReport, ReportPayload};
+pub use plan::{PlanCache, PlanStats};
 pub use sig::{SigDecision, SigReport, Signer};
 pub use window::{WindowDecision, WindowIndex, WindowReport};

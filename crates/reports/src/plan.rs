@@ -1,0 +1,354 @@
+//! Per-tick invalidation **plans**: one report decoded once into a dense
+//! stale bitmap over `ItemId`, applied to each cache by a word-wise AND.
+//!
+//! The per-item fan-out path (`WindowIndex::is_stale` /
+//! `BsIndex::is_marked` per cached entry) pays `O(|cache| · log |report|)`
+//! per client even though almost every connected client holds the same
+//! effective `Tlb` (the previous report's timestamp) and therefore
+//! computes the *same* stale set. A [`PlanCache`] flips the loop: decode
+//! the report into `db_size` bits once per tick, memoized by the `Tlb`
+//! bucket the decode depends on, then each client intersects the plan
+//! with its own cache-membership bitmap — visiting only non-zero words —
+//! instead of re-deriving the decision item by item.
+//!
+//! Per report kind the `Tlb` bucket degenerates differently:
+//!
+//! * **Window** — the provably-stale set (`version < t_listed`) is
+//!   `Tlb`-independent: the listed-item bitmap plus a dense timestamp
+//!   table serve *every* client; coverage (`covers(tlb)`) stays a cheap
+//!   per-client scalar check.
+//! * **Bit-sequences** — staleness is pure prefix membership, a function
+//!   of `select(tlb)` alone, so the bucket key is the selected prefix
+//!   length. The engine pre-decodes the dominant bucket (the previous
+//!   report's broadcast time — every client that heard it lands there);
+//!   other buckets fall back to the per-item path.
+//! * **AT** — the listed-item bitmap is `Tlb`-independent; coverage is a
+//!   scalar check, an uncovered client drops its whole cache anyway.
+//! * **SIG** — no plan: the verdict depends on each client's stored
+//!   signature baseline, which is per-client by construction.
+//!
+//! The plan is an *evaluation strategy*, never a behavioural change: the
+//! bitmap intersection yields exactly the stale **set** the per-item
+//! walk yields (pinned by the `plan ≡ decide` proptests), and the engine
+//! golden digests stay bit-identical.
+
+use crate::bitseq::BsSelect;
+use crate::payload::ReportPayload;
+use mobicache_model::ItemId;
+use mobicache_sim::SimTime;
+
+/// Which decode the plan currently holds (one report kind per tick).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+enum PlanKind {
+    /// No plan decoded for this tick (SIG report, or a BS report whose
+    /// dominant bucket resolved to Clean/DropAll).
+    #[default]
+    None,
+    /// Window report: bitmap of listed items + dense update timestamps.
+    Window,
+    /// AT report: bitmap of listed items.
+    At,
+    /// BS report: bitmap of the first `prefix` recency entries, decoded
+    /// for this one prefix bucket.
+    Bs(usize),
+}
+
+/// Per-client plan-application tallies, accumulated shard-locally by the
+/// engine fan-out and merged serially (sums are order-free, so the
+/// counters are thread-invariant).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PlanStats {
+    /// Report applications served by a memoized plan bitmap.
+    pub hits: u64,
+    /// Applications that fell back to the per-item path (plan absent for
+    /// the client's bucket, or the cache too small to profit).
+    pub misses: u64,
+}
+
+/// A reusable per-tick invalidation-plan cache.
+///
+/// `decode_for_tick` turns one [`ReportPayload`] into a dense stale
+/// bitmap (`db_size.div_ceil(64)` words of `u64`); `intersect_into`
+/// applies it to one cache's membership bitmap. The buffers persist
+/// across ticks, so steady state allocates nothing.
+///
+/// Shared immutably across the engine's fan-out shards: after the serial
+/// phase-0 decode every read is lock-free (`&PlanCache` is `Sync` — the
+/// struct is plain `Vec`s).
+#[derive(Debug, Default)]
+pub struct PlanCache {
+    kind: PlanKind,
+    /// The stale bitmap, bit `i` = `ItemId(i)`.
+    bits: Vec<u64>,
+    /// Window plans only: `ts[i]` is the listed update timestamp of
+    /// `ItemId(i)`. Only slots whose `bits` bit is set are meaningful
+    /// (stale slots from earlier ticks are never read).
+    ts: Vec<SimTime>,
+    /// Bitmap decodes performed over the cache's lifetime.
+    decodes: u64,
+}
+
+impl PlanCache {
+    /// An empty plan cache; buffers grow on first decode.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Zeroes the bitmap at `words` words, keeping the allocation.
+    fn reset_bits(&mut self, words: usize) {
+        self.bits.clear();
+        self.bits.resize(words, 0);
+    }
+
+    #[inline]
+    fn set(&mut self, item: ItemId) {
+        let i = item.0 as usize;
+        debug_assert!(i / 64 < self.bits.len(), "item id beyond db_size");
+        self.bits[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Decodes `payload` into this tick's plan. Serial phase-0 only —
+    /// shards read the result immutably.
+    ///
+    /// `dominant_tlb` keys the BS prefix bucket: pass the previous
+    /// report's broadcast time (every client that heard it selects this
+    /// bucket). Window and AT decodes are `Tlb`-independent. A SIG
+    /// payload, or a BS dominant bucket resolving to Clean/DropAll,
+    /// leaves the plan empty (every client falls back per-item — both
+    /// non-prefix BS verdicts are O(1) anyway).
+    pub fn decode_for_tick(
+        &mut self,
+        payload: &ReportPayload,
+        dominant_tlb: SimTime,
+        db_size: u32,
+    ) {
+        self.kind = PlanKind::None;
+        let words = (db_size as usize).div_ceil(64);
+        match payload {
+            ReportPayload::Window(w) => {
+                self.reset_bits(words);
+                if self.ts.len() < db_size as usize {
+                    self.ts.resize(db_size as usize, SimTime::ZERO);
+                }
+                for &(item, t) in &w.records {
+                    self.set(item);
+                    self.ts[item.0 as usize] = t;
+                }
+                self.kind = PlanKind::Window;
+                self.decodes += 1;
+            }
+            ReportPayload::At(at) => {
+                self.reset_bits(words);
+                for &item in &at.items {
+                    self.set(item);
+                }
+                self.kind = PlanKind::At;
+                self.decodes += 1;
+            }
+            ReportPayload::BitSeq(bs) => {
+                if let BsSelect::Prefix(p) = bs.select(dominant_tlb) {
+                    self.reset_bits(words);
+                    for &(item, _) in &bs.recency[..p.min(bs.recency.len())] {
+                        self.set(item);
+                    }
+                    self.kind = PlanKind::Bs(p);
+                    self.decodes += 1;
+                }
+            }
+            ReportPayload::Sig(..) => {}
+        }
+    }
+
+    /// Bitmap decodes performed so far (cumulative).
+    pub fn decodes(&self) -> u64 {
+        self.decodes
+    }
+
+    /// `true` when a window plan is loaded (listed bitmap + timestamps).
+    pub fn window_active(&self) -> bool {
+        self.kind == PlanKind::Window
+    }
+
+    /// `true` when an AT plan is loaded (listed bitmap).
+    pub fn at_active(&self) -> bool {
+        self.kind == PlanKind::At
+    }
+
+    /// The decoded BS prefix bucket, when one is loaded.
+    pub fn bs_prefix(&self) -> Option<usize> {
+        match self.kind {
+            PlanKind::Bs(p) => Some(p),
+            _ => None,
+        }
+    }
+
+    /// The plan bitmap words (bit `i` = `ItemId(i)`).
+    pub fn words(&self) -> &[u64] {
+        &self.bits
+    }
+
+    /// The listed update timestamp of `item` under a window plan.
+    /// Meaningful only for items whose plan bit is set.
+    #[inline]
+    pub fn listed_ts(&self, item: ItemId) -> SimTime {
+        self.ts[item.0 as usize]
+    }
+
+    /// Word-wise `plan & member` intersection: for every set bit of the
+    /// AND (ascending item id, extracted via `trailing_zeros`), pushes
+    /// the item onto `out` if `keep` accepts it. Only non-zero words do
+    /// per-bit work; `member` is each cache's membership bitmap, grown
+    /// lazily, so the loop runs `min(|member|, |plan|)` words.
+    pub fn intersect_into(
+        &self,
+        member: &[u64],
+        out: &mut Vec<ItemId>,
+        mut keep: impl FnMut(ItemId) -> bool,
+    ) {
+        let n = member.len().min(self.bits.len());
+        for (wi, (&m, &p)) in member[..n].iter().zip(&self.bits[..n]).enumerate() {
+            let mut w = m & p;
+            while w != 0 {
+                let item = ItemId((wi * 64) as u32 + w.trailing_zeros());
+                w &= w - 1;
+                if keep(item) {
+                    out.push(item);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::at::AtReport;
+    use crate::bitseq::BitSequences;
+    use crate::window::WindowReport;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    /// A little member bitmap over the given ids.
+    fn member_of(ids: &[u32], db: u32) -> Vec<u64> {
+        let mut words = vec![0u64; (db as usize).div_ceil(64)];
+        for &id in ids {
+            words[id as usize / 64] |= 1 << (id % 64);
+        }
+        words
+    }
+
+    fn window(records: Vec<(u32, f64)>) -> ReportPayload {
+        ReportPayload::Window(WindowReport {
+            broadcast_at: t(1000.0),
+            window_start: t(800.0),
+            records: records
+                .into_iter()
+                .map(|(i, ts)| (ItemId(i), t(ts)))
+                .collect(),
+            dummy: None,
+        })
+    }
+
+    #[test]
+    fn window_plan_intersects_listed_and_cached() {
+        let mut plan = PlanCache::new();
+        plan.decode_for_tick(&window(vec![(3, 950.0), (70, 920.0)]), t(0.0), 128);
+        assert!(plan.window_active());
+        assert_eq!(plan.decodes(), 1);
+        let member = member_of(&[3, 5, 70], 128);
+        let mut out = Vec::new();
+        plan.intersect_into(&member, &mut out, |_| true);
+        assert_eq!(out, vec![ItemId(3), ItemId(70)]);
+        assert_eq!(plan.listed_ts(ItemId(3)), t(950.0));
+        assert_eq!(plan.listed_ts(ItemId(70)), t(920.0));
+    }
+
+    #[test]
+    fn keep_filter_prunes_fresh_versions() {
+        let mut plan = PlanCache::new();
+        plan.decode_for_tick(&window(vec![(3, 950.0), (7, 920.0)]), t(0.0), 64);
+        let member = member_of(&[3, 7], 64);
+        let mut out = Vec::new();
+        // Pretend item 3's cached version is fresh (≥ listed ts).
+        plan.intersect_into(&member, &mut out, |i| {
+            t(930.0) < plan.listed_ts(i) // only 3 (950) qualifies
+        });
+        assert_eq!(out, vec![ItemId(3)]);
+    }
+
+    #[test]
+    fn at_plan_marks_listed_items() {
+        let mut plan = PlanCache::new();
+        let at = ReportPayload::At(AtReport {
+            broadcast_at: t(200.0),
+            prev_broadcast: t(100.0),
+            items: vec![ItemId(1), ItemId(65)],
+        });
+        plan.decode_for_tick(&at, t(100.0), 128);
+        assert!(plan.at_active());
+        let mut out = Vec::new();
+        plan.intersect_into(&member_of(&[0, 1, 64, 65], 128), &mut out, |_| true);
+        assert_eq!(out, vec![ItemId(1), ItemId(65)]);
+    }
+
+    #[test]
+    fn bs_plan_keys_off_dominant_prefix() {
+        // Recency-descending updates: 9 @ 95, 4 @ 85, 2 @ 75.
+        let bs = BitSequences::from_recency(
+            t(100.0),
+            64,
+            vec![
+                (ItemId(9), t(95.0)),
+                (ItemId(4), t(85.0)),
+                (ItemId(2), t(75.0)),
+            ],
+        );
+        let sel = bs.select(t(90.0));
+        let BsSelect::Prefix(p) = sel else {
+            panic!("expected a prefix selection, got {sel:?}");
+        };
+        let payload = ReportPayload::BitSeq(bs);
+        let mut plan = PlanCache::new();
+        plan.decode_for_tick(&payload, t(90.0), 64);
+        assert_eq!(plan.bs_prefix(), Some(p));
+        let mut out = Vec::new();
+        plan.intersect_into(&member_of(&[2, 4, 9], 64), &mut out, |_| true);
+        // The plan marks exactly the prefix items; a Tlb of 90 must at
+        // least invalidate the newest update (9 @ 95).
+        assert!(out.contains(&ItemId(9)));
+        let ReportPayload::BitSeq(bs) = &payload else {
+            unreachable!()
+        };
+        let marked: Vec<ItemId> = bs.recency[..p.min(bs.recency.len())]
+            .iter()
+            .map(|&(i, _)| i)
+            .collect();
+        for i in &out {
+            assert!(marked.contains(i));
+        }
+    }
+
+    #[test]
+    fn clean_select_and_sig_leave_no_plan() {
+        let bs = BitSequences::from_recency(t(100.0), 64, vec![(ItemId(9), t(50.0))]);
+        let mut plan = PlanCache::new();
+        // Tlb newer than every update: Clean — nothing to decode.
+        plan.decode_for_tick(&ReportPayload::BitSeq(bs), t(60.0), 64);
+        assert!(!plan.window_active() && !plan.at_active());
+        assert_eq!(plan.bs_prefix(), None);
+        assert_eq!(plan.decodes(), 0);
+    }
+
+    #[test]
+    fn redecoding_clears_the_previous_tick() {
+        let mut plan = PlanCache::new();
+        plan.decode_for_tick(&window(vec![(3, 950.0)]), t(0.0), 64);
+        plan.decode_for_tick(&window(vec![(5, 960.0)]), t(0.0), 64);
+        let mut out = Vec::new();
+        plan.intersect_into(&member_of(&[3, 5], 64), &mut out, |_| true);
+        assert_eq!(out, vec![ItemId(5)], "stale bit from tick 1 must be gone");
+        assert_eq!(plan.decodes(), 2);
+    }
+}

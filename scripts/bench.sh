@@ -6,20 +6,29 @@
 #                                 # best-of-30 fan-out passes)
 #   ./scripts/bench.sh --quick    # reduced iterations, used by ci.sh
 #
-# The JSON has six sections:
+# The JSON has these sections:
 #   baseline_before — pre-refactor numbers frozen into the binary
 #   popscale        — struct-of-arrays population sweep (10k/100k/1M AAW
 #                     clients, ascending): events/sec and peak RSS (VmHWM)
+#   sched           — heap-vs-timing-wheel scheduler micro-benchmark
 #   e2e             — fig05 sweep per scheme: wall secs, events, events/sec
 #   stress          — heavy single-run config per scheme (40k db, 200 clients)
 #   fanout          — one report x 200 clients: linear vs shared-index, speedup
+#   invplan         — bitmap invalidation plans at the stress shape (40k db,
+#                     800-item caches): per-item stale_into walk vs the
+#                     decode-once PlanCache intersection, ns/client at
+#                     10k/100k/1M clients, plus a probed AAW run's
+#                     plan-cache hit rate
 #   scaling         — full AAW runs, clients x engine worker threads
 #                     (host_cores recorded; on a 1-core host ~1.0x is the
 #                     expected ceiling)
 #
-# The popscale 100k row doubles as the CI regression floor: ci.sh re-runs
-# it via `report_pipeline --smoke-popscale 100000 --check-against
-# BENCH_report_pipeline.json` and fails on a >10% events/sec drop.
+# Several rows double as CI regression floors: ci.sh re-runs the popscale
+# 100k row (--smoke-popscale, >10% events/sec drop fails), the heavy AAW
+# stress point (--smoke-stress), the invplan 100k row (--smoke-invplan,
+# fails below half the committed plan speedup), and the AAW e2e sweep
+# (--smoke-e2e, 80% floor), all via `--check-against
+# BENCH_report_pipeline.json`.
 #
 # Criterion micro-benchmarks (including the `fanout` group) live
 # separately under `cargo bench -p mobicache-bench --bench micro`.

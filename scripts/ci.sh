@@ -81,4 +81,20 @@ timeout 300 ./target/release/report_pipeline \
 echo "==> sched smoke: heap-vs-wheel micro-benchmark"
 timeout 300 ./target/release/report_pipeline --smoke-sched
 
+# Invalidation-plan legs: the invplan smoke re-runs the 100k-client
+# plan-vs-per-item micro-benchmark and fails if the bitmap plan stops
+# beating the per-item walk or drops below half the committed speedup
+# (a ratio of two timed paths carries both runs' noise, hence the wider
+# margin than the 10% throughput gates). The e2e smoke closes the old
+# gap where the e2e section had no gate at all: it re-runs the full AAW
+# fig05 sweep against the committed e2e row with an 80% floor (e2e wall
+# times are tens of milliseconds, so proportional noise is larger).
+echo "==> invplan smoke: plan-vs-per-item at 100k clients"
+timeout 300 ./target/release/report_pipeline \
+  --smoke-invplan --check-against BENCH_report_pipeline.json
+
+echo "==> e2e smoke: AAW fig05 sweep vs committed BENCH_report_pipeline.json"
+timeout 300 ./target/release/report_pipeline \
+  --smoke-e2e --check-against BENCH_report_pipeline.json
+
 echo "CI OK"
