@@ -1,7 +1,7 @@
 //! End-to-end report-pipeline benchmark: the numbers behind
 //! `BENCH_report_pipeline.json`.
 //!
-//! Four sections:
+//! Sections:
 //!
 //! * **e2e** — the `fig05` sweep (one scheme per run, single worker
 //!   thread, smoke horizon) for BS, AAW and simple checking: wall
@@ -10,6 +10,10 @@
 //! * **stress** — one heavy configuration per scheme (large database,
 //!   200 clients, fast updates) where report construction and fan-out
 //!   dominate wall time; this is where pipeline regressions are loudest.
+//! * **handoff** — the stress shape spread over a 4-cell topology with
+//!   migrating clients: per-cell report fan-out, per-cell update replay
+//!   and the handoff machinery (blackouts, Tlb re-announcement, parked
+//!   queries) all at once, for BS and AAW.
 //! * **fanout** — the tick fan-out micro-benchmark: one window report ×
 //!   many clients, comparing the legacy per-item linear scan against the
 //!   shared sorted index built once per broadcast.
@@ -50,6 +54,9 @@
 //!   fails on a >10 % events/second regression.
 //! * `--smoke-stress --check-against PATH` — the heavy AAW stress point
 //!   vs the committed top-level stress row; fails on a >10 % regression.
+//! * `--smoke-handoff --check-against PATH` — the heavy AAW multi-cell
+//!   handoff point vs the committed top-level handoff row; fails on a
+//!   >10 % events/second regression.
 //! * `--smoke-sched` — the 10 k-pending sched row; fails if the wheel
 //!   drops below the heap baseline.
 //! * `--smoke-invplan --check-against PATH` — the 100 k-client invplan
@@ -65,7 +72,7 @@ use mobicache::{run, IntervalSampler, RunOptions};
 use mobicache_cache::LruCache;
 use mobicache_experiments::figures::fig05;
 use mobicache_experiments::{run_figure_with, CoreSplitPolicy, RunReporting, RunScale};
-use mobicache_model::{ItemId, Scheme, SimConfig};
+use mobicache_model::{CellTopology, ItemId, Scheme, SimConfig};
 use mobicache_reports::{PlanCache, ReportPayload, WindowReport};
 use mobicache_sim::{Scheduler, SimTime};
 use std::cmp::Ordering as CmpOrdering;
@@ -181,6 +188,57 @@ fn bench_stress(quick: bool, threads: u32) -> Vec<E2eRow> {
         eprintln!(
             "stress {scheme:?}: {best_wall:.3}s wall (best of {reps}), \
              {events} events ({:.0} ev/s)",
+            events as f64 / best_wall
+        );
+        rows.push(E2eRow {
+            scheme,
+            points: 1,
+            wall_secs: best_wall,
+            events,
+            events_per_sec: events as f64 / best_wall,
+        });
+    }
+    rows
+}
+
+/// The multi-cell mobility stress point: the heavy stress shape spread
+/// over 4 cells, residency expiring every ~250 s against the 20 s
+/// broadcast period, a 12 s blackout per handoff and a dozing
+/// population — the per-cell report fan-out, the per-cell `UpdateLog`
+/// replay (4× the txn application work) and the handoff machinery all
+/// on the clock at once.
+fn handoff_cfg(scheme: Scheme, quick: bool) -> SimConfig {
+    let mut cfg = stress_cfg(scheme, quick).with_cells(CellTopology {
+        cells: 4,
+        mean_residency_secs: 250.0,
+        handoff_secs: 12.0,
+        p_roam: 0.8,
+    });
+    cfg.p_disconnect = 0.2;
+    cfg
+}
+
+fn bench_handoff(quick: bool, threads: u32) -> Vec<E2eRow> {
+    let schemes = [Scheme::Bs, Scheme::Aaw];
+    let reps = if quick { 1 } else { 3 };
+    let mut rows = Vec::new();
+    for scheme in schemes {
+        let cfg = handoff_cfg(scheme, quick).with_threads(threads);
+        let mut best_wall = f64::INFINITY;
+        let mut events = 0u64;
+        let mut handoffs = 0u64;
+        for _ in 0..reps {
+            let started = Instant::now();
+            let result = run(&cfg, RunOptions::default()).expect("handoff config validates");
+            let wall = started.elapsed().as_secs_f64();
+            best_wall = best_wall.min(wall);
+            events = result.metrics.events_processed;
+            handoffs = result.metrics.mobility.handoffs;
+        }
+        assert!(handoffs > 0, "handoff bench must actually hand off");
+        eprintln!(
+            "handoff {scheme:?}: {best_wall:.3}s wall (best of {reps}), \
+             {events} events, {handoffs} handoffs ({:.0} ev/s)",
             events as f64 / best_wall
         );
         rows.push(E2eRow {
@@ -761,6 +819,17 @@ fn committed_stress_rate(path: &str, scheme: Scheme) -> Option<f64> {
     rate_in_row(&row[..row.find('}')?])
 }
 
+/// The committed events/second for `scheme` in the top-level handoff
+/// section of the JSON at `path` (last occurrence, like the stress
+/// lookup, to stay robust against future embedded baselines).
+fn committed_handoff_rate(path: &str, scheme: Scheme) -> Option<f64> {
+    let body = std::fs::read_to_string(path).ok()?;
+    let section = &body[body.rfind("\"handoff\"")?..];
+    let needle = format!("\"scheme\": \"{scheme:?}\"");
+    let row = &section[section.find(&needle)?..];
+    rate_in_row(&row[..row.find('}')?])
+}
+
 /// The committed plan-vs-per-item speedup for `clients` in the invplan
 /// section of the JSON at `path`.
 fn committed_invplan_speedup(path: &str, clients: u32) -> Option<f64> {
@@ -835,6 +904,39 @@ fn smoke_stress(threads: u32, check_against: &str) -> i32 {
     }
     eprintln!(
         "smoke-stress: ok — {rate:.0} ev/s vs committed {committed:.0} ev/s (floor {floor:.0})"
+    );
+    0
+}
+
+/// The multi-cell CI regression gate: the heavy AAW handoff point (4
+/// cells, migrating clients, per-cell fan-out and update replay) vs the
+/// committed rate. Returns the process exit code.
+fn smoke_handoff(threads: u32, check_against: &str) -> i32 {
+    let scheme = Scheme::Aaw;
+    let cfg = handoff_cfg(scheme, false).with_threads(threads);
+    let mut best_wall = f64::INFINITY;
+    let mut events = 0u64;
+    for _ in 0..2 {
+        let started = Instant::now();
+        let result = run(&cfg, RunOptions::default()).expect("handoff config validates");
+        best_wall = best_wall.min(started.elapsed().as_secs_f64());
+        events = result.metrics.events_processed;
+    }
+    let rate = events as f64 / best_wall;
+    let Some(committed) = committed_handoff_rate(check_against, scheme) else {
+        eprintln!("smoke-handoff: no committed {scheme:?} handoff row in {check_against}");
+        return 1;
+    };
+    let floor = committed * 0.9;
+    if rate < floor {
+        eprintln!(
+            "smoke-handoff: REGRESSION — {rate:.0} ev/s is below 90% of the committed \
+             {committed:.0} ev/s (floor {floor:.0})"
+        );
+        return 1;
+    }
+    eprintln!(
+        "smoke-handoff: ok — {rate:.0} ev/s vs committed {committed:.0} ev/s (floor {floor:.0})"
     );
     0
 }
@@ -953,6 +1055,7 @@ fn json(
     sched: &[SchedRow],
     e2e: &[E2eRow],
     stress: &[E2eRow],
+    handoff: &[E2eRow],
     fanout: &[FanoutRow],
     invplan: &[InvplanRow],
     invprobe: &InvplanProbe,
@@ -1017,6 +1120,9 @@ fn json(
     out.push_str("  ],\n");
     out.push_str("  \"stress\": [\n");
     write_rows(&mut out, stress);
+    out.push_str("  ],\n");
+    out.push_str("  \"handoff\": [\n");
+    write_rows(&mut out, handoff);
     out.push_str("  ],\n");
     out.push_str("  \"fanout\": [\n");
     for (i, r) in fanout.iter().enumerate() {
@@ -1128,6 +1234,14 @@ fn main() {
             .expect("--smoke-stress requires --check-against PATH");
         std::process::exit(smoke_stress(engine_threads, check_against));
     }
+    if args.iter().any(|a| a == "--smoke-handoff") {
+        let check_against = args
+            .iter()
+            .position(|a| a == "--check-against")
+            .and_then(|i| args.get(i + 1))
+            .expect("--smoke-handoff requires --check-against PATH");
+        std::process::exit(smoke_handoff(engine_threads, check_against));
+    }
     if args.iter().any(|a| a == "--smoke-sched") {
         std::process::exit(smoke_sched());
     }
@@ -1153,6 +1267,7 @@ fn main() {
     let sched = bench_sched(quick);
     let e2e = bench_e2e(quick);
     let stress = bench_stress(quick, engine_threads);
+    let handoff = bench_handoff(quick, engine_threads);
     let fanout = bench_fanout(quick);
     let invplan = bench_invplan(quick);
     let invprobe = invplan_probe(quick, engine_threads);
@@ -1162,6 +1277,7 @@ fn main() {
         &sched,
         &e2e,
         &stress,
+        &handoff,
         &fanout,
         &invplan,
         &invprobe,

@@ -125,6 +125,14 @@ pub struct ClientPop {
     header: Vec<Option<QueryHeader>>,
     counters: Vec<ClientCounters>,
     stale_scratch: Vec<Vec<ItemId>>,
+    /// Which cell each client is currently associated with (all zero in
+    /// the single-cell topology).
+    cell: Vec<u32>,
+    /// One membership bitmap per cell: bit `i` of `cell_bits[c]` is set
+    /// iff client `i` is associated with cell `c`. The per-cell fan-out
+    /// intersects this with `connected_bits` for its delivery mask.
+    /// Maintained only by the serial [`ClientPop::handoff`] wrapper.
+    cell_bits: Vec<Vec<u64>>,
     /// Per-scheme column group: stored combined signatures, materialized
     /// only under [`Scheme::Sig`].
     sig_baselines: Option<Vec<Option<Vec<u64>>>>,
@@ -132,14 +140,33 @@ pub struct ClientPop {
 }
 
 impl ClientPop {
-    /// A population of `n` fresh, connected clients with empty caches.
+    /// A population of `n` fresh, connected clients with empty caches
+    /// in a single cell (the legacy topology).
     pub fn new(cfg: ClientConfig, n: usize) -> Self {
+        ClientPop::with_cells(cfg, n, 1)
+    }
+
+    /// A population of `n` fresh, connected clients spread round-robin
+    /// over `cells` cells (client `i` starts in cell `i % cells`).
+    ///
+    /// # Panics
+    /// Panics if `cells` is zero.
+    pub fn with_cells(cfg: ClientConfig, n: usize, cells: u32) -> Self {
+        assert!(cells > 0, "at least one cell");
+        let words = n.div_ceil(64);
+        let mut cell = Vec::with_capacity(n);
+        let mut cell_bits = vec![vec![0u64; words]; cells as usize];
+        for i in 0..n {
+            let c = (i as u32) % cells;
+            cell.push(c);
+            cell_bits[c as usize][i / 64] |= 1u64 << (i % 64);
+        }
         ClientPop {
             caches: (0..n).map(|_| LruCache::new(cfg.cache_capacity)).collect(),
             tlb: vec![SimTime::ZERO; n],
             connected: vec![true; n],
             connected_bits: {
-                let mut words = vec![u64::MAX; n.div_ceil(64)];
+                let mut words = vec![u64::MAX; words];
                 if !n.is_multiple_of(64) {
                     if let Some(last) = words.last_mut() {
                         *last = (1u64 << (n % 64)) - 1;
@@ -153,6 +180,8 @@ impl ClientPop {
             header: vec![None; n],
             counters: vec![ClientCounters::default(); n],
             stale_scratch: (0..n).map(|_| Vec::new()).collect(),
+            cell,
+            cell_bits,
             sig_baselines: (cfg.scheme == Scheme::Sig).then(|| vec![None; n]),
             arena: PendingArena::with_clients(n),
             cfg,
@@ -193,6 +222,42 @@ impl ClientPop {
     /// The last word's tail bits beyond `len()` are zero.
     pub fn connected_words(&self) -> &[u64] {
         &self.connected_bits
+    }
+
+    /// Number of cells the population is spread over.
+    pub fn cells(&self) -> u32 {
+        self.cell_bits.len() as u32
+    }
+
+    /// The cell client `i` is currently associated with.
+    pub fn cell_of(&self, i: usize) -> u32 {
+        self.cell[i]
+    }
+
+    /// Cell `c`'s membership as bitmap words (bit `i` = client `i` is
+    /// associated with cell `c`). Tail bits beyond `len()` are zero.
+    pub fn cell_words(&self, c: u32) -> &[u64] {
+        &self.cell_bits[c as usize]
+    }
+
+    /// Moves client `i` to cell `dest`, keeping the membership bitmaps
+    /// in sync. Serial-phase only (bitmap words span 64 clients).
+    /// Re-associating with the current cell is a no-op.
+    pub fn handoff(&mut self, i: usize, dest: u32) {
+        let from = self.cell[i] as usize;
+        let dest_idx = dest as usize;
+        assert!(dest_idx < self.cell_bits.len(), "cell {dest} out of range");
+        self.cell_bits[from][i / 64] &= !(1u64 << (i % 64));
+        self.cell_bits[dest_idx][i / 64] |= 1u64 << (i % 64);
+        self.cell[i] = dest;
+    }
+
+    /// `true` while client `i` has an unresolved reconnection gap (its
+    /// limbo entries await a covering report or verdict). The mobility
+    /// process defers handoffs while a gap is open so no in-flight
+    /// salvage traffic crosses a cell boundary.
+    pub fn has_open_gap(&self, i: usize) -> bool {
+        self.gap[i].is_some()
     }
 
     /// Disconnects client `i`, keeping the connected bitmap in sync.
@@ -1425,6 +1490,45 @@ mod tests {
         pop.reconnect(64, t(5.0));
         check(&pop);
         assert!(pop.is_connected(64));
+    }
+
+    /// Cell membership bitmaps mirror the cell column through the
+    /// serial `handoff` wrapper; exactly one cell owns each client.
+    #[test]
+    fn cell_bitmaps_mirror_column() {
+        let n = 70; // crosses a word boundary
+        let cells = 3;
+        let mut pop = ClientPop::with_cells(cfg(Scheme::Aaw), n, cells);
+        let check = |pop: &ClientPop| {
+            for i in 0..n {
+                let owner = pop.cell_of(i);
+                for c in 0..cells {
+                    let bit = pop.cell_words(c)[i / 64] & (1 << (i % 64)) != 0;
+                    assert_eq!(bit, c == owner, "client {i} cell {c}");
+                }
+            }
+            for c in 0..cells {
+                let tail = pop.cell_words(c)[n / 64] >> (n % 64);
+                assert_eq!(tail, 0, "tail bits beyond len set in cell {c}");
+            }
+        };
+        check(&pop);
+        assert_eq!(pop.cell_of(0), 0);
+        assert_eq!(pop.cell_of(1), 1);
+        assert_eq!(pop.cell_of(5), 2);
+        pop.handoff(0, 2);
+        pop.handoff(64, 0);
+        pop.handoff(69, 1);
+        check(&pop);
+        assert_eq!(pop.cell_of(0), 2);
+        // Re-associating with the current cell is a no-op.
+        pop.handoff(0, 2);
+        check(&pop);
+        // The legacy constructor is the single-cell special case: the
+        // one membership bitmap equals the initial connected bitmap.
+        let single = ClientPop::new(cfg(Scheme::Aaw), n);
+        assert_eq!(single.cells(), 1);
+        assert_eq!(single.cell_words(0), single.connected_words());
     }
 
     /// `PopPtr` views over disjoint indices mirror `client_mut`.

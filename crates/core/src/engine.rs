@@ -14,7 +14,7 @@
 //!   the fourth power of the distance"); the driver charges every client
 //!   transmission and reception against the configured per-bit costs.
 
-use crate::metrics::{ClientStats, FaultMetrics, Metrics};
+use crate::metrics::{ClientStats, FaultMetrics, Metrics, MobilityMetrics};
 use crate::oracle::Oracle;
 use crate::probe::{CacheEventKind, IntervalSnapshot, Probe, ProbeEvent, ReportKind, RunTotals};
 use mobicache_client::{ClientAction, ClientConfig, ClientCounters, ClientPop, PopPtr};
@@ -22,9 +22,9 @@ use mobicache_model::msg::{DownlinkKind, SizeParams, UplinkKind, CLASS_CHECK, CL
 use mobicache_model::{ChannelFaults, ClientId, ConfigError, DownlinkTopology, ItemId, SimConfig};
 use mobicache_net::Channel;
 use mobicache_reports::{BsIndex, PlanCache, PlanStats, PreparedReport, ReportPayload};
-use mobicache_server::Server;
+use mobicache_server::{Server, ServerCounters};
 use mobicache_sim::pool::{shard_count, SendPtr, WorkerPool};
-use mobicache_sim::{Histogram, OnlineStats, Scheduler, SimRng, SimTime, StreamId};
+use mobicache_sim::{Exp, Histogram, OnlineStats, Scheduler, SimRng, SimTime, StreamId};
 use mobicache_workload::{GapKind, GapProcess, QueryGen, UpdateGen};
 use std::sync::Arc;
 
@@ -124,6 +124,12 @@ enum Ev {
     ServerCrash,
     /// The crashed server finishes rebuilding from its durable log.
     ServerRecover,
+    /// The client's cell residency expired: begin a handoff (or defer
+    /// it while the client is mid-flight). Multi-cell topologies only.
+    Handoff(ClientId),
+    /// The client finishes its handoff blackout and re-associates with
+    /// the destination cell. Multi-cell topologies only.
+    HandoffArrive(ClientId, u32),
 }
 
 /// Downlink message payloads.
@@ -326,11 +332,20 @@ pub struct Simulation<'p> {
     sp: SizeParams,
     horizon: SimTime,
     sched: Scheduler<Ev>,
-    server: Server,
+    /// One server per cell, indexed by cell id. Every update transaction
+    /// is applied to all of them (zero cross-cell skew), so the servers
+    /// differ only in the `Tlb`s their own clients registered. The
+    /// single-cell topology has exactly one.
+    servers: Vec<Server>,
     clients: ClientPop,
-    /// One channel ([`DownlinkTopology::Shared`]) or two (broadcast +
-    /// point-to-point under [`DownlinkTopology::Dedicated`]).
+    /// Downlink channels, cell-major: cell `c` owns indices
+    /// `[c·per_cell, (c+1)·per_cell)`, with `per_cell` = 1 under
+    /// [`DownlinkTopology::Shared`] or 2 (broadcast + point-to-point)
+    /// under [`DownlinkTopology::Dedicated`]. The single-cell topology
+    /// degenerates to the legacy one- or two-channel layout.
     downlinks: Vec<Channel<DownPayload>>,
+    /// Downlink channels per cell (see [`Simulation::downlinks`]).
+    per_cell_downlinks: usize,
     uplink: Channel<UpMsg>,
     update_gen: UpdateGen,
     query_gen: QueryGen,
@@ -344,6 +359,20 @@ pub struct Simulation<'p> {
     rng_faults: Vec<SimRng>,
     /// Per-client Gilbert–Elliott channel state (`true` = in a burst).
     ge_bad: Vec<bool>,
+    /// Per-client mobility streams (cell residency, roam choice) —
+    /// empty in the single-cell topology, so legacy runs derive no
+    /// mobility stream and stay bit-identical.
+    rng_mobility: Vec<SimRng>,
+    /// Cell-residency distribution; `None` in the single-cell topology
+    /// (whose residency knobs are inert and unvalidated).
+    residency: Option<Exp>,
+    /// Clients whose think-scheduled query arrival landed inside their
+    /// own handoff blackout; the query is re-issued at handoff arrival.
+    /// Empty in the single-cell topology (a legacy doze always delivers
+    /// `Reconnect` before the same-instant `QueryArrival`).
+    query_after_handoff: Vec<bool>,
+    /// Mobility tallies accumulated during the run.
+    mobility: MobilityMetrics,
     /// The downlink fault chain with the legacy `p_report_loss` knob
     /// folded in as an independent loss source.
     eff_downlink: ChannelFaults,
@@ -387,14 +416,15 @@ pub struct Simulation<'p> {
     /// Reusable bool expansion of a word mask for the oracle's
     /// `scan_cols`, and the all-true mask of full-population checks.
     deliver_scratch: Vec<bool>,
-    /// The per-tick invalidation-plan cache: one report decoded once
-    /// into a dense stale bitmap in serial phase 0, then shared
-    /// immutably across the fan-out shards (see `mobicache_reports::plan`).
-    plan: PlanCache,
-    /// Broadcast time of the last report handed to the fan-out — the
-    /// dominant `Tlb` bucket for the next plan decode (every client
-    /// that heard it holds exactly this `Tlb`).
-    prev_report_at: SimTime,
+    /// The per-tick invalidation-plan caches, one per cell: each cell's
+    /// report is decoded once into a dense stale bitmap in serial
+    /// phase 0, then shared immutably across the fan-out shards (see
+    /// `mobicache_reports::plan`).
+    plans: Vec<PlanCache>,
+    /// Broadcast time of the last report each cell handed to the
+    /// fan-out — the dominant `Tlb` bucket for that cell's next plan
+    /// decode (every client that heard it holds exactly this `Tlb`).
+    prev_report_at: Vec<SimTime>,
     /// Report applications served by the plan bitmap (cumulative).
     plan_hits: u64,
     /// Report applications that fell back to the per-item path.
@@ -537,26 +567,61 @@ impl<'p> Simulation<'p> {
             }
         }
 
-        let downlinks = match cfg.downlink_topology {
-            DownlinkTopology::Shared => vec![Channel::new(cfg.downlink_bps)],
-            DownlinkTopology::Dedicated { broadcast_share } => vec![
-                Channel::new(cfg.downlink_bps * broadcast_share),
-                Channel::new(cfg.downlink_bps * (1.0 - broadcast_share)),
-            ],
+        // Mobility: each client's residency clock starts at t = 0 and
+        // runs on its own dedicated stream, so enabling more cells (or
+        // more clients) never perturbs the workload or fault streams.
+        // Single-cell topologies derive no stream and schedule nothing.
+        let cells = cfg.cells.cells as usize;
+        let mut rng_mobility: Vec<SimRng> = if cfg.cells.is_multi() {
+            (0..cfg.num_clients)
+                .map(|c| SimRng::for_stream(cfg.seed, StreamId::Mobility(c)))
+                .collect()
+        } else {
+            Vec::new()
         };
+        let residency = cfg
+            .cells
+            .is_multi()
+            .then(|| Exp::with_mean(cfg.cells.mean_residency_secs));
+        if let Some(res) = &residency {
+            sched.schedule_batch((0..cfg.num_clients).map(|c| {
+                let first = res.sample(&mut rng_mobility[c as usize]);
+                (SimTime::from_secs(first), Ev::Handoff(ClientId(c)))
+            }));
+        }
 
-        let mut server = Server::new(cfg.scheme, cfg.db_size, cfg.window_secs(), sp);
-        server.configure_gcore(
-            cfg.gcore_groups,
-            cfg.gcore_retention_intervals as f64 * cfg.broadcast_period_secs,
-        );
+        // Cell-major downlink layout: each cell broadcasts on its own
+        // channel(s); one cell reproduces the legacy layout exactly.
+        let mut downlinks = Vec::with_capacity(cells * 2);
+        for _ in 0..cells {
+            match cfg.downlink_topology {
+                DownlinkTopology::Shared => downlinks.push(Channel::new(cfg.downlink_bps)),
+                DownlinkTopology::Dedicated { broadcast_share } => {
+                    downlinks.push(Channel::new(cfg.downlink_bps * broadcast_share));
+                    downlinks.push(Channel::new(cfg.downlink_bps * (1.0 - broadcast_share)));
+                }
+            }
+        }
+        let per_cell_downlinks = downlinks.len() / cells;
+
+        let servers: Vec<Server> = (0..cells)
+            .map(|_| {
+                let mut server = Server::new(cfg.scheme, cfg.db_size, cfg.window_secs(), sp);
+                server.configure_gcore(
+                    cfg.gcore_groups,
+                    cfg.gcore_retention_intervals as f64 * cfg.broadcast_period_secs,
+                );
+                server
+            })
+            .collect();
 
         Ok(Simulation {
             sp,
             horizon: SimTime::from_secs(cfg.sim_time_secs),
-            server,
-            clients: ClientPop::new(client_cfg, cfg.num_clients as usize),
+            servers,
+            clients: ClientPop::with_cells(client_cfg, cfg.num_clients as usize, cfg.cells.cells),
             downlinks,
+            per_cell_downlinks,
             uplink: Channel::new(cfg.uplink_bps),
             update_gen,
             query_gen: QueryGen::new(cfg.workload.query, cfg.db_size, cfg.items_per_query_mean),
@@ -571,6 +636,17 @@ impl<'p> Simulation<'p> {
                 .map(|c| SimRng::for_stream(cfg.seed, StreamId::Fault(c)))
                 .collect(),
             ge_bad: vec![false; cfg.num_clients as usize],
+            rng_mobility,
+            residency,
+            query_after_handoff: vec![
+                false;
+                if cfg.cells.is_multi() {
+                    cfg.num_clients as usize
+                } else {
+                    0
+                }
+            ],
+            mobility: MobilityMetrics::default(),
             eff_downlink: cfg.faults.downlink.with_independent_loss(cfg.p_report_loss),
             down_depth: 0,
             crash_pending_since: None,
@@ -591,8 +667,8 @@ impl<'p> Simulation<'p> {
             action_scratch: Vec::new(),
             deliver_words: Vec::new(),
             deliver_scratch: Vec::new(),
-            plan: PlanCache::new(),
-            prev_report_at: SimTime::ZERO,
+            plans: (0..cells).map(|_| PlanCache::new()).collect(),
+            prev_report_at: vec![SimTime::ZERO; cells],
             plan_hits: 0,
             plan_misses: 0,
             fanout_words_skipped: 0,
@@ -604,20 +680,40 @@ impl<'p> Simulation<'p> {
         })
     }
 
-    /// The downlink channel a message of `class` travels on.
-    fn downlink_index(&self, class: usize) -> usize {
-        if self.downlinks.len() == 1 || class == CLASS_REPORT {
-            0
+    /// The downlink channel a message of `class` travels on within
+    /// `cell`'s channel group.
+    fn downlink_index(&self, cell: usize, class: usize) -> usize {
+        let base = cell * self.per_cell_downlinks;
+        if self.per_cell_downlinks == 1 || class == CLASS_REPORT {
+            base
         } else {
-            1
+            base + 1
         }
     }
 
-    fn send_downlink(&mut self, now: SimTime, kind_bits: f64, class: usize, payload: DownPayload) {
-        let idx = self.downlink_index(class);
+    /// The cell that owns downlink channel `idx`.
+    fn cell_of_downlink(&self, idx: usize) -> usize {
+        idx / self.per_cell_downlinks
+    }
+
+    fn send_downlink(
+        &mut self,
+        now: SimTime,
+        kind_bits: f64,
+        class: usize,
+        cell: usize,
+        payload: DownPayload,
+    ) {
+        let idx = self.downlink_index(cell, class);
         if let Some(c) = self.downlinks[idx].send(now, kind_bits, class, payload) {
             self.sched.schedule(c.at, Ev::DownlinkDone(idx, c.token));
         }
+    }
+
+    /// The cell `client` is currently associated with (where its uplink
+    /// traffic lands and its downlink responses originate).
+    fn cell_of(&self, client: ClientId) -> usize {
+        self.clients.cell_of(client.index()) as usize
     }
 
     /// Runs the event loop to the horizon and collects metrics.
@@ -644,6 +740,8 @@ impl<'p> Simulation<'p> {
                 Ev::UplinkDone(token) => self.on_uplink_done(now, token),
                 Ev::ServerCrash => self.on_server_crash(now),
                 Ev::ServerRecover => self.on_server_recover(now),
+                Ev::Handoff(c) => self.on_handoff(now, c),
+                Ev::HandoffArrive(c, dest) => self.on_handoff_arrive(now, c, dest),
             }
         }
         self.finish()
@@ -655,30 +753,34 @@ impl<'p> Simulation<'p> {
         // silent interval exactly like a lost report and fall back on
         // their gap/retry machinery.
         if self.down_depth == 0 {
-            let (report, decision) = self.server.build_report_shared(now);
-            let kind = DownlinkKind::InvalidationReport {
-                content_bits: report.size_bits(&self.sp),
-            };
-            let bits = kind.size_bits(&self.sp);
-            if self.opts.probe.is_some() {
-                let report_kind = ReportKind::of(&report);
-                let window_start_secs = match &*report {
-                    ReportPayload::Window(w) => Some(w.window_start.as_secs()),
-                    _ => None,
+            // Every cell's server broadcasts its own report on its own
+            // downlink, in cell order (one cell = the legacy sequence).
+            for cell in 0..self.servers.len() {
+                let (report, decision) = self.servers[cell].build_report_shared(now);
+                let kind = DownlinkKind::InvalidationReport {
+                    content_bits: report.size_bits(&self.sp),
                 };
-                self.emit(
-                    now,
-                    ProbeEvent::ReportBroadcast {
-                        kind: report_kind,
-                        bits,
-                        window_start_secs,
-                    },
-                );
-                if let Some(d) = decision {
-                    self.emit(now, ProbeEvent::AdaptiveDecision(d));
+                let bits = kind.size_bits(&self.sp);
+                if self.opts.probe.is_some() {
+                    let report_kind = ReportKind::of(&report);
+                    let window_start_secs = match &*report {
+                        ReportPayload::Window(w) => Some(w.window_start.as_secs()),
+                        _ => None,
+                    };
+                    self.emit(
+                        now,
+                        ProbeEvent::ReportBroadcast {
+                            kind: report_kind,
+                            bits,
+                            window_start_secs,
+                        },
+                    );
+                    if let Some(d) = decision {
+                        self.emit(now, ProbeEvent::AdaptiveDecision(d));
+                    }
                 }
+                self.send_downlink(now, bits, kind.class(), cell, DownPayload::Report(report));
             }
-            self.send_downlink(now, bits, kind.class(), DownPayload::Report(report));
             if let Some(since) = self.crash_pending_since.take() {
                 // Recovery completes, from the clients' point of view,
                 // with the first report built after the server came back.
@@ -703,7 +805,10 @@ impl<'p> Simulation<'p> {
     /// `Tlb`s, cached report payloads, shared signature state); the
     /// durable update log survives. Overlapping crash windows nest.
     fn on_server_crash(&mut self, now: SimTime) {
-        let dropped = self.server.crash();
+        // Crashes are global: the paper's single base station is the
+        // whole fixed network here, so every cell's server goes down
+        // together (and the tick loop stays silent while any is down).
+        let dropped = self.servers.iter_mut().map(Server::crash).sum::<u64>();
         self.down_depth += 1;
         self.faults.server_crashes += 1;
         self.faults.crash_dropped_tlbs += dropped;
@@ -726,7 +831,9 @@ impl<'p> Simulation<'p> {
     fn on_server_recover(&mut self, _now: SimTime) {
         self.down_depth = self.down_depth.saturating_sub(1);
         if self.down_depth == 0 {
-            self.server.recover();
+            for server in &mut self.servers {
+                server.recover();
+            }
         }
         self.check_all_consistency();
     }
@@ -750,10 +857,21 @@ impl<'p> Simulation<'p> {
         }
     }
 
+    /// Sums the per-cell server counters into one population-wide view.
+    /// With one cell this is `ServerCounters::default().absorb(s)`, i.e.
+    /// exactly the legacy single-server counters.
+    fn server_counters(&self) -> ServerCounters {
+        let mut sc = ServerCounters::default();
+        for server in &self.servers {
+            sc.absorb(&server.counters());
+        }
+        sc
+    }
+
     /// Current cumulative counters (the snapshot basis — the same sums
     /// [`Simulation::finish`] folds into [`Metrics`]).
     fn current_totals(&self) -> RunTotals {
-        let sc = self.server.counters();
+        let sc = self.server_counters();
         let mut t = RunTotals {
             reports_broadcast: sc.window_reports
                 + sc.enlarged_reports
@@ -766,6 +884,7 @@ impl<'p> Simulation<'p> {
             reports_lost: self.reports_lost,
             uplink_losses: self.faults.uplink_losses,
             server_crashes: self.faults.server_crashes,
+            handoffs: self.mobility.handoffs,
             client_tx_bits: self.tx_bits,
             client_rx_bits: self.rx_bits,
             events_scheduled: self.sched.events_scheduled(),
@@ -803,7 +922,7 @@ impl<'p> Simulation<'p> {
             queue_high_water: self.sched.queue_high_water(),
             slot_high_water: self.sched.slot_high_water(),
             sched_cascades: self.sched.cascades(),
-            plan_decodes: self.plan.decodes(),
+            plan_decodes: self.plans.iter().map(PlanCache::decodes).sum(),
             plan_hits: self.plan_hits,
             plan_misses: self.plan_misses,
             fanout_words_skipped: self.fanout_words_skipped,
@@ -818,7 +937,13 @@ impl<'p> Simulation<'p> {
 
     fn on_update(&mut self, now: SimTime) {
         let items = self.update_gen.next_txn_items(&mut self.rng_update);
-        self.server.apply_txn(now, &items);
+        // Zero cross-cell update skew: one transaction stream, applied
+        // to every cell's server at the same instant — so a handoff is
+        // observationally a disconnection of the same duration (the
+        // cross-cell equivalence battery pins exactly this).
+        for server in &mut self.servers {
+            server.apply_txn(now, &items);
+        }
         if let Some(oracle) = &mut self.oracle {
             for &item in &items {
                 oracle.record_update(now, item);
@@ -829,11 +954,101 @@ impl<'p> Simulation<'p> {
     }
 
     fn on_query_arrival(&mut self, now: SimTime, c: ClientId) {
+        if !self.clients.is_connected(c.index()) {
+            // Only a handoff blackout can strand a think-scheduled
+            // arrival on a disconnected client (a legacy doze delivers
+            // `Reconnect` before the same-instant `QueryArrival`); park
+            // it and re-issue when the client reaches its new cell.
+            self.query_after_handoff[c.index()] = true;
+            return;
+        }
         let items = self
             .query_gen
             .next_query_items(&mut self.rng_clients[c.index()]);
         self.clients.start_query(c.index(), now, &items);
         // The query waits for the next broadcast report (§2).
+    }
+
+    /// A client's cell residency expired. If the client is mid-flight —
+    /// resolving a query, dozing, or holding an unresolved reconnection
+    /// gap — the handoff is deferred by a fresh residency period so no
+    /// in-flight traffic or salvage state crosses a cell boundary.
+    /// Otherwise the roam coin picks a destination (possibly the same
+    /// cell: a stay is a zero-distance handoff), the radio goes dark for
+    /// the handoff blackout, and arrival is scheduled. Both arms of the
+    /// coin draw and disconnect identically, which is what lets the
+    /// equivalence battery compare `p_roam = 1` against `p_roam = 0`
+    /// runs bit-for-bit.
+    fn on_handoff(&mut self, now: SimTime, c: ClientId) {
+        let i = c.index();
+        if self.clients.has_pending_query(i)
+            || !self.clients.is_connected(i)
+            || self.clients.has_open_gap(i)
+        {
+            self.mobility.handoffs_deferred += 1;
+            let res = self.residency.as_ref().expect("mobility event armed");
+            let next = res.sample(&mut self.rng_mobility[i]);
+            self.sched.schedule_in(next, Ev::Handoff(c));
+            return;
+        }
+        let topo = self.cfg.cells;
+        let rng = &mut self.rng_mobility[i];
+        let roam = rng.coin(topo.p_roam);
+        let from_cell = self.clients.cell_of(i);
+        let dest = if !roam {
+            from_cell
+        } else if topo.cells == 2 {
+            1 - from_cell
+        } else {
+            // Uniform over the other cells: draw in [0, cells-1) and
+            // skip past the current cell.
+            let r = rng.next_below(u64::from(topo.cells) - 1) as u32;
+            if r >= from_cell {
+                r + 1
+            } else {
+                r
+            }
+        };
+        let next_residency = self
+            .residency
+            .as_ref()
+            .expect("mobility event armed")
+            .sample(&mut self.rng_mobility[i]);
+        self.clients.disconnect(i, now);
+        self.sched
+            .schedule_in(topo.handoff_secs, Ev::HandoffArrive(c, dest));
+        // The next residency clock starts at arrival.
+        self.sched
+            .schedule_in(topo.handoff_secs + next_residency, Ev::Handoff(c));
+    }
+
+    /// The handoff blackout ended: re-associate with the destination
+    /// cell and reconnect. A roamer's `Tlb` now refers to another cell's
+    /// broadcast history; under zero cross-cell skew the destination
+    /// server's reports vouch for the same updates, so the regular
+    /// reconnection-gap machinery (window coverage, `Tlb` uplinks, the
+    /// AFW/AAW long-disconnection recovery) takes it from here exactly
+    /// as if the client had dozed in place.
+    fn on_handoff_arrive(&mut self, now: SimTime, c: ClientId, dest: u32) {
+        let i = c.index();
+        let from_cell = self.clients.cell_of(i);
+        self.clients.handoff(i, dest);
+        let offline_secs = self.clients.reconnect(i, now);
+        self.mobility.handoffs += 1;
+        self.emit(
+            now,
+            ProbeEvent::Handoff {
+                client: c,
+                from_cell,
+                to_cell: dest,
+                offline_secs,
+            },
+        );
+        if std::mem::take(&mut self.query_after_handoff[i]) {
+            // The think period expired mid-blackout: the parked query
+            // is issued now, at the new cell.
+            self.on_query_arrival(now, c);
+        }
     }
 
     fn on_downlink_done(&mut self, now: SimTime, idx: usize, token: u64) {
@@ -845,6 +1060,10 @@ impl<'p> Simulation<'p> {
         }
         match delivered.msg {
             DownPayload::Report(report) => {
+                // The broadcasting cell is encoded by the channel index
+                // (downlinks are laid out cell-major), so the payload
+                // needs no cell tag.
+                let cell = self.cell_of_downlink(idx);
                 // Index the report once; every client of the fan-out
                 // shares it (the tentpole of the report pipeline). The
                 // BS index — the one kind whose build is O(N) in the
@@ -872,11 +1091,21 @@ impl<'p> Simulation<'p> {
                 deliver.clear();
                 deliver.resize(self.clients.len().div_ceil(64), 0);
                 if !self.eff_downlink.is_active() {
-                    // Every connected client hears it: the mask IS the
-                    // connected bitmap. rx-bits accumulates the same
-                    // constant once per set bit — the identical sequence
-                    // of additions the per-client loop performed.
-                    deliver.copy_from_slice(self.clients.connected_words());
+                    // Every connected member of the broadcasting cell
+                    // hears it: the mask is the word-wise intersection
+                    // of the connected bitmap and the cell-membership
+                    // bitmap (all-ones at one cell, so this is exactly
+                    // the legacy connected copy). rx-bits accumulates
+                    // the same constant once per set bit — the identical
+                    // sequence of additions the per-client loop
+                    // performed.
+                    for ((d, &cw), &mw) in deliver
+                        .iter_mut()
+                        .zip(self.clients.connected_words())
+                        .zip(self.clients.cell_words(cell as u32))
+                    {
+                        *d = cw & mw;
+                    }
                     for &w in &deliver {
                         for _ in 0..w.count_ones() {
                             self.rx_bits += delivered.bits;
@@ -886,11 +1115,22 @@ impl<'p> Simulation<'p> {
                     let df = self.eff_downlink;
                     let p_exit = df.p_exit_burst();
                     for i in 0..self.clients.len() {
+                        if self.clients.cell_of(i) != cell as u32 {
+                            // Another cell's broadcast: this client's
+                            // radio path is not involved at all. Its
+                            // chain evolves once per tick on its OWN
+                            // cell's broadcast, so the per-client draw
+                            // schedule stays aligned with that cell's
+                            // broadcast clock (and is untouched at one
+                            // cell, where this arm never fires).
+                            continue;
+                        }
                         // The Gilbert–Elliott chain evolves for every
-                        // client, listening or not — burstiness is a
-                        // property of the radio path, and a draw schedule
-                        // independent of connectivity keeps each client's
-                        // stream aligned with the broadcast clock.
+                        // member of the cell, listening or not —
+                        // burstiness is a property of the radio path,
+                        // and a draw schedule independent of
+                        // connectivity keeps each client's stream
+                        // aligned with the broadcast clock.
                         let bad = if self.ge_bad[i] {
                             !self.rng_faults[i].coin(p_exit)
                         } else {
@@ -931,8 +1171,8 @@ impl<'p> Simulation<'p> {
                 // keyed by the dominant Tlb bucket: every client that
                 // heard the previous report holds exactly its broadcast
                 // time. Shards then read the plan lock-free.
-                let mut plan = std::mem::take(&mut self.plan);
-                plan.decode_for_tick(&report, self.prev_report_at, self.cfg.db_size);
+                let mut plan = std::mem::take(&mut self.plans[cell]);
+                plan.decode_for_tick(&report, self.prev_report_at[cell], self.cfg.db_size);
                 // Phase 1 (parallel): each shard applies the report to
                 // its contiguous client range, touching only its own
                 // clients and scratch.
@@ -967,8 +1207,8 @@ impl<'p> Simulation<'p> {
                         },
                     );
                 }
-                self.plan = plan;
-                self.prev_report_at = report.broadcast_at();
+                self.plans[cell] = plan;
+                self.prev_report_at[cell] = report.broadcast_at();
                 // Phase 2 (serial merge, client-index order): replay
                 // each client's actions and observations exactly as the
                 // serial loop interleaved them — the scheduler, the
@@ -1004,7 +1244,9 @@ impl<'p> Simulation<'p> {
                 // Delivered copies reflect the version current at delivery
                 // (see DESIGN.md §3: this removes the report/fetch race a
                 // bit-level model would have to resolve with torn reads).
-                let version = self.server.version(item);
+                // The serving cell is the channel's cell; under zero
+                // cross-cell skew every server holds the same version.
+                let version = self.servers[self.cell_of_downlink(idx)].version(item);
                 self.rx_bits += delivered.bits;
                 let before = self.pre_observe(dest.index());
                 let mut actions = std::mem::take(&mut self.action_scratch);
@@ -1023,13 +1265,18 @@ impl<'p> Simulation<'p> {
                 // Same three-phase split as the report fan-out, minus
                 // the merge: snooped items produce no actions.
                 if self.cfg.snoop_broadcasts {
-                    // Connected bitmap minus the addressed client; the
-                    // rx-bits additions are the same sequence the
-                    // per-client loop performed (one constant per set
-                    // bit, ascending index).
+                    // Connected members of the serving cell minus the
+                    // addressed client (a downlink only covers its own
+                    // cell); the rx-bits additions are the same sequence
+                    // the per-client loop performed (one constant per
+                    // set bit, ascending index).
+                    let cell = self.cell_of_downlink(idx);
                     let mut deliver = std::mem::take(&mut self.deliver_words);
                     deliver.clear();
                     deliver.extend_from_slice(self.clients.connected_words());
+                    for (d, &mw) in deliver.iter_mut().zip(self.clients.cell_words(cell as u32)) {
+                        *d &= mw;
+                    }
                     let d = dest.index();
                     deliver[d / 64] &= !(1u64 << (d % 64));
                     for &w in &deliver {
@@ -1114,6 +1361,11 @@ impl<'p> Simulation<'p> {
             self.faults.crash_dropped_uplinks += 1;
             return;
         }
+        // Uplink traffic is routed at delivery to the sender's CURRENT
+        // cell: that server answers, on that cell's downlink group. (A
+        // client with in-flight traffic defers its handoff, so the cell
+        // cannot change between send and delivery.)
+        let cell = self.cell_of(from);
         match kind {
             UplinkKind::QueryRequest { item } => {
                 // Retry-armed clients cannot distinguish a lost request
@@ -1132,18 +1384,19 @@ impl<'p> Simulation<'p> {
                     now,
                     bits,
                     dk.class(),
+                    cell,
                     DownPayload::Data { item, dest: from },
                 );
             }
             UplinkKind::TlbReport { tlb_secs } => {
-                self.server.receive_tlb(SimTime::from_secs(tlb_secs));
+                self.servers[cell].receive_tlb(SimTime::from_secs(tlb_secs));
             }
             UplinkKind::CheckRequest { entries } => {
                 let typed: Vec<(ItemId, SimTime)> = entries
                     .iter()
                     .map(|&(item, secs)| (item, SimTime::from_secs(secs)))
                     .collect();
-                let verdict = self.server.process_check(now, &typed);
+                let verdict = self.servers[cell].process_check(now, &typed);
                 let dk = DownlinkKind::ValidityReport {
                     checked: verdict.checked,
                     valid: verdict.valid.clone(),
@@ -1154,6 +1407,7 @@ impl<'p> Simulation<'p> {
                     now,
                     bits,
                     dk.class(),
+                    cell,
                     DownPayload::Validity {
                         dest: from,
                         asof: verdict.asof,
@@ -1166,7 +1420,7 @@ impl<'p> Simulation<'p> {
                     .iter()
                     .map(|&(g, secs)| (g, SimTime::from_secs(secs)))
                     .collect();
-                let verdict = self.server.process_group_check(now, &typed);
+                let verdict = self.servers[cell].process_group_check(now, &typed);
                 let dk = DownlinkKind::GroupValidity {
                     stale: verdict.stale.clone(),
                     covered: verdict.covered,
@@ -1177,6 +1431,7 @@ impl<'p> Simulation<'p> {
                     now,
                     bits,
                     dk.class(),
+                    cell,
                     DownPayload::GroupVerdict {
                         dest: from,
                         asof: verdict.asof,
@@ -1421,7 +1676,7 @@ impl<'p> Simulation<'p> {
             // belong in the *fault* report when a fault plan could have
             // caused them — and recording them unconditionally would
             // surface a `faults` field in fault-free legacy renderings.
-            faults.duplicate_tlbs_ignored = self.server.counters().duplicate_tlbs;
+            faults.duplicate_tlbs_ignored = self.server_counters().duplicate_tlbs;
         }
         faults.mean_recovery_latency_secs = if faults.recoveries == 0 {
             0.0
@@ -1481,13 +1736,14 @@ impl<'p> Simulation<'p> {
                 energy_total / answered as f64
             },
             reports_lost: self.reports_lost,
-            server: self.server.counters().into(),
+            server: self.server_counters().into(),
             clients,
             cache_evictions: evictions,
             disconnections: self.disconnections,
             events_processed: self.sched.events_delivered(),
             sim_time_secs: self.cfg.sim_time_secs,
             faults,
+            mobility: self.mobility,
         };
         RunResult {
             config: self.cfg,

@@ -41,7 +41,7 @@ pub mod oracle;
 pub mod probe;
 
 pub use engine::{run, RunOptions, RunResult, Simulation};
-pub use metrics::{FaultMetrics, Metrics};
+pub use metrics::{FaultMetrics, Metrics, MobilityMetrics};
 pub use probe::{
     CacheEventKind, IntervalSampler, IntervalSnapshot, NullProbe, Probe, ProbeEvent, ReportKind,
     RunTotals,
@@ -58,8 +58,8 @@ pub use mobicache_client::{ClientMut, ClientPop, ClientRef};
 // Re-export the configuration vocabulary so downstream users need only
 // this crate plus `mobicache-model`.
 pub use mobicache_model::{
-    ChannelFaults, CheckingMode, ConfigError, DownlinkTopology, FaultPlan, Pattern, RetryPolicy,
-    Scheme, SimConfig, Workload,
+    CellTopology, ChannelFaults, CheckingMode, ConfigError, DownlinkTopology, FaultPlan, Pattern,
+    RetryPolicy, Scheme, SimConfig, Workload,
 };
 // Adaptive decisions surface in probe events; re-export so observers
 // can match on them without depending on `mobicache-server`.

@@ -95,6 +95,12 @@ pub struct Metrics {
     /// Fault-injection outcomes; all-zero unless the run's
     /// [`FaultPlan`](mobicache_model::FaultPlan) injected something.
     pub faults: FaultMetrics,
+
+    // ---- client mobility (multi-cell extension) ----
+    /// Handoff outcomes; all-zero unless the run's
+    /// [`CellTopology`](mobicache_model::CellTopology) has more than one
+    /// cell.
+    pub mobility: MobilityMetrics,
 }
 
 impl fmt::Debug for Metrics {
@@ -137,8 +143,29 @@ impl fmt::Debug for Metrics {
         if self.faults != FaultMetrics::default() {
             s.field("faults", &self.faults);
         }
+        if self.mobility != MobilityMetrics::default() {
+            s.field("mobility", &self.mobility);
+        }
         s.finish()
     }
+}
+
+/// Outcomes of the mobility process over one run. All-zero in the
+/// single-cell (legacy) topology, so the field never appears in the
+/// golden-digest renderings of pre-mobility configurations.
+///
+/// There is deliberately no roam-vs-stay split: the cross-cell
+/// equivalence battery compares a `p_roam = 1` run against a
+/// `p_roam = 0` run bit-for-bit, and both arms of a handoff (moving or
+/// staying) are the same radio event.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MobilityMetrics {
+    /// Handoffs completed (the client re-associated and reconnected,
+    /// whether or not the destination differs from the source cell).
+    pub handoffs: u64,
+    /// Handoffs postponed because the client was mid-flight (pending
+    /// query, dozing, or an unresolved reconnection gap).
+    pub handoffs_deferred: u64,
 }
 
 /// Outcomes of fault injection over one run. All-zero when the fault
@@ -286,11 +313,19 @@ mod tests {
         assert!(rendered.starts_with("Metrics { queries_answered: 7,"));
         assert!(rendered.ends_with("sim_time_secs: 0.0 }"));
 
-        let mut faulty = clean;
+        let mut faulty = clean.clone();
         faulty.faults.uplink_losses = 3;
         let rendered = format!("{faulty:?}");
         assert!(rendered.contains("faults: FaultMetrics"));
         assert!(rendered.contains("uplink_losses: 3"));
+
+        // Same contract for the mobility section: invisible while
+        // all-zero, appended after `faults` once a handoff happened.
+        let mut mobile = clean;
+        mobile.mobility.handoffs = 2;
+        let rendered = format!("{mobile:?}");
+        assert!(rendered.contains("mobility: MobilityMetrics"));
+        assert!(rendered.contains("handoffs: 2"));
     }
 
     #[test]

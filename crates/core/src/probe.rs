@@ -147,6 +147,19 @@ pub enum ProbeEvent {
         /// How long the server was down, seconds.
         offline_secs: f64,
     },
+    /// A mobility handoff completed: the client re-associated with
+    /// `to_cell` (possibly its own cell again) and reconnected after the
+    /// handoff blackout.
+    Handoff {
+        /// Who moved.
+        client: ClientId,
+        /// Cell the client left.
+        from_cell: u32,
+        /// Cell the client now listens to.
+        to_cell: u32,
+        /// Length of the handoff blackout, seconds.
+        offline_secs: f64,
+    },
 }
 
 /// Cumulative run counters, sampled at snapshot boundaries.
@@ -181,6 +194,8 @@ pub struct RunTotals {
     pub fault_retries: u64,
     /// Scheduled server crashes executed.
     pub server_crashes: u64,
+    /// Mobility handoffs completed.
+    pub handoffs: u64,
     /// Bits transmitted by client radios.
     pub client_tx_bits: f64,
     /// Bits received by client radios.
@@ -208,6 +223,7 @@ impl RunTotals {
             uplink_losses: self.uplink_losses - prev.uplink_losses,
             fault_retries: self.fault_retries - prev.fault_retries,
             server_crashes: self.server_crashes - prev.server_crashes,
+            handoffs: self.handoffs - prev.handoffs,
             client_tx_bits: self.client_tx_bits - prev.client_tx_bits,
             client_rx_bits: self.client_rx_bits - prev.client_rx_bits,
             events_scheduled: self.events_scheduled - prev.events_scheduled,
@@ -230,6 +246,7 @@ impl RunTotals {
         self.uplink_losses += d.uplink_losses;
         self.fault_retries += d.fault_retries;
         self.server_crashes += d.server_crashes;
+        self.handoffs += d.handoffs;
         self.client_tx_bits += d.client_tx_bits;
         self.client_rx_bits += d.client_rx_bits;
         self.events_scheduled += d.events_scheduled;
@@ -293,7 +310,7 @@ impl IntervalSnapshot {
                 "\"checks_processed\":{},\"cache_evictions\":{},",
                 "\"disconnections\":{},\"reports_lost\":{},",
                 "\"uplink_losses\":{},\"fault_retries\":{},",
-                "\"server_crashes\":{},",
+                "\"server_crashes\":{},\"handoffs\":{},",
                 "\"client_tx_bits\":{},\"client_rx_bits\":{},",
                 "\"events_scheduled\":{},\"events_delivered\":{},",
                 "\"queue_high_water\":{},\"slot_high_water\":{},",
@@ -317,6 +334,7 @@ impl IntervalSnapshot {
             d.uplink_losses,
             d.fault_retries,
             d.server_crashes,
+            d.handoffs,
             d.client_tx_bits,
             d.client_rx_bits,
             d.events_scheduled,
@@ -528,6 +546,7 @@ mod tests {
         assert!(lines[0].contains("\"uplink_losses\":0"));
         assert!(lines[0].contains("\"fault_retries\":0"));
         assert!(lines[0].contains("\"server_crashes\":0"));
+        assert!(lines[0].contains("\"handoffs\":0"));
         assert!(lines[0].contains("\"plan_decodes\":4"));
         assert!(lines[0].contains("\"plan_hits\":90"));
         assert!(lines[0].contains("\"plan_misses\":3"));

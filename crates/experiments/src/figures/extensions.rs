@@ -4,7 +4,7 @@
 
 use super::common;
 use crate::spec::{FigureSpec, MetricKind};
-use mobicache_model::{ChannelFaults, DownlinkTopology, Scheme, SimConfig, Workload};
+use mobicache_model::{CellTopology, ChannelFaults, DownlinkTopology, Scheme, SimConfig, Workload};
 
 /// All extension specs.
 pub fn all() -> Vec<FigureSpec> {
@@ -15,7 +15,89 @@ pub fn all() -> Vec<FigureSpec> {
         report_loss(),
         snoop(),
         burst(),
+        handoff(),
+        handoff_uplink(),
     ]
+}
+
+/// Handoff rates swept by `ext-handoff`/`ext-handoff-uplink`, in
+/// handoffs per hour per client. A rate maps to a mean cell residency
+/// of `3600 / rate` seconds against a 20 s broadcast period; `0` keeps
+/// the same 4-cell topology but pushes the residency far past any
+/// horizon, so no re-association ever fires. The topology is held
+/// fixed across the sweep on purpose: 4 cells mean 4 downlinks, so
+/// letting the cell count vary with the rate would conflate aggregate
+/// channel capacity with mobility — the one independent variable here
+/// is the handoff rate.
+const HANDOFF_RATES: [f64; 6] = [0.0, 4.0, 8.0, 16.0, 36.0, 72.0];
+
+/// The multi-cell mobility base behind the handoff sweep: the stress
+/// workload spread over 4 cells, a 12 s blackout per re-association,
+/// and a roam coin that lands the client in another cell four times
+/// out of five (an expiry that "stays" re-associates in place — same
+/// blackout, no cell change — so the x axis counts *blackouts*, the
+/// thing every scheme actually pays for).
+fn handoff_points() -> Vec<(f64, SimConfig)> {
+    HANDOFF_RATES
+        .iter()
+        .map(|&rate| {
+            let cfg = stress_base().with_cells(CellTopology {
+                cells: 4,
+                // Beyond any horizon at rate 0: one residency clock is
+                // scheduled per client and never expires.
+                mean_residency_secs: if rate > 0.0 { 3_600.0 / rate } else { 1.0e12 },
+                handoff_secs: 12.0,
+                p_roam: 0.8,
+            });
+            (rate, cfg)
+        })
+        .collect()
+}
+
+/// `ext-handoff`: throughput vs handoff rate across a 4-cell topology.
+/// Every roamer arrives in the destination cell with a `Tlb` that means
+/// nothing there — the mobility-triggered incarnation of the paper's
+/// long-disconnection problem.
+pub fn handoff() -> FigureSpec {
+    FigureSpec {
+        id: "ext-handoff",
+        paper_ref: "extension (multi-cell mobility)",
+        title: "Client mobility: throughput vs handoff rate (HOTCOLD, N=10^4, p=0.3, \
+                disc 400 s; 4 cells, 12 s blackout, 80% roam)",
+        x_label: "Handoff rate (handoffs/hour per client; 0 = same topology, no mobility)",
+        metric: MetricKind::QueriesAnswered,
+        schemes: Scheme::ALL.to_vec(),
+        points: handoff_points(),
+        expected_shape: "Every handoff is a forced disconnection, so all curves fall \
+                         with the rate; the window-report schemes (TS, AT, SIG) fall \
+                         hardest once the blackout plus residency churn outruns their \
+                         window, while BS and the checking schemes shrug off the cell \
+                         change (any report or a check re-validates them). AFW/AAW \
+                         track BS closely by design: the roamer's Tlb triggers the \
+                         long-disconnection recovery in the new cell.",
+    }
+}
+
+/// `ext-handoff-uplink`: the cost axis of the same sweep — total uplink
+/// traffic vs handoff rate. Roamer re-announcements (Tlbs, checks,
+/// retries) are uplink traffic, and the uplink is the scarce channel.
+pub fn handoff_uplink() -> FigureSpec {
+    FigureSpec {
+        id: "ext-handoff-uplink",
+        paper_ref: "extension (multi-cell mobility)",
+        title: "Client mobility: total uplink traffic vs handoff rate (HOTCOLD, \
+                N=10^4, p=0.3, disc 400 s; 4 cells, 12 s blackout, 80% roam)",
+        x_label: "Handoff rate (handoffs/hour per client; 0 = same topology, no mobility)",
+        metric: MetricKind::UplinkTotalBits,
+        schemes: Scheme::ALL.to_vec(),
+        points: handoff_points(),
+        expected_shape: "The checking schemes' uplink grows fastest with the rate \
+                         (every post-handoff query re-checks against the new cell), \
+                         GCORE sits below simple checking by its grouping factor, and \
+                         the adaptive schemes pay only one Tlb per arrival — their \
+                         uplink stays near the stateless TS floor even at 72 \
+                         handoffs/hour.",
+    }
 }
 
 /// `ext-snoop`: opportunistic caching of overheard data items (the
@@ -228,6 +310,44 @@ mod tests {
             for (_, cfg) in &spec.points {
                 cfg.validate()
                     .unwrap_or_else(|e| panic!("{}: {e}", spec.id));
+            }
+        }
+    }
+
+    #[test]
+    fn handoff_figures_render_for_all_schemes() {
+        use crate::runner::{run_figure, RunScale};
+        for mut spec in [handoff(), handoff_uplink()] {
+            // Shrink the workload, keep the topology: the full-scale
+            // sweep belongs to the harness, this pins that every scheme
+            // renders a curve and every mobile point really roams.
+            for (_, cfg) in &mut spec.points {
+                *cfg = cfg.clone().with_db_size(500).with_num_clients(10);
+            }
+            let scale = RunScale {
+                time_factor: 0.04,
+                ..RunScale::default()
+            };
+            let result = run_figure(&spec, scale).expect("valid spec");
+            assert_eq!(result.series.len(), Scheme::ALL.len(), "{}", spec.id);
+            for series in &result.series {
+                assert_eq!(series.points.len(), HANDOFF_RATES.len());
+                let baseline = &series.points[0];
+                assert_eq!(
+                    baseline.metrics.mobility.handoffs, 0,
+                    "{} {:?}: x=0 must never re-associate",
+                    spec.id, series.scheme
+                );
+                for p in &series.points[1..] {
+                    assert!(
+                        p.metrics.mobility.handoffs > 0,
+                        "{} {:?} at x={}: no handoffs",
+                        spec.id,
+                        series.scheme,
+                        p.x
+                    );
+                    assert!(p.y > 0.0, "{} {:?} at x={}", spec.id, series.scheme, p.x);
+                }
             }
         }
     }

@@ -20,6 +20,10 @@ pub enum MetricKind {
     /// Client energy per answered query (extension; §1's power-efficiency
     /// motivation).
     EnergyPerQuery,
+    /// Total uplink traffic in bits — every client transmission: queries,
+    /// Tlbs, validity checks and retries (extension; the handoff sweep's
+    /// cost axis, where roamer re-announcements dominate).
+    UplinkTotalBits,
 }
 
 impl MetricKind {
@@ -32,6 +36,7 @@ impl MetricKind {
             MetricKind::MeanLatencySecs => m.mean_query_latency_secs,
             MetricKind::ReportDownlinkBits => m.downlink_report_bits,
             MetricKind::EnergyPerQuery => m.energy_per_query,
+            MetricKind::UplinkTotalBits => m.uplink_total_bits,
         }
     }
 
@@ -44,6 +49,7 @@ impl MetricKind {
             MetricKind::MeanLatencySecs => "Mean Query Latency (s)",
             MetricKind::ReportDownlinkBits => "Invalidation Report Downlink (bits)",
             MetricKind::EnergyPerQuery => "Client Energy Per Query (units)",
+            MetricKind::UplinkTotalBits => "Total Uplink Traffic (bits)",
         }
     }
 }
@@ -148,6 +154,7 @@ mod tests {
             hit_ratio: 0.25,
             mean_query_latency_secs: 3.0,
             downlink_report_bits: 99.0,
+            uplink_total_bits: 123.0,
             ..Metrics::default()
         };
         assert_eq!(MetricKind::QueriesAnswered.extract(&m), 42.0);
@@ -155,6 +162,7 @@ mod tests {
         assert_eq!(MetricKind::HitRatio.extract(&m), 0.25);
         assert_eq!(MetricKind::MeanLatencySecs.extract(&m), 3.0);
         assert_eq!(MetricKind::ReportDownlinkBits.extract(&m), 99.0);
+        assert_eq!(MetricKind::UplinkTotalBits.extract(&m), 123.0);
     }
 
     #[test]

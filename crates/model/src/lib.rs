@@ -26,5 +26,7 @@ pub use error::ConfigError;
 pub use faults::{ChannelFaults, FaultPlan, RetryPolicy};
 pub use ids::{ClientId, ItemId};
 pub use msg::{DownlinkKind, SizeParams, UplinkKind};
-pub use params::{CheckingMode, DownlinkTopology, Pattern, Scheme, SimConfig, Workload};
+pub use params::{
+    CellTopology, CheckingMode, DownlinkTopology, Pattern, Scheme, SimConfig, Workload,
+};
 pub use units::{bits_of_bytes, bits_per_id, Bits};

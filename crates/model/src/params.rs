@@ -309,8 +309,99 @@ pub struct SimConfig {
     /// ([`FaultPlan::none`]) injects nothing and reproduces pre-fault
     /// results bit-for-bit.
     pub faults: FaultPlan,
+    /// Cell topology and client mobility. The default
+    /// ([`CellTopology::single`]) is one base station with no mobility
+    /// and reproduces pre-mobility results bit-for-bit.
+    pub cells: CellTopology,
     /// Master RNG seed; every stochastic process derives its own stream.
     pub seed: u64,
+}
+
+/// Cell topology and client-mobility process.
+///
+/// The paper simulates a single base station; real deployments trigger
+/// the same long-disconnection recovery paths (AFW/AAW `Tlb` uplinks,
+/// BS precise invalidation) by *roaming*: a client hops to a new cell
+/// whose server never saw its `Tlb`. `CellTopology` models `cells`
+/// servers, each broadcasting its own invalidation report on its own
+/// downlink, with clients assigned round-robin and migrating on a
+/// deterministic per-client mobility process (exponential cell
+/// residency, dedicated `StreamId::Mobility` RNG streams).
+///
+/// A handoff departs the old cell (the client goes offline for
+/// `handoff_secs`, exactly like a doze) and arrives at the destination
+/// cell, where the carried `Tlb` is meaningless — the destination
+/// server treats the roamer as a long-disconnected client.
+///
+/// [`CellTopology::single`] (the default) is **fully inert**: one cell,
+/// zero mobility events, zero RNG draws, bit-identical to the legacy
+/// single-BS path regardless of the other knob values.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CellTopology {
+    /// Number of cells (base stations). `1` disables mobility entirely.
+    pub cells: u32,
+    /// Mean cell residency time, seconds (exponentially distributed
+    /// interval between successive handoff attempts per client).
+    pub mean_residency_secs: f64,
+    /// Offline blackout per handoff, seconds: the radio gap between
+    /// departing the old cell and arriving at the new one.
+    pub handoff_secs: f64,
+    /// Probability a handoff attempt actually roams to a *different*
+    /// cell (otherwise the client re-associates with its current cell —
+    /// an offline gap with no cell change). `1.0` always roams.
+    pub p_roam: f64,
+}
+
+impl CellTopology {
+    /// The legacy single-base-station topology (no mobility).
+    pub fn single() -> CellTopology {
+        CellTopology {
+            cells: 1,
+            mean_residency_secs: 2_000.0,
+            handoff_secs: 10.0,
+            p_roam: 1.0,
+        }
+    }
+
+    /// `true` when the mobility process is active (more than one cell).
+    pub fn is_multi(&self) -> bool {
+        self.cells > 1
+    }
+
+    /// Checks parameter consistency (called from
+    /// [`SimConfig::validate`]).
+    ///
+    /// # Errors
+    /// Returns the first violated constraint as a [`ConfigError`].
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.cells == 0 {
+            return Err(ConfigError::ZeroCount { field: "cells" });
+        }
+        if !self.is_multi() {
+            // Single-cell is inert: the remaining knobs are never read.
+            return Ok(());
+        }
+        if !(self.mean_residency_secs.is_finite() && self.mean_residency_secs > 0.0) {
+            return Err(ConfigError::NotPositive {
+                field: "mean_residency_secs",
+                value: self.mean_residency_secs,
+            });
+        }
+        if !(self.handoff_secs.is_finite() && self.handoff_secs >= 0.0) {
+            return Err(ConfigError::Negative {
+                field: "handoff_secs",
+                value: self.handoff_secs,
+            });
+        }
+        if !(0.0..=1.0).contains(&self.p_roam) {
+            return Err(ConfigError::OutOfRange {
+                field: "p_roam",
+                value: self.p_roam,
+                bounds: "[0, 1]",
+            });
+        }
+        Ok(())
+    }
 }
 
 /// Downlink channel organisation.
@@ -366,6 +457,7 @@ impl SimConfig {
             pool_min_shard_clients: 1,
             pool_min_shard_items: 1024,
             faults: FaultPlan::none(),
+            cells: CellTopology::single(),
             seed: 0x1997_AD07,
         }
     }
@@ -432,6 +524,12 @@ impl SimConfig {
     /// Builder-style fault-plan override.
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Builder-style cell-topology override.
+    pub fn with_cells(mut self, cells: CellTopology) -> Self {
+        self.cells = cells;
         self
     }
 
@@ -515,6 +613,7 @@ impl SimConfig {
             });
         }
         self.faults.validate()?;
+        self.cells.validate()?;
         if let DownlinkTopology::Dedicated { broadcast_share } = self.downlink_topology {
             if !(broadcast_share > 0.0 && broadcast_share < 1.0) {
                 return Err(ConfigError::OutOfRange {
@@ -739,6 +838,78 @@ mod tests {
         c.db_size = 50;
         c.workload.query = Pattern::paper_hotcold();
         assert!(c.validate().is_err(), "hot region must fit in the DB");
+    }
+
+    #[test]
+    fn cell_topology_validation() {
+        let single = CellTopology::single();
+        assert!(!single.is_multi());
+        assert!(single.validate().is_ok());
+
+        // Single-cell topologies are inert: bogus mobility knobs are
+        // never read, so they must not fail validation.
+        let inert = CellTopology {
+            cells: 1,
+            mean_residency_secs: -5.0,
+            handoff_secs: f64::NAN,
+            p_roam: 9.0,
+        };
+        assert!(inert.validate().is_ok());
+
+        let mut c = CellTopology::single();
+        c.cells = 0;
+        assert_eq!(c.validate(), Err(ConfigError::ZeroCount { field: "cells" }));
+
+        let mut c = CellTopology::single();
+        c.cells = 4;
+        assert!(c.is_multi());
+        assert!(c.validate().is_ok());
+
+        c.mean_residency_secs = 0.0;
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::NotPositive {
+                field: "mean_residency_secs",
+                ..
+            })
+        ));
+
+        let mut c = CellTopology::single();
+        c.cells = 2;
+        c.handoff_secs = -1.0;
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::Negative {
+                field: "handoff_secs",
+                ..
+            })
+        ));
+
+        let mut c = CellTopology::single();
+        c.cells = 2;
+        c.handoff_secs = 0.0; // zero blackout is allowed
+        c.p_roam = 0.0; // never roaming is allowed
+        assert!(c.validate().is_ok());
+        c.p_roam = 1.5;
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::OutOfRange {
+                field: "p_roam",
+                ..
+            })
+        ));
+
+        // SimConfig::validate reaches through to the topology.
+        let mut cfg = SimConfig::paper_default();
+        assert_eq!(cfg.cells, CellTopology::single());
+        cfg.cells.cells = 3;
+        cfg.cells.mean_residency_secs = -1.0;
+        assert!(cfg.validate().is_err());
+        cfg = SimConfig::paper_default().with_cells(CellTopology {
+            cells: 3,
+            ..CellTopology::single()
+        });
+        assert!(cfg.validate().is_ok());
     }
 
     #[test]

@@ -33,6 +33,24 @@ pub struct ServerCounters {
     pub updates_applied: u64,
 }
 
+impl ServerCounters {
+    /// Field-wise accumulation: multi-cell runs sum the per-cell
+    /// servers' counters into one run-wide total (cell order, so the
+    /// result is deterministic and, at one cell, the identity).
+    pub fn absorb(&mut self, other: &ServerCounters) {
+        self.window_reports += other.window_reports;
+        self.enlarged_reports += other.enlarged_reports;
+        self.bs_reports += other.bs_reports;
+        self.at_reports += other.at_reports;
+        self.sig_reports += other.sig_reports;
+        self.tlbs_received += other.tlbs_received;
+        self.duplicate_tlbs += other.duplicate_tlbs;
+        self.checks_processed += other.checks_processed;
+        self.txns_applied += other.txns_applied;
+        self.updates_applied += other.updates_applied;
+    }
+}
+
 /// The adaptive schemes' per-period report choice (§3, Figures 3 and 4),
 /// surfaced so observers can trace *why* a period broadcast what it did.
 ///
@@ -1162,6 +1180,23 @@ mod tests {
         // Durable: the update log survives the crash.
         assert_eq!(s.version(ItemId(1)), t(500.0));
         assert_eq!(s.log().total_updates(), 1);
+    }
+
+    #[test]
+    fn counters_absorb_is_field_wise_and_identity_on_default() {
+        let mut s = server(Scheme::Afw, 100);
+        s.apply_txn(t(500.0), &[ItemId(1), ItemId(2)]);
+        s.receive_tlb(t(300.0));
+        s.build_report(t(1000.0));
+        let base = s.counters();
+        let mut sum = base;
+        sum.absorb(&ServerCounters::default());
+        assert_eq!(sum, base, "absorbing a default is the identity");
+        sum.absorb(&base);
+        assert_eq!(sum.txns_applied, 2 * base.txns_applied);
+        assert_eq!(sum.updates_applied, 2 * base.updates_applied);
+        assert_eq!(sum.tlbs_received, 2 * base.tlbs_received);
+        assert_eq!(sum.bs_reports, 2 * base.bs_reports);
     }
 
     #[test]

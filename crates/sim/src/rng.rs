@@ -30,6 +30,7 @@
 /// | `0`                                | server update process   |
 /// | `1 + c` for `c < 2^32`             | client `c` behaviour    |
 /// | `0xFA17_0000_0000_0000 + c`        | client `c` fault coins  |
+/// | `0xCE11_0000_0000_0000 + c`        | client `c` mobility     |
 ///
 /// New subsystems must add a variant here (picking a fresh high-bits
 /// prefix) rather than minting raw constants.
@@ -41,6 +42,8 @@ pub enum StreamId {
     Client(u32),
     /// Client `c`'s fault coins (downlink bursts, uplink loss).
     Fault(u32),
+    /// Client `c`'s mobility process (cell residency, roam choice).
+    Mobility(u32),
 }
 
 impl StreamId {
@@ -52,6 +55,7 @@ impl StreamId {
             StreamId::Update => 0,
             StreamId::Client(c) => 1 + u64::from(c),
             StreamId::Fault(c) => 0xFA17_0000_0000_0000 + u64::from(c),
+            StreamId::Mobility(c) => 0xCE11_0000_0000_0000 + u64::from(c),
         }
     }
 }
@@ -283,6 +287,8 @@ mod tests {
         assert_eq!(StreamId::Client(7).value(), 8);
         assert_eq!(StreamId::Fault(0).value(), 0xFA17_0000_0000_0000);
         assert_eq!(StreamId::Fault(9).value(), 0xFA17_0000_0000_0009);
+        assert_eq!(StreamId::Mobility(0).value(), 0xCE11_0000_0000_0000);
+        assert_eq!(StreamId::Mobility(9).value(), 0xCE11_0000_0000_0009);
     }
 
     /// The typed derivation is byte-identical to the raw one.
@@ -292,6 +298,7 @@ mod tests {
             (StreamId::Update, 0u64),
             (StreamId::Client(3), 4),
             (StreamId::Fault(3), 0xFA17_0000_0000_0003),
+            (StreamId::Mobility(3), 0xCE11_0000_0000_0003),
         ] {
             let mut typed = SimRng::for_stream(0x1997_AD07, id);
             let mut raw = SimRng::stream(0x1997_AD07, raw);
@@ -311,6 +318,7 @@ mod tests {
         for c in 0..1_000u32 {
             assert!(seen.insert(StreamId::Client(c).value()));
             assert!(seen.insert(StreamId::Fault(c).value()));
+            assert!(seen.insert(StreamId::Mobility(c).value()));
         }
     }
 }

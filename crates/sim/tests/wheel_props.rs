@@ -217,6 +217,79 @@ proptest! {
         }
     }
 
+    /// Burst-slot capacity release under interleaved multi-producer
+    /// bursts: two event kinds — think broadcast ticks and client
+    /// wake-ups — land in the *same* leaf slots, scheduled in
+    /// interleaved chunks (singles for one kind, `schedule_batch` for
+    /// the other, alternating). The shared slot must report the
+    /// co-resident peak through `slot_high_water()`, and draining the
+    /// wheel must release the burst capacity: what the wheel retains
+    /// afterwards is bounded by its keep-capacity policy (32 entries a
+    /// slot across 4 levels × 256 slots), not by the burst size.
+    #[test]
+    fn interleaved_producer_bursts_share_slots_and_release_capacity(
+        burst_a in 200usize..1_500,
+        burst_b in 200usize..1_500,
+        slots in 1usize..8,
+        chunk in 1usize..64,
+        drain_mid in 0usize..200,
+    ) {
+        // Mirrors the wheel's private geometry; breaks loudly if the
+        // keep policy or geometry is ever loosened.
+        const KEEP_BOUND: usize = 32 * 256 * 4;
+        let mut wheel: Scheduler<u32> = Scheduler::new();
+        let slot_time = |k: usize| SimTime::from_secs((k % slots) as f64 * 0.25);
+        // Interleave the producers chunk by chunk so both kinds are
+        // in flight while slots fill.
+        let (mut a, mut b, mut tag) = (0usize, 0usize, 0u32);
+        while a < burst_a || b < burst_b {
+            let take_a = chunk.min(burst_a - a);
+            for k in 0..take_a {
+                wheel.schedule(slot_time(a + k), tag);
+                tag += 1;
+            }
+            a += take_a;
+            let take_b = chunk.min(burst_b - b);
+            let batch: Vec<(SimTime, u32)> = (0..take_b)
+                .map(|k| (slot_time(b + k), tag + k as u32))
+                .collect();
+            wheel.schedule_batch(batch.iter().copied());
+            tag += take_b as u32;
+            b += take_b;
+        }
+        // Both kinds landed in the same leaf slots: the fullest slot
+        // holds at least an even share of the *combined* burst.
+        let total = burst_a + burst_b;
+        prop_assert!(
+            wheel.slot_high_water() >= total / slots,
+            "co-resident peak {} below combined fill {}/{}",
+            wheel.slot_high_water(), total, slots
+        );
+        let peak_capacity = wheel.slot_capacity();
+        prop_assert!(peak_capacity >= total, "burst must be resident");
+        // Partial drain, then more same-slot traffic, then full drain:
+        // release must hold however pops interleave with production.
+        for _ in 0..drain_mid.min(total) {
+            wheel.pop();
+        }
+        let refill: Vec<(SimTime, u32)> = (0..chunk)
+            .map(|k| (wheel.now() + (k % slots) as f64 * 0.25, tag + k as u32))
+            .collect();
+        wheel.schedule_batch(refill.iter().copied());
+        while wheel.pop().is_some() {}
+        let retained = wheel.slot_capacity();
+        prop_assert!(
+            retained <= KEEP_BOUND,
+            "drained wheel retains {} entry capacity (bound {})",
+            retained, KEEP_BOUND
+        );
+        // And the release is real: a burst bigger than the whole keep
+        // bound cannot still be resident.
+        if peak_capacity > KEEP_BOUND {
+            prop_assert!(retained < peak_capacity);
+        }
+    }
+
     /// The sharded wake-up burst contract at the scheduler level: a
     /// burst split into contiguous chunks and replayed with one
     /// `schedule_batch` per chunk (in order) hands out exactly the

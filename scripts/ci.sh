@@ -43,6 +43,19 @@ done
 echo "==> fault-schedule proptest suite (under timeout)"
 timeout 600 cargo test -q --release --test faults
 
+# Multi-cell legs: the mobility digests must be thread-invariant (the
+# mobility coins ride dedicated per-cell streams), and the cell
+# equivalence battery pins cells=1 bit-identity plus the
+# handoff-equals-disconnection contract. Timeouts because the proptests'
+# failure mode includes shrink loops over whole-simulation runs.
+for t in 1 4; do
+  echo "==> multi-cell determinism leg, threads=$t (release)"
+  MOBICACHE_THREADS=$t timeout 600 cargo test -q --release --test determinism \
+    -- multi_cell mobility
+done
+echo "==> cell equivalence suite (under timeout)"
+timeout 600 cargo test -q --release --test cells
+
 # Pool lifecycle tests under a hard timeout: their failure mode is a
 # wedged barrier or an unjoined worker, which must fail fast instead of
 # hanging the suite.
@@ -77,6 +90,14 @@ timeout 300 ./target/release/report_pipeline \
 echo "==> stress smoke: heavy AAW point vs committed BENCH_report_pipeline.json"
 timeout 300 ./target/release/report_pipeline \
   --smoke-stress --check-against BENCH_report_pipeline.json
+
+# The handoff smoke re-runs the heavy AAW multi-cell point (4 cells,
+# migrating clients, per-cell fan-out and update replay) against the
+# committed handoff row; a regression in the cell-aware broadcast path
+# or the handoff machinery fails here before it reaches a figure sweep.
+echo "==> handoff smoke: multi-cell AAW point vs committed BENCH_report_pipeline.json"
+timeout 300 ./target/release/report_pipeline \
+  --smoke-handoff --check-against BENCH_report_pipeline.json
 
 echo "==> sched smoke: heap-vs-wheel micro-benchmark"
 timeout 300 ./target/release/report_pipeline --smoke-sched

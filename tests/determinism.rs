@@ -16,7 +16,8 @@
 //! these digests: that is the point of the test.
 
 use mobicache::{run, RunOptions};
-use mobicache_model::{Scheme, SimConfig};
+use mobicache_model::{CellTopology, Scheme, SimConfig};
+use proptest::prelude::*;
 
 /// FNV-1a, 64-bit: tiny, dependency-free and stable across platforms.
 fn fnv1a(bytes: &[u8]) -> u64 {
@@ -208,6 +209,109 @@ fn hundred_k_clients_digest_is_thread_invariant() {
         digest_at(4),
         "100k-client AAW digest diverged between threads=1 and threads=4"
     );
+}
+
+/// The pinned multi-cell mobility topology behind the digests below:
+/// handoffs every ~300 s against a 20 s broadcast period, a 12 s
+/// blackout, and a roam coin that stays in place one time in five.
+fn mobile_cfg(scheme: Scheme, cells: u32, faults: bool) -> SimConfig {
+    let mut cfg = short_cfg(scheme).with_cells(CellTopology {
+        cells,
+        mean_residency_secs: 300.0,
+        handoff_secs: 12.0,
+        p_roam: 0.8,
+    });
+    cfg.p_disconnect = 0.2;
+    if faults {
+        use mobicache_model::{ChannelFaults, FaultPlan};
+        cfg.faults = FaultPlan {
+            downlink: ChannelFaults {
+                p_enter_burst: 0.15,
+                mean_burst_intervals: 4.0,
+                p_loss_good: 0.05,
+                p_loss_bad: 0.9,
+            },
+            p_uplink_loss: 0.3,
+            crashes: vec![800.0, 2_200.0],
+            recovery_secs: 90.0,
+            ..FaultPlan::none()
+        };
+    }
+    cfg
+}
+
+/// Digests of `{metrics:?}` for the multi-cell topology:
+/// (scheme, cells, faults active, digest). Pinned the same way as
+/// GOLDEN — any move is a behaviour change and needs justifying.
+const MULTI_CELL_GOLDEN: &[(Scheme, u32, bool, u64)] = &[
+    (Scheme::Aaw, 2, false, 0x05b3_14ff_eaff_63b0),
+    (Scheme::Aaw, 2, true, 0x0871_6ec8_4d1a_df72),
+    (Scheme::Aaw, 5, false, 0xe238_1de7_71fe_49fd),
+    (Scheme::Aaw, 5, true, 0x8248_c594_5fb4_5c74),
+    (Scheme::Bs, 2, false, 0xe72c_aa9f_f6ed_c537),
+    (Scheme::Bs, 2, true, 0x1a28_7192_c3cb_4b27),
+    (Scheme::Bs, 5, false, 0x9997_f3e4_93df_2bdd),
+    (Scheme::Bs, 5, true, 0xae74_ebee_04e7_593b),
+];
+
+/// The determinism contract extended to the cell topology: the pinned
+/// {2, 5}-cell runs — faults off and on — hit their golden digests at
+/// every thread count (serial, 4 workers, auto). Mobility draws ride
+/// dedicated per-client streams and handoffs are scheduled through the
+/// wheel, so migration must not introduce any thread sensitivity.
+#[test]
+fn multi_cell_golden_digest_across_thread_matrix() {
+    let mut mismatches = Vec::new();
+    for &(scheme, cells, faults, expected) in MULTI_CELL_GOLDEN {
+        let cfg = mobile_cfg(scheme, cells, faults);
+        for threads in [1u32, 4, 0] {
+            let result = run(&cfg.clone().with_threads(threads), RunOptions::default())
+                .expect("valid config");
+            let got = fnv1a(format!("{:?}", result.metrics).as_bytes());
+            if got != expected {
+                println!("    (Scheme::{scheme:?}, {cells}, {faults}, {got:#018x}),");
+                mismatches.push((scheme, cells, faults, threads, expected, got));
+            }
+        }
+    }
+    assert!(
+        mismatches.is_empty(),
+        "multi-cell digests moved (scheme, cells, faults, threads, expected, got): \
+         {mismatches:#x?}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// Random mobility plans are thread-invariant, mirroring the random
+    /// fault-plan pin in `tests/faults.rs`: whatever the topology and
+    /// residency process do to the event schedule, sharding the fan-out
+    /// only trades wall time.
+    #[test]
+    fn random_mobility_plans_are_thread_invariant(
+        cells in 2u32..7,
+        mean_residency_secs in 80.0f64..2_000.0,
+        handoff_secs in 1.0f64..90.0,
+        p_roam in 0.0f64..1.0,
+        p_disconnect in 0.0f64..0.4,
+        threads in 2u32..8,
+    ) {
+        let mut cfg = short_cfg(Scheme::Aaw).with_threads(1).with_cells(CellTopology {
+            cells,
+            mean_residency_secs,
+            handoff_secs,
+            p_roam,
+        });
+        cfg.p_disconnect = p_disconnect;
+        let serial = run(&cfg, RunOptions::default()).unwrap();
+        let sharded = run(&cfg.clone().with_threads(threads), RunOptions::default()).unwrap();
+        prop_assert_eq!(
+            format!("{:?}", serial.metrics),
+            format!("{:?}", sharded.metrics),
+            "mobility coins diverged at threads={} cells={}", threads, cells
+        );
+    }
 }
 
 /// The pool's work-thinning knobs only decide which phases fan out —

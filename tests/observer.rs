@@ -90,12 +90,14 @@ impl Probe for OrderProbe {
                 assert!(hits + misses > 0);
                 self.queries += 1;
             }
-            // No fault plan in these runs: fault events must never fire.
+            // No fault plan and one cell in these runs: fault and
+            // mobility events must never fire.
             ProbeEvent::ReportLost { .. }
             | ProbeEvent::UplinkLost { .. }
             | ProbeEvent::ServerCrash { .. }
-            | ProbeEvent::ServerRecovered { .. } => {
-                panic!("fault event without a fault plan: {event:?}")
+            | ProbeEvent::ServerRecovered { .. }
+            | ProbeEvent::Handoff { .. } => {
+                panic!("fault/mobility event without a plan: {event:?}")
             }
         }
     }
